@@ -1,0 +1,122 @@
+// Cloaking (the related work's mechanism, with PUBLIC task locations)
+// against SCGuard's Geo-I (both parties private), on two axes at once:
+// assignment quality and what a prior-informed Bayesian adversary can
+// infer from the reports. The cloak sizes are swept so the utility-match
+// point can be read off against the privacy gap.
+
+#include "assign/cloaked.h"
+#include "bench/bench_common.h"
+#include "data/beijing.h"
+#include "data/trip_model.h"
+#include "privacy/inference.h"
+#include "privacy/planar_laplace.h"
+
+namespace scguard::bench {
+namespace {
+
+// Mean adversary metrics over sampled victims drawn from the demand prior.
+struct AdversaryScore {
+  double expected_error_m = 0;
+  double mass_within_r = 0;
+};
+
+AdversaryScore ScoreLaplace(const privacy::BayesianAdversary& adversary,
+                            const std::vector<geo::Point>& victims,
+                            const privacy::PrivacyParams& p, stats::Rng& rng) {
+  const privacy::PlanarLaplace laplace(p.unit_epsilon());
+  AdversaryScore score;
+  for (const geo::Point v : victims) {
+    const geo::Point report = v + laplace.Sample(rng);
+    const auto posterior = adversary.PosteriorLaplace(report, p.unit_epsilon());
+    const auto attack = adversary.Evaluate(posterior, v, p.radius_m);
+    score.expected_error_m += attack.expected_error_m;
+    score.mass_within_r += attack.mass_within_r;
+  }
+  score.expected_error_m /= static_cast<double>(victims.size());
+  score.mass_within_r /= static_cast<double>(victims.size());
+  return score;
+}
+
+AdversaryScore ScoreCloak(const privacy::BayesianAdversary& adversary,
+                          const std::vector<geo::Point>& victims,
+                          const privacy::CloakingMechanism& mechanism,
+                          double radius_of_concern, stats::Rng& rng) {
+  AdversaryScore score;
+  for (const geo::Point v : victims) {
+    const auto posterior = adversary.PosteriorCloak(mechanism.Cloak(v, rng));
+    const auto attack = adversary.Evaluate(posterior, v, radius_of_concern);
+    score.expected_error_m += attack.expected_error_m;
+    score.mass_within_r += attack.mass_within_r;
+  }
+  score.expected_error_m /= static_cast<double>(victims.size());
+  score.mass_within_r /= static_cast<double>(victims.size());
+  return score;
+}
+
+void Main() {
+  const auto runner = OrDie(sim::ExperimentRunner::Create(PaperConfig()));
+  const privacy::PrivacyParams p{0.7, 800.0};
+
+  // A prior-informed adversary: it knows the city's demand surface (the
+  // same mixture the workload is drawn from).
+  const geo::BoundingBox region = data::BeijingRegion();
+  stats::Rng prior_rng(42);  // Same seed as the runner's city.
+  const data::HotspotMixture demand =
+      data::HotspotMixture::MakeBeijingLike(region, 24, prior_rng);
+  const privacy::BayesianAdversary adversary(
+      region, 60, [&demand, &region](geo::Point q) {
+        // Smooth prior from the mixture: kernel density over hotspots.
+        double density = 0.25 / region.Area();
+        for (const auto& h : demand.hotspots()) {
+          const double d = geo::Distance(q, h.center);
+          density += h.weight *
+                     std::exp(-d * d / (2.0 * h.sigma_m * h.sigma_m)) /
+                     (2.0 * M_PI * h.sigma_m * h.sigma_m);
+        }
+        return density;
+      });
+  stats::Rng victim_rng(7);
+  std::vector<geo::Point> victims;
+  for (int i = 0; i < 60; ++i) victims.push_back(demand.Sample(victim_rng));
+
+  sim::TablePrinter table(
+      StrCat("Cloaking (tasks PUBLIC) vs Geo-I SCGuard (eps=", p.epsilon,
+             ", r=", p.radius_m, ") — utility and informed-adversary attack"),
+      {"mechanism", "utility", "travel (m)", "false hits",
+       "adv. expected error (m)", "adv. mass within r"});
+
+  stats::Rng attack_rng(9);
+  {
+    assign::MatcherHandle handle = assign::MakeProbabilisticModel(MakeParams(p));
+    const auto agg = OrDie(runner.Run(handle, p, p));
+    const AdversaryScore score = ScoreLaplace(adversary, victims, p, attack_rng);
+    table.AddRow("Geo-I Probabilistic-Model",
+                 {agg.assigned_tasks, agg.travel_m, agg.false_hits,
+                  score.expected_error_m, score.mass_within_r},
+                 2);
+  }
+  for (double side_m : {1000.0, 2000.0, 4000.0, 8000.0}) {
+    const privacy::CloakingMechanism mechanism(side_m, side_m);
+    assign::MatcherHandle handle;
+    handle.matcher = std::make_unique<assign::CloakedMatcher>(
+        mechanism, sim::kDefaultAlpha, sim::kDefaultBeta);
+    const auto agg = OrDie(runner.Run(handle, p, p));
+    const AdversaryScore score =
+        ScoreCloak(adversary, victims, mechanism, p.radius_m, attack_rng);
+    table.AddRow(StrCat("Cloak ", side_m / 1000.0, "x", side_m / 1000.0, " km"),
+                 {agg.assigned_tasks, agg.travel_m, agg.false_hits,
+                  score.expected_error_m, score.mass_within_r},
+                 2);
+  }
+  table.Print(std::cout);
+  std::cout << "\nNote: the cloaked matcher additionally reveals every task\n"
+               "location to the server — a disclosure SCGuard never makes.\n";
+}
+
+}  // namespace
+}  // namespace scguard::bench
+
+int main() {
+  scguard::bench::Main();
+  return 0;
+}

@@ -1,0 +1,91 @@
+#ifndef SCGUARD_BENCH_BENCH_COMMON_H_
+#define SCGUARD_BENCH_BENCH_COMMON_H_
+
+// Shared setup for the figure-reproduction harnesses: every bench uses the
+// same synthetic T-Drive city, the paper's workload sizes, and 10 seeds, so
+// series are comparable across binaries.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "assign/algorithms.h"
+#include "common/str_format.h"
+#include "sim/defaults.h"
+#include "sim/experiment.h"
+#include "sim/table_printer.h"
+
+namespace scguard::bench {
+
+using scguard::FormatDouble;
+using scguard::StrCat;
+
+/// The paper's experimental setup (Sec. V-A): 500 workers, 500 tasks,
+/// R_w ~ U[1000, 3000] m, averaged over 10 seeds, on one synthetic T-Drive
+/// day of 9,019 taxis.
+inline sim::ExperimentConfig PaperConfig() {
+  sim::ExperimentConfig config;
+  config.synth.num_taxis = 9019;
+  config.synth.mean_trips_per_taxi = 12.0;
+  config.workload.num_workers = 500;
+  config.workload.num_tasks = 500;
+  config.num_seeds = 10;
+  config.base_seed = 42;
+  return config;
+}
+
+/// Smaller setup for the expensive ablations (exact-Laplace quadrature,
+/// pruning backends) so every bench binary stays runnable in seconds.
+inline sim::ExperimentConfig QuickConfig() {
+  sim::ExperimentConfig config = PaperConfig();
+  config.synth.num_taxis = 2000;
+  config.workload.num_workers = 250;
+  config.workload.num_tasks = 250;
+  config.num_seeds = 5;
+  return config;
+}
+
+inline assign::AlgorithmParams MakeParams(const privacy::PrivacyParams& p,
+                                          double alpha = sim::kDefaultAlpha,
+                                          double beta = sim::kDefaultBeta) {
+  assign::AlgorithmParams params;
+  params.worker_params = p;
+  params.task_params = p;
+  params.alpha = alpha;
+  params.beta = beta;
+  return params;
+}
+
+/// Builds (or reuses) an empirical model for the runner's region at the
+/// given privacy level; the expensive Monte-Carlo precomputation that
+/// Probabilistic-Data amortizes.
+inline std::shared_ptr<const reachability::EmpiricalModel> BuildEmpirical(
+    const sim::ExperimentRunner& runner, const privacy::PrivacyParams& p,
+    uint64_t samples = 200000) {
+  reachability::EmpiricalModelConfig config;
+  config.region = runner.region();
+  config.num_samples = samples;
+  stats::Rng rng(20177);
+  auto model = reachability::EmpiricalModel::Build(config, p, rng);
+  if (!model.ok()) {
+    std::cerr << "empirical build failed: " << model.status() << "\n";
+    std::exit(1);
+  }
+  return std::make_shared<const reachability::EmpiricalModel>(
+      std::move(*model));
+}
+
+/// Unwraps a Result or aborts with its status (bench binaries have no
+/// recovery path).
+template <typename T>
+T OrDie(Result<T> result) {
+  if (!result.ok()) {
+    std::cerr << "bench failed: " << result.status() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).ValueOrDie();
+}
+
+}  // namespace scguard::bench
+
+#endif  // SCGUARD_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,49 @@
+// Paper Sec. VII made quantitative: moving workers must choose between a
+// stale report (report-once), a composed privacy loss (naive refresh) and
+// a linearly noisier report (location-set split). One table per strategy,
+// one row per round.
+
+#include "bench/bench_common.h"
+#include "sim/dynamic.h"
+
+namespace scguard::bench {
+namespace {
+
+void Main() {
+  sim::DynamicConfig config;
+  config.rounds = 8;
+  config.num_workers = 250;
+  config.tasks_per_round = 80;
+
+  for (auto strategy : {sim::ReportingStrategy::kReportOnce,
+                        sim::ReportingStrategy::kNaiveRefresh,
+                        sim::ReportingStrategy::kLocationSetSplit}) {
+    sim::TablePrinter table(
+        StrCat("Dynamic workers, strategy=", sim::ReportingStrategyName(strategy),
+               " (joint eps=", config.joint.epsilon, ", r=", config.joint.radius_m,
+               ", ", config.rounds, " rounds)"),
+        {"round", "assigned (of 80)", "travel (m)", "false hits",
+         "report error (m)", "effective eps"});
+    for (const auto& round : sim::RunDynamicWorkers(config, strategy)) {
+      table.AddRow(StrCat(round.round),
+                   {round.assigned, round.travel_m, round.false_hits,
+                    round.report_error_m, round.effective_epsilon},
+                   2);
+    }
+    table.Print(std::cout);
+  }
+  std::cout
+      << "\nReading: report-once keeps eps fixed but its report error grows\n"
+         "with movement; naive-refresh keeps reports fresh but its effective\n"
+         "eps grows linearly (privacy silently eroding); location-set-split\n"
+         "honors the joint budget at the cost of rounds-times more noise —\n"
+         "the utility collapse the paper predicts for correlated releases.\n";
+}
+
+}  // namespace
+}  // namespace scguard::bench
+
+int main() {
+  scguard::bench::Main();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces paper Fig. 10 (a-e): Probabilistic-Model as the U2U threshold
+// alpha decreases from 0.4 to 0.05, at eps in {0.7, 1.0} (the paper's
+// setting for this figure). Smaller alpha grows the candidate set: more
+// utility and lower travel at the cost of overhead and U2E runtime.
+
+#include "bench/bench_common.h"
+
+namespace scguard::bench {
+namespace {
+
+std::vector<std::string> AlphaColumns() {
+  std::vector<std::string> cols = {"series"};
+  for (double a : sim::kAlphas) cols.push_back(StrCat("a=", a));
+  return cols;
+}
+
+void Main() {
+  const auto runner = OrDie(sim::ExperimentRunner::Create(PaperConfig()));
+
+  sim::TablePrinter countable("Fig 10a — Utility & overhead vs alpha (eps=0.7)",
+                              AlphaColumns());
+  sim::TablePrinter travel("Fig 10b — Travel cost (m) vs alpha", AlphaColumns());
+  sim::TablePrinter u2u("Fig 10c — U2U precision/recall vs alpha (eps=0.7)",
+                        AlphaColumns());
+  sim::TablePrinter u2e("Fig 10d — U2E false hit/dismissal vs alpha (eps=0.7)",
+                        AlphaColumns());
+  sim::TablePrinter runtime("Fig 10e — U2E runtime per run (ms) vs alpha",
+                            AlphaColumns());
+
+  for (double eps : {0.7, 1.0}) {
+    const privacy::PrivacyParams p{eps, sim::kDefaultRadius};
+    std::vector<double> util_row, over_row, travel_row, prec_row, rec_row,
+        hit_row, dis_row, runtime_row;
+    for (double alpha : sim::kAlphas) {
+      assign::MatcherHandle handle = assign::MakeProbabilisticModel(
+          MakeParams(p, alpha, sim::kDefaultBeta));
+      const auto agg = OrDie(runner.Run(handle, p, p));
+      util_row.push_back(agg.assigned_tasks);
+      over_row.push_back(agg.candidates);
+      travel_row.push_back(agg.travel_m);
+      prec_row.push_back(agg.precision);
+      rec_row.push_back(agg.recall);
+      hit_row.push_back(agg.false_hits);
+      dis_row.push_back(agg.false_dismissals);
+      runtime_row.push_back(agg.u2e_seconds * 1000.0);
+    }
+    if (eps == 0.7) {
+      countable.AddRow("utility (#tasks)", util_row, 1);
+      countable.AddRow("overhead (#workers)", over_row, 1);
+      u2u.AddRow("precision", prec_row, 2);
+      u2u.AddRow("recall", rec_row, 2);
+      u2e.AddRow("false hits", hit_row, 1);
+      u2e.AddRow("false dismissals", dis_row, 1);
+    }
+    travel.AddRow(StrCat("eps=", eps), travel_row, 0);
+    runtime.AddRow(StrCat("eps=", eps), runtime_row, 2);
+  }
+  countable.Print(std::cout);
+  travel.Print(std::cout);
+  u2u.Print(std::cout);
+  u2e.Print(std::cout);
+  runtime.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace scguard::bench
+
+int main() {
+  scguard::bench::Main();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces paper Fig. 11 (a-c): Probabilistic-Model as the U2E threshold
+// beta increases from 0.1 to 0.4, at eps in {0.7, 1.0}. Higher beta cuts
+// privacy leak (false hits) linearly, at the cost of false dismissals —
+// and hence utility — past a knee near beta = 0.25.
+
+#include "bench/bench_common.h"
+
+namespace scguard::bench {
+namespace {
+
+std::vector<std::string> BetaColumns() {
+  std::vector<std::string> cols = {"series"};
+  for (double b : sim::kBetas) cols.push_back(StrCat("b=", b));
+  return cols;
+}
+
+void Main() {
+  const auto runner = OrDie(sim::ExperimentRunner::Create(PaperConfig()));
+
+  sim::TablePrinter countable("Fig 11a — Utility & overhead vs beta (eps=0.7)",
+                              BetaColumns());
+  sim::TablePrinter u2e("Fig 11b — U2E false hit/dismissal vs beta (eps=0.7)",
+                        BetaColumns());
+  sim::TablePrinter travel("Fig 11c — Travel cost (m) vs beta", BetaColumns());
+
+  for (double eps : {0.7, 1.0}) {
+    const privacy::PrivacyParams p{eps, sim::kDefaultRadius};
+    std::vector<double> util_row, over_row, hit_row, dis_row, travel_row;
+    for (double beta : sim::kBetas) {
+      assign::MatcherHandle handle = assign::MakeProbabilisticModel(
+          MakeParams(p, sim::kDefaultAlpha, beta));
+      const auto agg = OrDie(runner.Run(handle, p, p));
+      util_row.push_back(agg.assigned_tasks);
+      over_row.push_back(agg.candidates);
+      hit_row.push_back(agg.false_hits);
+      dis_row.push_back(agg.false_dismissals);
+      travel_row.push_back(agg.travel_m);
+    }
+    if (eps == 0.7) {
+      countable.AddRow("utility (#tasks)", util_row, 1);
+      countable.AddRow("overhead (#workers)", over_row, 1);
+      u2e.AddRow("false hits", hit_row, 1);
+      u2e.AddRow("false dismissals", dis_row, 1);
+    }
+    travel.AddRow(StrCat("eps=", eps), travel_row, 0);
+  }
+  countable.Print(std::cout);
+  u2e.Print(std::cout);
+  travel.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace scguard::bench
+
+int main() {
+  scguard::bench::Main();
+  return 0;
+}

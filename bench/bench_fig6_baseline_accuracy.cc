@@ -1,0 +1,41 @@
+// Reproduces paper Fig. 6: precision/recall of the oblivious baseline's
+// U2U candidate selection by varying the privacy radius r, at eps = 0.7
+// with every worker's reach radius fixed to R_w = 1400 m (the figure's
+// caption setting).
+
+#include "bench/bench_common.h"
+
+namespace scguard::bench {
+namespace {
+
+void Main() {
+  sim::ExperimentConfig config = PaperConfig();
+  // Fig. 6 fixes R_w = 1400 m for all workers.
+  config.workload.reach_min_m = 1400.0;
+  config.workload.reach_max_m = 1400.0;
+  const auto runner = OrDie(sim::ExperimentRunner::Create(config));
+
+  sim::TablePrinter table(
+      "Fig 6 — Oblivious U2U accuracy, eps=0.7, Rw=1400 m",
+      {"metric", "r=200", "r=800", "r=1400", "r=2000"});
+  std::vector<double> precision_row, recall_row;
+  for (double r : sim::kRadii) {
+    const privacy::PrivacyParams p{sim::kDefaultEpsilon, r};
+    assign::MatcherHandle handle =
+        assign::MakeOblivious(assign::RankStrategy::kNearest, MakeParams(p));
+    const auto agg = OrDie(runner.Run(handle, p, p));
+    precision_row.push_back(agg.precision);
+    recall_row.push_back(agg.recall);
+  }
+  table.AddRow("precision", precision_row, 2);
+  table.AddRow("recall", recall_row, 2);
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace scguard::bench
+
+int main() {
+  scguard::bench::Main();
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Reproduces paper Fig. 8 (a-f): the radius-of-concern sweep at eps = 0.7.
+// Top row (a-c): Probabilistic-Model vs Probabilistic-Data — the paper's
+// first headline result (the analytical model performs as well as the
+// empirical one without precomputation). Bottom row (d-f): the ground-truth
+// and oblivious variants under random-rank vs nearest ranking.
+
+#include "bench/bench_common.h"
+
+namespace scguard::bench {
+namespace {
+
+void Main() {
+  const auto runner = OrDie(sim::ExperimentRunner::Create(PaperConfig()));
+  const double eps = sim::kDefaultEpsilon;
+
+  // ---- Fig 8a-c: analytical vs empirical reachability model ----
+  {
+    sim::TablePrinter utility("Fig 8a — Utility (#assigned of 500) vs r, eps=0.7",
+                              {"algorithm", "r=200", "r=800", "r=1400", "r=2000"});
+    sim::TablePrinter travel("Fig 8b — Travel cost (m) vs r, eps=0.7",
+                             {"algorithm", "r=200", "r=800", "r=1400", "r=2000"});
+    sim::TablePrinter leak("Fig 8c — #False hits vs r, eps=0.7",
+                           {"algorithm", "r=200", "r=800", "r=1400", "r=2000"});
+    for (const bool use_data : {false, true}) {
+      std::vector<double> u_row, t_row, l_row;
+      std::string name;
+      for (double r : sim::kRadii) {
+        const privacy::PrivacyParams p{eps, r};
+        assign::MatcherHandle handle =
+            use_data ? assign::MakeProbabilisticData(MakeParams(p),
+                                                     BuildEmpirical(runner, p))
+                     : assign::MakeProbabilisticModel(MakeParams(p));
+        name = handle.name();
+        const auto agg = OrDie(runner.Run(handle, p, p));
+        u_row.push_back(agg.assigned_tasks);
+        t_row.push_back(agg.travel_m);
+        l_row.push_back(agg.false_hits);
+      }
+      utility.AddRow(name, u_row, 1);
+      travel.AddRow(name, t_row, 0);
+      leak.AddRow(name, l_row, 1);
+    }
+    utility.Print(std::cout);
+    travel.Print(std::cout);
+    leak.Print(std::cout);
+  }
+
+  // ---- Fig 8d-f: RR vs NN ranking for ground truth and oblivious ----
+  {
+    sim::TablePrinter utility("Fig 8d — Utility (#assigned of 500) vs r, eps=0.7",
+                              {"algorithm", "r=200", "r=800", "r=1400", "r=2000"});
+    sim::TablePrinter travel("Fig 8e — Travel cost (m) vs r, eps=0.7",
+                             {"algorithm", "r=200", "r=800", "r=1400", "r=2000"});
+    sim::TablePrinter leak("Fig 8f — #False hits vs r, eps=0.7",
+                           {"algorithm", "r=200", "r=800", "r=1400", "r=2000"});
+    struct Algo {
+      std::string name;
+      std::function<assign::MatcherHandle(const privacy::PrivacyParams&)> make;
+    };
+    const std::vector<Algo> algos = {
+        {"GroundTruth-NN",
+         [](const privacy::PrivacyParams&) {
+           return assign::MakeGroundTruth(assign::RankStrategy::kNearest);
+         }},
+        {"GroundTruth-RR",
+         [](const privacy::PrivacyParams&) {
+           return assign::MakeGroundTruth(assign::RankStrategy::kRandom);
+         }},
+        {"Oblivious-RN",
+         [](const privacy::PrivacyParams& p) {
+           return assign::MakeOblivious(assign::RankStrategy::kNearest,
+                                        MakeParams(p));
+         }},
+        {"Oblivious-RR",
+         [](const privacy::PrivacyParams& p) {
+           return assign::MakeOblivious(assign::RankStrategy::kRandom,
+                                        MakeParams(p));
+         }},
+    };
+    for (const auto& algo : algos) {
+      std::vector<double> u_row, t_row, l_row;
+      for (double r : sim::kRadii) {
+        const privacy::PrivacyParams p{eps, r};
+        assign::MatcherHandle handle = algo.make(p);
+        const auto agg = OrDie(runner.Run(handle, p, p));
+        u_row.push_back(agg.assigned_tasks);
+        t_row.push_back(agg.travel_m);
+        l_row.push_back(agg.false_hits);
+      }
+      utility.AddRow(algo.name, u_row, 1);
+      travel.AddRow(algo.name, t_row, 0);
+      leak.AddRow(algo.name, l_row, 1);
+    }
+    utility.Print(std::cout);
+    travel.Print(std::cout);
+    leak.Print(std::cout);
+  }
+}
+
+}  // namespace
+}  // namespace scguard::bench
+
+int main() {
+  scguard::bench::Main();
+  return 0;
+}

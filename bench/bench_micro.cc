@@ -1,0 +1,158 @@
+// Microbenchmarks (google-benchmark): the primitive costs behind the
+// end-to-end numbers — noise sampling, reachability-probability evaluation
+// per model, index queries, and whole-workload assignment throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "assign/algorithms.h"
+#include "data/beijing.h"
+#include "data/workload.h"
+#include "index/kdtree.h"
+#include "index/pruning.h"
+#include "privacy/planar_laplace.h"
+#include "reachability/analytical_model.h"
+#include "reachability/empirical_model.h"
+#include "stats/lambert_w.h"
+#include "stats/rice.h"
+#include "stats/rng.h"
+
+namespace scguard {
+namespace {
+
+const privacy::PrivacyParams kParams{0.7, 800.0};
+
+void BM_LambertWm1(benchmark::State& state) {
+  double x = -0.2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(*stats::LambertWm1(x));
+    x = -0.05 - (x == -0.2 ? 0.0 : 0.15);  // Alternate inputs.
+  }
+}
+BENCHMARK(BM_LambertWm1);
+
+void BM_PlanarLaplaceSample(benchmark::State& state) {
+  const privacy::PlanarLaplace pl(kParams.unit_epsilon());
+  stats::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pl.Sample(rng));
+  }
+}
+BENCHMARK(BM_PlanarLaplaceSample);
+
+void BM_RiceCdf(benchmark::State& state) {
+  const stats::RiceDistribution rice(static_cast<double>(state.range(0)),
+                                     1616.0);
+  double x = 500.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rice.Cdf(x));
+    x = x < 4000.0 ? x + 250.0 : 500.0;
+  }
+}
+BENCHMARK(BM_RiceCdf)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_ProbReachable(benchmark::State& state) {
+  const auto mode = static_cast<reachability::AnalyticalMode>(state.range(0));
+  const reachability::AnalyticalModel model(kParams, mode);
+  double d = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.ProbReachable(reachability::Stage::kU2E, d, 1400.0));
+    d = d < 6000.0 ? d + 100.0 : 0.0;
+  }
+  state.SetLabel(std::string(AnalyticalModeName(mode)));
+}
+BENCHMARK(BM_ProbReachable)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_EmpiricalLookup(benchmark::State& state) {
+  reachability::EmpiricalModelConfig config;
+  config.region = data::BeijingRegion();
+  config.num_samples = 50000;
+  stats::Rng rng(2);
+  const auto model =
+      reachability::EmpiricalModel::Build(config, kParams, rng);
+  double d = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model->ProbReachable(reachability::Stage::kU2U, d, 1400.0));
+    d = d < 6000.0 ? d + 100.0 : 0.0;
+  }
+}
+BENCHMARK(BM_EmpiricalLookup);
+
+std::vector<index::UncertainRegionPruner::WorkerRegion> MakeRegions(int n) {
+  stats::Rng rng(3);
+  const geo::BoundingBox region = data::BeijingRegion();
+  std::vector<index::UncertainRegionPruner::WorkerRegion> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back({i,
+                   {rng.UniformDouble(region.min_x, region.max_x),
+                    rng.UniformDouble(region.min_y, region.max_y)},
+                   rng.UniformDouble(1000.0, 3000.0)});
+  }
+  return out;
+}
+
+void BM_PrunerCandidates(benchmark::State& state) {
+  const auto backend = static_cast<index::PrunerBackend>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const index::UncertainRegionPruner pruner(MakeRegions(n), kParams, kParams,
+                                            0.9, backend, data::BeijingRegion());
+  stats::Rng rng(4);
+  const geo::BoundingBox region = data::BeijingRegion();
+  for (auto _ : state) {
+    const geo::Point task{rng.UniformDouble(region.min_x, region.max_x),
+                          rng.UniformDouble(region.min_y, region.max_y)};
+    benchmark::DoNotOptimize(pruner.Candidates(task));
+  }
+  state.SetLabel(std::string(index::PrunerBackendName(backend)));
+}
+BENCHMARK(BM_PrunerCandidates)
+    ->Args({0, 5000})   // Linear scan.
+    ->Args({1, 5000})   // Grid.
+    ->Args({2, 5000});  // R-tree.
+
+void BM_KdTreeNearest(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  stats::Rng rng(7);
+  const geo::BoundingBox region = data::BeijingRegion();
+  std::vector<index::KdTree::Entry> entries;
+  entries.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    entries.push_back({{rng.UniformDouble(region.min_x, region.max_x),
+                        rng.UniformDouble(region.min_y, region.max_y)},
+                       i});
+  }
+  const index::KdTree tree(std::move(entries));
+  for (auto _ : state) {
+    const geo::Point q{rng.UniformDouble(region.min_x, region.max_x),
+                       rng.UniformDouble(region.min_y, region.max_y)};
+    benchmark::DoNotOptimize(tree.Nearest(q));
+  }
+}
+BENCHMARK(BM_KdTreeNearest)->Arg(500)->Arg(5000)->Arg(50000);
+
+void BM_EndToEndAssignment(benchmark::State& state) {
+  data::WorkloadConfig config;
+  config.num_workers = static_cast<int>(state.range(0));
+  config.num_tasks = static_cast<int>(state.range(0));
+  stats::Rng rng(5);
+  assign::Workload workload =
+      data::MakeUniformWorkload(data::BeijingRegion(), config, rng);
+  data::PerturbWorkload(kParams, kParams, rng, workload);
+  assign::AlgorithmParams params;
+  params.worker_params = kParams;
+  params.task_params = kParams;
+  assign::MatcherHandle handle = assign::MakeProbabilisticModel(params);
+  for (auto _ : state) {
+    stats::Rng run_rng(6);
+    benchmark::DoNotOptimize(handle.Run(workload, run_rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EndToEndAssignment)->Arg(100)->Arg(500)->Arg(1000);
+
+}  // namespace
+}  // namespace scguard
+
+BENCHMARK_MAIN();

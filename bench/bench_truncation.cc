@@ -1,0 +1,66 @@
+// Truncation ablation: whether and how reports are constrained to the
+// deployment region affects the noise actually seen by the server —
+// clamping (safe post-processing) pulls escaped mass to the border, while
+// rejection resampling (approximate guarantee) re-centers it. Measures the
+// end-to-end effect on assignment quality.
+
+#include "bench/bench_common.h"
+#include "data/beijing.h"
+#include "privacy/truncated.h"
+
+namespace scguard::bench {
+namespace {
+
+// Perturbs the workload through a TruncatedGeoInd instead of the plain
+// mechanism (which data::PerturbWorkload uses).
+void PerturbTruncated(const privacy::TruncatedGeoInd& mechanism,
+                      stats::Rng& rng, assign::Workload& workload) {
+  for (auto& w : workload.workers) {
+    w.noisy_location = mechanism.Perturb(w.location, rng);
+  }
+  for (auto& t : workload.tasks) {
+    t.noisy_location = mechanism.Perturb(t.location, rng);
+  }
+}
+
+void Main() {
+  const auto runner = OrDie(sim::ExperimentRunner::Create(PaperConfig()));
+  const privacy::PrivacyParams p{0.4, 800.0};  // Large noise: truncation matters.
+  const geo::BoundingBox region = data::BeijingRegion();
+
+  sim::TablePrinter table(
+      StrCat("Truncation modes at eps=", p.epsilon, ", r=", p.radius_m),
+      {"mode", "utility", "travel (m)", "false hits", "recall"});
+
+  for (auto mode : {privacy::TruncationMode::kNone,
+                    privacy::TruncationMode::kClamp,
+                    privacy::TruncationMode::kRejectionResample}) {
+    const privacy::TruncatedGeoInd mechanism(p, region, mode);
+    std::vector<assign::RunMetrics> runs;
+    assign::MatcherHandle handle = assign::MakeProbabilisticModel(MakeParams(p));
+    for (int seed = 0; seed < runner.config().num_seeds; ++seed) {
+      // Same true workload per seed; only the perturbation pipeline varies.
+      assign::Workload workload = OrDie(runner.MakeWorkload(seed, p, p));
+      stats::Rng noise_rng(9000 + static_cast<uint64_t>(seed));
+      PerturbTruncated(mechanism, noise_rng, workload);
+      stats::Rng match_rng(100 + static_cast<uint64_t>(seed));
+      runs.push_back(handle.Run(workload, match_rng).metrics);
+    }
+    const sim::AggregatedMetrics agg = sim::Aggregate(runs);
+    table.AddRow(std::string(privacy::TruncationModeName(mode)),
+                 {agg.assigned_tasks, agg.travel_m, agg.false_hits, agg.recall},
+                 2);
+  }
+  table.Print(std::cout);
+  std::cout << "\nClamping is a pure post-processing (guarantee preserved\n"
+               "exactly); rejection resampling trades a small guarantee\n"
+               "degradation near the border for report accuracy.\n";
+}
+
+}  // namespace
+}  // namespace scguard::bench
+
+int main() {
+  scguard::bench::Main();
+  return 0;
+}

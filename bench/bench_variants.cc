@@ -1,0 +1,72 @@
+// Quantifies the two U2E designs the paper rejects by argument alone
+// (Sec. III-A): the parallel broadcast (workers self-reveal their exact
+// locations to the requester) and the server-ranked variant (candidates'
+// responses hand the server correlated signals, forcing location-set
+// budgeting that degrades the ranking). Sequential SCGuard is the
+// reference.
+
+#include "bench/bench_common.h"
+#include "core/protocol.h"
+#include "core/variants.h"
+#include "reachability/analytical_model.h"
+
+namespace scguard::bench {
+namespace {
+
+void Main() {
+  const auto runner = OrDie(sim::ExperimentRunner::Create(QuickConfig()));
+
+  for (double eps : {0.4, 0.7, 1.0}) {
+    const privacy::PrivacyParams p{eps, sim::kDefaultRadius};
+    sim::TablePrinter table(
+        StrCat("U2E design variants at eps=", eps, ", r=", sim::kDefaultRadius),
+        {"variant", "utility", "task-loc disclosures", "worker-loc disclosures",
+         "server-learned responses"});
+
+    const reachability::AnalyticalModel model(p);
+    for (auto variant :
+         {core::U2eVariant::kSequential, core::U2eVariant::kParallelBroadcast,
+          core::U2eVariant::kServerRanked}) {
+      double utility = 0, task_disc = 0, worker_disc = 0, responses = 0;
+      const int seeds = runner.config().num_seeds;
+      for (int seed = 0; seed < seeds; ++seed) {
+        const assign::Workload workload = OrDie(runner.MakeWorkload(seed, p, p));
+        stats::Rng rng(1000 + static_cast<uint64_t>(seed));
+        core::TaskingServer server(&model, sim::kDefaultAlpha);
+        std::vector<core::WorkerDevice> devices;
+        for (const auto& w : workload.workers) {
+          devices.emplace_back(w.id, w.location, w.reach_radius_m, p);
+          server.RegisterWorker({w.id, w.noisy_location, w.reach_radius_m});
+        }
+        for (const auto& t : workload.tasks) {
+          core::RequesterDevice requester(t.id, t.location, p);
+          const core::TaskRequest request{t.id, t.noisy_location};
+          const auto candidates = server.FindCandidates(request);
+          const core::VariantOutcome outcome =
+              core::RunU2eVariant(variant, requester, request, candidates,
+                                  devices, model, sim::kDefaultBeta, rng);
+          if (outcome.assigned_worker.has_value()) {
+            utility += 1;
+            server.MarkAssigned(*outcome.assigned_worker);
+          }
+          task_disc += static_cast<double>(outcome.task_location_disclosures);
+          worker_disc += static_cast<double>(outcome.worker_location_disclosures);
+          responses += static_cast<double>(outcome.server_learned_responses);
+        }
+      }
+      const double n = static_cast<double>(seeds);
+      table.AddRow(std::string(core::U2eVariantName(variant)),
+                   {utility / n, task_disc / n, worker_disc / n, responses / n},
+                   1);
+    }
+    table.Print(std::cout);
+  }
+}
+
+}  // namespace
+}  // namespace scguard::bench
+
+int main() {
+  scguard::bench::Main();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// The fake-task probing attack of paper Sec. VII and its countermeasure:
+// a malicious requester floods the area around a victim with bogus tasks
+// and uses workers' accept/reject responses to triangulate them; the
+// reputation tracker flags the pattern and the platform throttles the
+// attacker before the triangulation converges.
+//
+// Build & run:  ./build/examples/attack_demo
+
+#include <iostream>
+
+#include "common/str_format.h"
+#include "core/protocol.h"
+#include "core/reputation.h"
+#include "geo/bbox.h"
+#include "geo/point.h"
+#include "reachability/analytical_model.h"
+#include "stats/rng.h"
+
+int main() {
+  using namespace scguard;
+
+  const privacy::PrivacyParams params{0.7, 800.0};
+  stats::Rng rng(11);
+
+  // A victim worker with a 1500 m region, registered with the server.
+  const geo::Point victim_location{5000.0, 5000.0};
+  core::WorkerDevice victim(0, victim_location, 1500.0, params);
+  const reachability::AnalyticalModel model(params);
+  core::TaskingServer server(&model, 0.1);
+  server.RegisterWorker(victim.Register(rng));
+
+  // --- The attack: probe a grid of fake task locations -----------------
+  // Each accepted probe reveals "victim within 1500 m of this point";
+  // intersecting the accepting disks shrinks the feasible region.
+  core::ReputationTracker reputation;
+  constexpr int64_t kAttacker = 666;
+  geo::BoundingBox feasible = geo::BoundingBox::FromCorners({0, 0}, {10000, 10000});
+  int probes = 0, accepted = 0, blocked_at = -1;
+
+  for (double y = 500; y < 10000; y += 950) {
+    for (double x = 500; x < 10000; x += 950) {
+      const geo::Point probe{x, y};
+      reputation.RecordTask(kAttacker, probe);
+      if (reputation.IsSuspicious(kAttacker)) {
+        blocked_at = probes;  // Platform cuts the attacker off here.
+        break;
+      }
+      ++probes;
+      // The attacker contacts the victim directly (it learned the worker
+      // id from an earlier legitimate exchange) and observes the E2E
+      // accept/reject signal.
+      const bool accepts = victim.HandleTaskOffer(probe);
+      reputation.RecordOutcome(kAttacker, /*completed=*/false);  // Never runs it.
+      if (accepts) {
+        ++accepted;
+        feasible = [&] {
+          geo::BoundingBox disk = geo::BoundingBox::FromCircle(probe, 1500.0);
+          geo::BoundingBox intersection;
+          intersection.min_x = std::max(feasible.min_x, disk.min_x);
+          intersection.min_y = std::max(feasible.min_y, disk.min_y);
+          intersection.max_x = std::min(feasible.max_x, disk.max_x);
+          intersection.max_y = std::min(feasible.max_y, disk.max_y);
+          return intersection;
+        }();
+      }
+    }
+    if (blocked_at >= 0) break;
+  }
+
+  std::cout << "attacker sent " << probes << " probes ("
+            << accepted << " accepted) before the reputation system ";
+  if (blocked_at >= 0) {
+    std::cout << "flagged it (score "
+              << FormatDouble(reputation.Score(kAttacker), 3) << ")\n";
+  } else {
+    std::cout << "never flagged it — countermeasure failed!\n";
+  }
+  std::cout << "feasible region for the victim after the blocked attack: "
+            << FormatDouble(feasible.Width(), 0) << " x "
+            << FormatDouble(feasible.Height(), 0) << " m (true location "
+            << (feasible.Contains(victim_location) ? "inside" : "outside")
+            << ")\n";
+
+  // --- A legitimate requester for contrast ------------------------------
+  core::ReputationTracker clean_tracker;
+  for (int i = 0; i < 40; ++i) {
+    clean_tracker.RecordTask(
+        1, {rng.UniformDouble(0, 10000), rng.UniformDouble(0, 10000)});
+    clean_tracker.RecordOutcome(1, /*completed=*/true);
+  }
+  std::cout << "\nlegitimate requester score after 40 real tasks: "
+            << FormatDouble(clean_tracker.Score(1), 3) << " (suspicious: "
+            << (clean_tracker.IsSuspicious(1) ? "yes" : "no") << ")\n";
+  return 0;
+}

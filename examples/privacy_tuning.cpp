@@ -1,0 +1,72 @@
+// Privacy tuning: what does a platform give up at each privacy level?
+// Sweeps the Geo-I (eps, r) grid over a realistic workload and prints the
+// privacy-utility frontier, so an operator can pick an operating point.
+//
+// Build & run:  ./build/examples/privacy_tuning
+
+#include <iostream>
+
+#include "common/str_format.h"
+#include "sim/defaults.h"
+#include "sim/experiment.h"
+#include "sim/table_printer.h"
+
+int main() {
+  using namespace scguard;
+
+  sim::ExperimentConfig config;
+  config.synth.num_taxis = 2000;
+  config.workload.num_workers = 300;
+  config.workload.num_tasks = 300;
+  config.num_seeds = 5;
+  auto runner = sim::ExperimentRunner::Create(config);
+  if (!runner.ok()) {
+    std::cerr << runner.status() << "\n";
+    return 1;
+  }
+
+  // Non-private reference.
+  assign::MatcherHandle truth =
+      assign::MakeGroundTruth(assign::RankStrategy::kNearest);
+  const auto truth_agg =
+      runner->Run(truth, sim::DefaultPrivacy(), sim::DefaultPrivacy());
+  if (!truth_agg.ok()) {
+    std::cerr << truth_agg.status() << "\n";
+    return 1;
+  }
+  std::cout << "non-private reference: " << truth_agg->assigned_tasks << "/"
+            << config.workload.num_tasks << " tasks, "
+            << FormatDouble(truth_agg->travel_m, 0) << " m mean travel\n";
+
+  sim::TablePrinter table(
+      "Privacy-utility frontier (Probabilistic-Model, alpha=0.1, beta=0.25)",
+      {"eps", "r (m)", "tasks assigned", "% of non-private", "travel (m)",
+       "false hits", "overhead"});
+  for (double eps : sim::kEpsilons) {
+    for (double r : {200.0, 800.0}) {
+      const privacy::PrivacyParams p{eps, r};
+      assign::AlgorithmParams params;
+      params.worker_params = p;
+      params.task_params = p;
+      assign::MatcherHandle handle = assign::MakeProbabilisticModel(params);
+      const auto agg = runner->Run(handle, p, p);
+      if (!agg.ok()) {
+        std::cerr << agg.status() << "\n";
+        return 1;
+      }
+      table.AddRow({FormatDouble(eps, 1), FormatDouble(r, 0),
+                    FormatDouble(agg->assigned_tasks, 1),
+                    FormatDouble(100.0 * agg->assigned_tasks /
+                                     truth_agg->assigned_tasks,
+                                 1),
+                    FormatDouble(agg->travel_m, 0),
+                    FormatDouble(agg->false_hits, 1),
+                    FormatDouble(agg->candidates, 1)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nReading: smaller eps / larger r = stronger privacy. The\n"
+               "frontier shows utility degrading gracefully until the noise\n"
+               "scale r/eps approaches the workers' reach radii.\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Ride hailing through the party-level protocol (paper Fig. 2): taxi
+// drivers register perturbed locations with an untrusted dispatch server;
+// each ride request is matched through the three stages U2U -> U2E -> E2E
+// with explicit messages, so you can see exactly which party learns what.
+//
+// Build & run:  ./build/examples/ride_hailing
+
+#include <iostream>
+
+#include "core/protocol.h"
+#include "data/beijing.h"
+#include "data/tdrive_synth.h"
+#include "data/workload.h"
+#include "reachability/analytical_model.h"
+
+int main() {
+  using namespace scguard;
+
+  const privacy::PrivacyParams params{0.7, 800.0};
+  stats::Rng rng(7);
+
+  // A synthetic Beijing evening: drivers idle at their last drop-offs.
+  data::TDriveSynthConfig synth_config;
+  synth_config.num_taxis = 400;
+  const geo::BoundingBox region = data::BeijingRegion();
+  auto synth = data::TDriveSynthesizer::Create(synth_config, region, rng);
+  if (!synth.ok()) {
+    std::cerr << synth.status() << "\n";
+    return 1;
+  }
+  const std::vector<data::Trip> trips = synth->GenerateTrips(rng);
+  data::WorkloadConfig workload_config;
+  workload_config.num_workers = 150;
+  workload_config.num_tasks = 60;
+  auto workload = data::BuildWorkloadFromTrips(trips, workload_config, rng);
+  if (!workload.ok()) {
+    std::cerr << workload.status() << "\n";
+    return 1;
+  }
+
+  // --- Registration: each driver's device perturbs its own location ----
+  const reachability::AnalyticalModel model(params);
+  core::TaskingServer server(&model, /*alpha=*/0.1);
+  std::vector<core::WorkerDevice> drivers;
+  drivers.reserve(workload->workers.size());
+  for (const auto& w : workload->workers) {
+    drivers.emplace_back(w.id, w.location, w.reach_radius_m, params);
+    server.RegisterWorker(drivers.back().Register(rng));
+  }
+  std::cout << "registered " << server.available_workers()
+            << " drivers (server only ever sees perturbed locations)\n\n";
+
+  // --- Online ride requests --------------------------------------------
+  core::ProtocolCoordinator coordinator(&server, &model, /*beta=*/0.25);
+  int assigned = 0;
+  for (const auto& task : workload->tasks) {
+    core::RequesterDevice rider(task.id, task.location, params);
+    const core::TaskRequest request = rider.Submit(rng);
+    const core::TaskOutcome outcome =
+        coordinator.AssignTask(rider, request, drivers);
+    if (outcome.assigned_worker.has_value()) {
+      ++assigned;
+      if (assigned <= 5) {
+        std::cout << "ride " << task.id << ": " << outcome.candidates
+                  << " candidates -> driver " << *outcome.assigned_worker
+                  << " accepted after " << outcome.disclosures
+                  << " disclosure(s)\n";
+      }
+    }
+  }
+
+  const core::ProtocolTrace& trace = coordinator.trace();
+  std::cout << "\n--- day summary ---\n"
+            << "rides assigned:            " << assigned << "/"
+            << workload->tasks.size() << "\n"
+            << "candidate lists sent:      " << trace.candidate_lists_sent << "\n"
+            << "pickup-location disclosures: " << trace.task_location_disclosures
+            << " (of which " << trace.rejections << " to rejecting drivers)\n"
+            << "drivers still available:   " << server.available_workers()
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,177 @@
+// Command-line driver: run any of the paper's algorithms over a synthetic
+// day or a trips CSV and print the metrics — the entry point for running
+// SCGuard on your own data.
+//
+// Usage:
+//   scguard_cli [--algo NAME] [--eps E] [--r METERS] [--alpha A] [--beta B]
+//               [--workers N] [--tasks N] [--seeds N] [--trips FILE.csv]
+//
+//   --algo: ground-truth-rr | ground-truth-nn | oblivious-rr | oblivious-rn
+//           | probabilistic-model | probabilistic-data   (default: model)
+//   --trips: 7-column CSV (see data/csv_loader.h); synthetic day if absent.
+//
+// Example:
+//   ./build/examples/scguard_cli --algo probabilistic-model --eps 0.4 --r 800
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/str_format.h"
+#include "core/scguard.h"
+#include "data/csv_loader.h"
+#include "sim/experiment.h"
+#include "sim/table_printer.h"
+
+namespace {
+
+using namespace scguard;
+
+struct CliOptions {
+  std::string algo = "probabilistic-model";
+  double eps = 0.7;
+  double r = 800.0;
+  double alpha = 0.1;
+  double beta = 0.25;
+  int workers = 500;
+  int tasks = 500;
+  int seeds = 10;
+  std::string trips_path;
+};
+
+Result<CliOptions> ParseArgs(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> Result<std::string> {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument(StrCat(flag, " needs a value"));
+      }
+      return std::string(argv[++i]);
+    };
+    if (flag == "--algo") {
+      SCGUARD_ASSIGN_OR_RETURN(options.algo, next());
+    } else if (flag == "--eps") {
+      SCGUARD_ASSIGN_OR_RETURN(const std::string v, next());
+      options.eps = std::stod(v);
+    } else if (flag == "--r") {
+      SCGUARD_ASSIGN_OR_RETURN(const std::string v, next());
+      options.r = std::stod(v);
+    } else if (flag == "--alpha") {
+      SCGUARD_ASSIGN_OR_RETURN(const std::string v, next());
+      options.alpha = std::stod(v);
+    } else if (flag == "--beta") {
+      SCGUARD_ASSIGN_OR_RETURN(const std::string v, next());
+      options.beta = std::stod(v);
+    } else if (flag == "--workers") {
+      SCGUARD_ASSIGN_OR_RETURN(const std::string v, next());
+      options.workers = std::stoi(v);
+    } else if (flag == "--tasks") {
+      SCGUARD_ASSIGN_OR_RETURN(const std::string v, next());
+      options.tasks = std::stoi(v);
+    } else if (flag == "--seeds") {
+      SCGUARD_ASSIGN_OR_RETURN(const std::string v, next());
+      options.seeds = std::stoi(v);
+    } else if (flag == "--trips") {
+      SCGUARD_ASSIGN_OR_RETURN(options.trips_path, next());
+    } else if (flag == "--help" || flag == "-h") {
+      return Status::InvalidArgument("help requested");
+    } else {
+      return Status::InvalidArgument(StrCat("unknown flag ", flag));
+    }
+  }
+  return options;
+}
+
+Result<core::AlgorithmKind> ParseAlgo(const std::string& name) {
+  if (name == "ground-truth-rr") return core::AlgorithmKind::kGroundTruthRR;
+  if (name == "ground-truth-nn") return core::AlgorithmKind::kGroundTruthNN;
+  if (name == "oblivious-rr") return core::AlgorithmKind::kObliviousRR;
+  if (name == "oblivious-rn") return core::AlgorithmKind::kObliviousRN;
+  if (name == "probabilistic-model") {
+    return core::AlgorithmKind::kProbabilisticModel;
+  }
+  if (name == "probabilistic-data") return core::AlgorithmKind::kProbabilisticData;
+  return Status::InvalidArgument(StrCat("unknown algorithm '", name, "'"));
+}
+
+Status RunCli(const CliOptions& options) {
+  SCGUARD_ASSIGN_OR_RETURN(const core::AlgorithmKind kind,
+                           ParseAlgo(options.algo));
+
+  core::ScGuardOptions guard_options;
+  guard_options.algorithm = kind;
+  guard_options.worker_params = {options.eps, options.r};
+  guard_options.task_params = {options.eps, options.r};
+  guard_options.alpha = options.alpha;
+  guard_options.beta = options.beta;
+  SCGUARD_ASSIGN_OR_RETURN(core::ScGuard guard,
+                           core::ScGuard::Create(guard_options));
+
+  // Workload source: CSV or the synthetic day.
+  sim::ExperimentConfig config;
+  config.workload.num_workers = options.workers;
+  config.workload.num_tasks = options.tasks;
+  config.num_seeds = options.seeds;
+
+  std::vector<assign::RunMetrics> runs;
+  if (!options.trips_path.empty()) {
+    SCGUARD_ASSIGN_OR_RETURN(const std::vector<data::Trip> trips,
+                             data::LoadTripsCsvFile(options.trips_path));
+    for (int seed = 0; seed < options.seeds; ++seed) {
+      stats::Rng rng(config.base_seed + static_cast<uint64_t>(seed));
+      SCGUARD_ASSIGN_OR_RETURN(
+          assign::Workload workload,
+          data::BuildWorkloadFromTrips(trips, config.workload, rng));
+      runs.push_back(guard.PerturbAndAssign(std::move(workload), rng).metrics);
+    }
+  } else {
+    SCGUARD_ASSIGN_OR_RETURN(const sim::ExperimentRunner runner,
+                             sim::ExperimentRunner::Create(config));
+    for (int seed = 0; seed < options.seeds; ++seed) {
+      SCGUARD_ASSIGN_OR_RETURN(const assign::Workload workload,
+                               runner.MakeWorkload(seed, guard_options.worker_params,
+                                                   guard_options.task_params));
+      stats::Rng rng(config.base_seed + static_cast<uint64_t>(seed));
+      runs.push_back(guard.Assign(workload, rng).metrics);
+    }
+  }
+
+  const sim::AggregatedMetrics agg = sim::Aggregate(runs);
+  sim::TablePrinter table(
+      StrCat(guard.algorithm_name(), " @ eps=", options.eps, ", r=", options.r,
+             " (", options.seeds, " seeds, ",
+             options.trips_path.empty() ? "synthetic day" : options.trips_path,
+             ")"),
+      {"metric", "value"});
+  table.AddRow({"tasks assigned", FormatDouble(agg.assigned_tasks, 1)});
+  table.AddRow({"of tasks", FormatDouble(options.tasks, 0)});
+  table.AddRow({"mean travel (m)", FormatDouble(agg.travel_m, 0)});
+  table.AddRow({"candidates per task", FormatDouble(agg.candidates, 1)});
+  table.AddRow({"false hits", FormatDouble(agg.false_hits, 1)});
+  table.AddRow({"false dismissals", FormatDouble(agg.false_dismissals, 1)});
+  table.AddRow({"U2U precision", FormatDouble(agg.precision, 3)});
+  table.AddRow({"U2U recall", FormatDouble(agg.recall, 3)});
+  table.AddRow({"disclosures per assigned", FormatDouble(agg.disclosures_per_task, 2)});
+  table.Print(std::cout);
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = ParseArgs(argc, argv);
+  if (!options.ok()) {
+    std::cerr << options.status().message() << "\n\n"
+              << "usage: scguard_cli [--algo NAME] [--eps E] [--r METERS]\n"
+              << "                   [--alpha A] [--beta B] [--workers N]\n"
+              << "                   [--tasks N] [--seeds N] [--trips FILE]\n";
+    return options.status().message() == "help requested" ? 0 : 2;
+  }
+  const scguard::Status status = RunCli(*options);
+  if (!status.ok()) {
+    std::cerr << status << "\n";
+    return 1;
+  }
+  return 0;
+}

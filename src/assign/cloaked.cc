@@ -1,0 +1,107 @@
+#include "assign/cloaked.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.h"
+#include "common/str_format.h"
+
+namespace scguard::assign {
+
+CloakedMatcher::CloakedMatcher(const privacy::CloakingMechanism& mechanism,
+                               double alpha, double beta)
+    : mechanism_(mechanism), alpha_(alpha), beta_(beta) {
+  SCGUARD_CHECK(alpha > 0.0 && alpha <= 1.0);
+  SCGUARD_CHECK(beta >= 0.0 && beta <= 1.0);
+}
+
+std::string CloakedMatcher::name() const {
+  return StrCat("Cloaked-", FormatDouble(mechanism_.width_m(), 0), "m");
+}
+
+MatchResult CloakedMatcher::Run(const Workload& workload, stats::Rng& rng) {
+  const auto start = std::chrono::steady_clock::now();
+  MatchResult result;
+  RunMetrics& m = result.metrics;
+  m.num_tasks = static_cast<int64_t>(workload.tasks.size());
+  m.num_workers = static_cast<int64_t>(workload.workers.size());
+
+  // Workers report cloaks once, up-front.
+  std::vector<geo::BoundingBox> cloaks;
+  cloaks.reserve(workload.workers.size());
+  for (const auto& w : workload.workers) {
+    cloaks.push_back(mechanism_.Cloak(w.location, rng));
+  }
+  std::vector<bool> matched(workload.workers.size(), false);
+
+  for (const Task& task : workload.tasks) {
+    // Candidate selection against the PUBLIC exact task location.
+    std::vector<std::pair<double, size_t>> ranked;
+    int64_t truly_reachable = 0, candidates_reachable = 0;
+    for (size_t i = 0; i < workload.workers.size(); ++i) {
+      if (matched[i]) continue;
+      const Worker& w = workload.workers[i];
+      if (w.CanReach(task.location)) ++truly_reachable;
+      const double p = privacy::CloakReachProbability(cloaks[i], task.location,
+                                                      w.reach_radius_m);
+      if (p < alpha_) continue;
+      ranked.emplace_back(p, i);
+      if (w.CanReach(task.location)) ++candidates_reachable;
+    }
+    m.candidates_sum += static_cast<int64_t>(ranked.size());
+    m.server_to_requester_msgs += 1;
+    if (!ranked.empty()) {
+      m.precision_sum += static_cast<double>(candidates_reachable) /
+                         static_cast<double>(ranked.size());
+      m.precision_count += 1;
+    }
+    if (truly_reachable > 0) {
+      m.recall_sum += static_cast<double>(candidates_reachable) /
+                      static_cast<double>(truly_reachable);
+      m.recall_count += 1;
+    }
+    if (ranked.empty()) continue;
+
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    bool assigned = false;
+    size_t next = 0;
+    bool cancelled = false;
+    while (next < ranked.size()) {
+      const auto [score, i] = ranked[next++];
+      if (beta_ > 0.0 && score < beta_) {
+        cancelled = true;
+        break;
+      }
+      m.requester_to_worker_msgs += 1;
+      const Worker& w = workload.workers[i];
+      if (w.CanReach(task.location)) {
+        matched[i] = true;
+        const double travel = geo::Distance(w.location, task.location);
+        result.assignments.push_back({task.id, w.id, travel});
+        m.assigned_tasks += 1;
+        m.accepted_assignments += 1;
+        m.travel_sum_m += travel;
+        assigned = true;
+        break;
+      }
+      m.false_hits += 1;
+    }
+    if (!assigned) {
+      const size_t first_uncontacted = cancelled ? next - 1 : next;
+      for (size_t k = first_uncontacted; k < ranked.size(); ++k) {
+        if (workload.workers[ranked[k].second].CanReach(task.location)) {
+          m.false_dismissals += 1;
+        }
+      }
+    }
+  }
+  m.total_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace scguard::assign

@@ -1,0 +1,37 @@
+#ifndef SCGUARD_ASSIGN_CLOAKED_H_
+#define SCGUARD_ASSIGN_CLOAKED_H_
+
+#include "assign/matcher.h"
+#include "privacy/cloaking.h"
+
+namespace scguard::assign {
+
+/// Online assignment under the related work's threat model (Pournajaf et
+/// al.): workers report *cloaking rectangles*, task locations are PUBLIC.
+///
+/// The server (which here sees exact task locations — a disclosure SCGuard
+/// refuses) keeps candidates whose cloak-reach probability meets `alpha`,
+/// ranks by that probability, and contacts best-first; the worker's E2E
+/// check is exact as usual. Comparing this matcher against SCGuard
+/// separates the cost of hiding the tasks from the cost of the mechanism.
+class CloakedMatcher final : public OnlineMatcher {
+ public:
+  /// Cloak geometry from `mechanism`; `alpha`/`beta` as in Algorithm 2.
+  CloakedMatcher(const privacy::CloakingMechanism& mechanism, double alpha,
+                 double beta);
+
+  /// Cloaks are drawn per run from `rng` (they are the workers' reports),
+  /// so the workload's noisy locations are ignored.
+  MatchResult Run(const Workload& workload, stats::Rng& rng) override;
+
+  std::string name() const override;
+
+ private:
+  privacy::CloakingMechanism mechanism_;
+  double alpha_;
+  double beta_;
+};
+
+}  // namespace scguard::assign
+
+#endif  // SCGUARD_ASSIGN_CLOAKED_H_

@@ -1,0 +1,53 @@
+#ifndef SCGUARD_ASSIGN_ENTITIES_H_
+#define SCGUARD_ASSIGN_ENTITIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/point.h"
+
+namespace scguard::assign {
+
+/// A spatial-crowdsourcing worker (paper Sec. III-A): a true location, the
+/// reachable distance R_w they are willing to travel, and the perturbed
+/// location they report to the server.
+///
+/// `location` is private to the worker's device; only `noisy_location` and
+/// `reach_radius_m` ever reach the server. The assignment engines keep the
+/// true location here solely to adjudicate the E2E stage (which the real
+/// worker performs locally) and to score metrics.
+struct Worker {
+  int64_t id = 0;
+  geo::Point location;        ///< True location (device-side only).
+  geo::Point noisy_location;  ///< Geo-I perturbed location (public).
+  double reach_radius_m = 0;  ///< Reachable distance R_w, meters.
+
+  /// True iff the task location is within this worker's spatial region —
+  /// the E2E stage check d(w, t) <= R_w.
+  bool CanReach(geo::Point task_location) const {
+    return geo::Distance(location, task_location) <= reach_radius_m;
+  }
+};
+
+/// A spatial task (paper Sec. III-A): must be performed at its location.
+/// Tasks arrive online, one at a time, in `arrival_seq` order.
+struct Task {
+  int64_t id = 0;
+  geo::Point location;        ///< True location (requester-side only).
+  geo::Point noisy_location;  ///< Geo-I perturbed location (public).
+  int64_t arrival_seq = 0;    ///< Position in the online arrival order.
+};
+
+/// A complete online-assignment instance: workers known up-front, tasks in
+/// arrival order, and the deployment region (used by index pruning and the
+/// empirical model).
+struct Workload {
+  std::vector<Worker> workers;
+  std::vector<Task> tasks;  ///< Sorted by arrival_seq.
+  geo::BoundingBox region;
+};
+
+}  // namespace scguard::assign
+
+#endif  // SCGUARD_ASSIGN_ENTITIES_H_

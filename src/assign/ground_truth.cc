@@ -1,0 +1,79 @@
+#include "assign/ground_truth.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "common/check.h"
+#include "common/str_format.h"
+
+namespace scguard::assign {
+
+GroundTruthMatcher::GroundTruthMatcher(RankStrategy strategy)
+    : strategy_(strategy) {
+  SCGUARD_CHECK(strategy == RankStrategy::kRandom ||
+                strategy == RankStrategy::kNearest);
+}
+
+std::string GroundTruthMatcher::name() const {
+  return StrCat("GroundTruth-", RankStrategyName(strategy_));
+}
+
+MatchResult GroundTruthMatcher::Run(const Workload& workload, stats::Rng& rng) {
+  const auto t0 = std::chrono::steady_clock::now();
+  MatchResult result;
+  RunMetrics& m = result.metrics;
+  m.num_tasks = static_cast<int64_t>(workload.tasks.size());
+  m.num_workers = static_cast<int64_t>(workload.workers.size());
+
+  // Ranking associates a random priority with every worker up front.
+  std::vector<double> random_rank(workload.workers.size());
+  for (auto& r : random_rank) r = rng.UniformDouble();
+
+  std::vector<bool> matched(workload.workers.size(), false);
+
+  for (const Task& task : workload.tasks) {
+    // With exact locations the candidate set is exactly the reachable
+    // available workers.
+    size_t best_index = workload.workers.size();  // Sentinel: none.
+    double best_score = -std::numeric_limits<double>::infinity();
+    int64_t reachable = 0;
+    for (size_t i = 0; i < workload.workers.size(); ++i) {
+      if (matched[i]) continue;
+      const Worker& w = workload.workers[i];
+      if (!w.CanReach(task.location)) continue;
+      ++reachable;
+      const double score = strategy_ == RankStrategy::kRandom
+                               ? random_rank[i]
+                               : -geo::Distance(w.location, task.location);
+      if (score > best_score) {
+        best_score = score;
+        best_index = i;
+      }
+    }
+    m.candidates_sum += reachable;
+    m.server_to_requester_msgs += 1;
+    // Exact candidate sets: precision and recall are 1 whenever defined.
+    if (reachable > 0) {
+      m.precision_sum += 1.0;
+      m.precision_count += 1;
+      m.recall_sum += 1.0;
+      m.recall_count += 1;
+    }
+    if (best_index == workload.workers.size()) continue;  // Unassigned.
+    matched[best_index] = true;
+    const Worker& best = workload.workers[best_index];
+    const double travel = geo::Distance(best.location, task.location);
+    result.assignments.push_back({task.id, best.id, travel});
+    m.assigned_tasks += 1;
+    m.accepted_assignments += 1;
+    m.travel_sum_m += travel;
+    m.requester_to_worker_msgs += 1;  // The one (successful) contact.
+  }
+
+  m.total_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return result;
+}
+
+}  // namespace scguard::assign

@@ -1,0 +1,28 @@
+#ifndef SCGUARD_ASSIGN_GROUND_TRUTH_H_
+#define SCGUARD_ASSIGN_GROUND_TRUTH_H_
+
+#include "assign/matcher.h"
+
+namespace scguard::assign {
+
+/// The non-private baseline with full access to exact locations: the
+/// Ranking algorithm of Karp, Vazirani & Vazirani (GroundTruth-RR) or its
+/// nearest-neighbor variant (GroundTruth-NN). Upper-bounds what any private
+/// algorithm can achieve; every produced match is valid by construction.
+class GroundTruthMatcher final : public OnlineMatcher {
+ public:
+  /// `strategy` must be kRandom or kNearest (probability ranking is
+  /// meaningless with exact locations).
+  explicit GroundTruthMatcher(RankStrategy strategy);
+
+  MatchResult Run(const Workload& workload, stats::Rng& rng) override;
+
+  std::string name() const override;
+
+ private:
+  RankStrategy strategy_;
+};
+
+}  // namespace scguard::assign
+
+#endif  // SCGUARD_ASSIGN_GROUND_TRUTH_H_

@@ -1,0 +1,64 @@
+#ifndef SCGUARD_ASSIGN_MATCHER_H_
+#define SCGUARD_ASSIGN_MATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "assign/entities.h"
+#include "assign/metrics.h"
+#include "stats/rng.h"
+
+namespace scguard::assign {
+
+/// One accepted worker-task pair.
+struct Assignment {
+  int64_t task_id = 0;
+  int64_t worker_id = 0;
+  double travel_m = 0.0;  ///< True distance the worker travels.
+};
+
+/// Result of matching a full workload.
+struct MatchResult {
+  std::vector<Assignment> assignments;
+  RunMetrics metrics;
+};
+
+/// How the requester (or the ground-truth server) orders candidate workers
+/// in the U2E stage.
+enum class RankStrategy {
+  kRandom,       ///< Precomputed random rank per worker (Ranking [Karp90]).
+  kNearest,      ///< 1 / observed distance (nearest-neighbor strategy).
+  kProbability,  ///< Reachability probability (Alg. 2 Line 12).
+};
+
+constexpr std::string_view RankStrategyName(RankStrategy s) {
+  switch (s) {
+    case RankStrategy::kRandom:
+      return "RR";
+    case RankStrategy::kNearest:
+      return "NN";
+    case RankStrategy::kProbability:
+      return "prob";
+  }
+  return "?";
+}
+
+/// Interface of an online task-assignment algorithm: the workload's tasks
+/// are processed in arrival order, each matched (or not) before the next
+/// arrives.
+class OnlineMatcher {
+ public:
+  virtual ~OnlineMatcher() = default;
+
+  /// Runs the full online assignment. The workload must already carry
+  /// noisy locations if the matcher is privacy-aware (see
+  /// data::PerturbWorkload). `rng` drives random ranks.
+  virtual MatchResult Run(const Workload& workload, stats::Rng& rng) = 0;
+
+  /// Display name used in experiment tables ("Oblivious-RN", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace scguard::assign
+
+#endif  // SCGUARD_ASSIGN_MATCHER_H_

@@ -1,0 +1,34 @@
+#include "assign/metrics.h"
+
+namespace scguard::assign {
+
+void RunMetrics::Accumulate(const RunMetrics& other) {
+  num_tasks += other.num_tasks;
+  num_workers += other.num_workers;
+  assigned_tasks += other.assigned_tasks;
+  accepted_assignments += other.accepted_assignments;
+  travel_sum_m += other.travel_sum_m;
+  candidates_sum += other.candidates_sum;
+  precision_sum += other.precision_sum;
+  precision_count += other.precision_count;
+  recall_sum += other.recall_sum;
+  recall_count += other.recall_count;
+  false_hits += other.false_hits;
+  false_dismissals += other.false_dismissals;
+  server_to_requester_msgs += other.server_to_requester_msgs;
+  requester_to_worker_msgs += other.requester_to_worker_msgs;
+  u2e_seconds += other.u2e_seconds;
+  total_seconds += other.total_seconds;
+}
+
+std::ostream& operator<<(std::ostream& os, const RunMetrics& m) {
+  return os << "assigned=" << m.assigned_tasks << "/" << m.num_tasks
+            << " travel=" << m.MeanTravelM() << "m"
+            << " candidates=" << m.MeanCandidates()
+            << " false_hits=" << m.false_hits
+            << " false_dismissals=" << m.false_dismissals
+            << " precision=" << m.MeanPrecision()
+            << " recall=" << m.MeanRecall();
+}
+
+}  // namespace scguard::assign

@@ -1,0 +1,87 @@
+#ifndef SCGUARD_ASSIGN_METRICS_H_
+#define SCGUARD_ASSIGN_METRICS_H_
+
+#include <cstdint>
+#include <ostream>
+
+namespace scguard::assign {
+
+/// End-to-end and per-stage performance metrics of one assignment run
+/// (paper Sec. III-C).
+struct RunMetrics {
+  int64_t num_tasks = 0;
+  int64_t num_workers = 0;
+
+  /// (1) Utility: tasks that ended with a valid assignment (all K required
+  /// workers accepted; K = 1 unless redundant assignment is enabled).
+  int64_t assigned_tasks = 0;
+  /// Total accepted worker-task pairs (equals assigned_tasks when K = 1).
+  int64_t accepted_assignments = 0;
+
+  /// (2) Travel cost: sum of *true* worker-task distances over accepted
+  /// pairs, meters.
+  double travel_sum_m = 0.0;
+
+  /// (3) System overhead: total size of the candidate sets the server
+  /// forwarded to requesters.
+  int64_t candidates_sum = 0;
+
+  /// (4) U2U accuracy: per-task precision/recall of the candidate set
+  /// against the actually-reachable available workers, summed over the
+  /// tasks where the respective denominator was non-zero.
+  double precision_sum = 0.0;
+  int64_t precision_count = 0;
+  double recall_sum = 0.0;
+  int64_t recall_count = 0;
+
+  /// (5a) Privacy leak: times a task location was revealed to a candidate
+  /// worker who then rejected the task (false hits).
+  int64_t false_hits = 0;
+  /// (5b) Reachable candidates never contacted for a task that ended
+  /// unassigned (false dismissals; non-zero only with a beta threshold,
+  /// since exhaustive ranking contacts every candidate).
+  int64_t false_dismissals = 0;
+
+  /// Protocol message accounting.
+  int64_t server_to_requester_msgs = 0;  ///< Candidate sets sent.
+  int64_t requester_to_worker_msgs = 0;  ///< Task-location disclosures.
+
+  /// Wall-clock spent in the requester-side U2E ranking (paper Fig. 10e).
+  double u2e_seconds = 0.0;
+  /// Wall-clock of the whole run.
+  double total_seconds = 0.0;
+
+  double MeanTravelM() const {
+    return accepted_assignments > 0
+               ? travel_sum_m / static_cast<double>(accepted_assignments)
+               : 0.0;
+  }
+  double MeanCandidates() const {
+    return num_tasks > 0
+               ? static_cast<double>(candidates_sum) / static_cast<double>(num_tasks)
+               : 0.0;
+  }
+  double MeanPrecision() const {
+    return precision_count > 0 ? precision_sum / static_cast<double>(precision_count)
+                               : 0.0;
+  }
+  double MeanRecall() const {
+    return recall_count > 0 ? recall_sum / static_cast<double>(recall_count) : 0.0;
+  }
+  /// Mean task-location disclosures needed per assigned task
+  /// (the "sends task to ~4.75 workers on average" figure of Sec. V-B2c).
+  double DisclosuresPerAssignedTask() const {
+    return assigned_tasks > 0 ? static_cast<double>(requester_to_worker_msgs) /
+                                    static_cast<double>(assigned_tasks)
+                              : 0.0;
+  }
+
+  /// Element-wise accumulation (used by the multi-seed aggregator).
+  void Accumulate(const RunMetrics& other);
+};
+
+std::ostream& operator<<(std::ostream& os, const RunMetrics& m);
+
+}  // namespace scguard::assign
+
+#endif  // SCGUARD_ASSIGN_METRICS_H_

@@ -1,0 +1,255 @@
+#include "assign/offline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+
+namespace scguard::assign {
+namespace {
+
+constexpr int kNil = -1;
+
+}  // namespace
+
+std::vector<int> MaxCardinalityMatching(
+    const std::vector<std::vector<int>>& adjacency, int num_workers) {
+  const int num_tasks = static_cast<int>(adjacency.size());
+  std::vector<int> match_task(static_cast<size_t>(num_tasks), kNil);
+  std::vector<int> match_worker(static_cast<size_t>(num_workers), kNil);
+  std::vector<int> dist(static_cast<size_t>(num_tasks), 0);
+  constexpr int kInf = std::numeric_limits<int>::max();
+
+  // BFS builds the layered graph from free tasks; returns true if an
+  // augmenting path exists.
+  auto bfs = [&]() {
+    std::queue<int> queue;
+    for (int t = 0; t < num_tasks; ++t) {
+      if (match_task[static_cast<size_t>(t)] == kNil) {
+        dist[static_cast<size_t>(t)] = 0;
+        queue.push(t);
+      } else {
+        dist[static_cast<size_t>(t)] = kInf;
+      }
+    }
+    bool found = false;
+    while (!queue.empty()) {
+      const int t = queue.front();
+      queue.pop();
+      for (int w : adjacency[static_cast<size_t>(t)]) {
+        const int next = match_worker[static_cast<size_t>(w)];
+        if (next == kNil) {
+          found = true;
+        } else if (dist[static_cast<size_t>(next)] == kInf) {
+          dist[static_cast<size_t>(next)] = dist[static_cast<size_t>(t)] + 1;
+          queue.push(next);
+        }
+      }
+    }
+    return found;
+  };
+
+  // DFS along the layered graph.
+  std::function<bool(int)> dfs = [&](int t) {
+    for (int w : adjacency[static_cast<size_t>(t)]) {
+      const int next = match_worker[static_cast<size_t>(w)];
+      if (next == kNil ||
+          (dist[static_cast<size_t>(next)] == dist[static_cast<size_t>(t)] + 1 &&
+           dfs(next))) {
+        match_task[static_cast<size_t>(t)] = w;
+        match_worker[static_cast<size_t>(w)] = t;
+        return true;
+      }
+    }
+    dist[static_cast<size_t>(t)] = std::numeric_limits<int>::max();
+    return false;
+  };
+
+  while (bfs()) {
+    for (int t = 0; t < num_tasks; ++t) {
+      if (match_task[static_cast<size_t>(t)] == kNil) dfs(t);
+    }
+  }
+  return match_task;
+}
+
+namespace {
+
+// Hungarian with potentials (e-maxx formulation, 1-indexed) over a
+// rectangular matrix with rows <= cols, entries already finite. O(rows^2 *
+// cols). Returns col index per row.
+std::vector<int> HungarianRect(
+    const std::function<double(int, int)>& entry, int rows, int cols) {
+  SCGUARD_CHECK(rows <= cols);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(static_cast<size_t>(rows) + 1, 0.0);
+  std::vector<double> v(static_cast<size_t>(cols) + 1, 0.0);
+  std::vector<int> p(static_cast<size_t>(cols) + 1, 0);  // Col -> row.
+  std::vector<int> way(static_cast<size_t>(cols) + 1, 0);
+  for (int i = 1; i <= rows; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(static_cast<size_t>(cols) + 1, kInf);
+    std::vector<bool> used(static_cast<size_t>(cols) + 1, false);
+    do {
+      used[static_cast<size_t>(j0)] = true;
+      const int i0 = p[static_cast<size_t>(j0)];
+      double delta = kInf;
+      int j1 = 0;
+      for (int j = 1; j <= cols; ++j) {
+        if (used[static_cast<size_t>(j)]) continue;
+        const double cur = entry(i0 - 1, j - 1) - u[static_cast<size_t>(i0)] -
+                           v[static_cast<size_t>(j)];
+        if (cur < minv[static_cast<size_t>(j)]) {
+          minv[static_cast<size_t>(j)] = cur;
+          way[static_cast<size_t>(j)] = j0;
+        }
+        if (minv[static_cast<size_t>(j)] < delta) {
+          delta = minv[static_cast<size_t>(j)];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= cols; ++j) {
+        if (used[static_cast<size_t>(j)]) {
+          u[static_cast<size_t>(p[static_cast<size_t>(j)])] += delta;
+          v[static_cast<size_t>(j)] -= delta;
+        } else {
+          minv[static_cast<size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[static_cast<size_t>(j0)] != 0);
+    do {
+      const int j1 = way[static_cast<size_t>(j0)];
+      p[static_cast<size_t>(j0)] = p[static_cast<size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+  std::vector<int> row_match(static_cast<size_t>(rows), kNil);
+  for (int j = 1; j <= cols; ++j) {
+    const int i = p[static_cast<size_t>(j)];
+    if (i > 0) row_match[static_cast<size_t>(i - 1)] = j - 1;
+  }
+  return row_match;
+}
+
+}  // namespace
+
+std::vector<int> MinCostMaxMatching(const std::vector<std::vector<double>>& cost) {
+  const int num_tasks = static_cast<int>(cost.size());
+  if (num_tasks == 0) return {};
+  const int num_workers = static_cast<int>(cost[0].size());
+  for (const auto& row : cost) {
+    SCGUARD_CHECK(static_cast<int>(row.size()) == num_workers);
+  }
+  if (num_workers == 0) {
+    return std::vector<int>(static_cast<size_t>(num_tasks), kNil);
+  }
+
+  // Infeasible pairs are offset to a "cardinality bonus" B above every
+  // feasible cost, so the min-cost complete matching of the smaller side
+  // maximizes the number of feasible pairs first.
+  const int n = std::max(num_tasks, num_workers);
+  double max_feasible = 0.0;
+  for (const auto& row : cost) {
+    for (double c : row) {
+      if (c < kInfeasible) max_feasible = std::max(max_feasible, c);
+    }
+  }
+  const double bonus = (max_feasible + 1.0) * (n + 1);
+  auto task_worker = [&](int t, int w) -> double {
+    const double c = cost[static_cast<size_t>(t)][static_cast<size_t>(w)];
+    return c >= kInfeasible ? bonus : c;
+  };
+
+  // Run the rectangular Hungarian with the smaller side as rows: matching
+  // every row is then always possible and no padding is needed.
+  std::vector<int> match_task(static_cast<size_t>(num_tasks), kNil);
+  if (num_tasks <= num_workers) {
+    const std::vector<int> rows =
+        HungarianRect(task_worker, num_tasks, num_workers);
+    for (int t = 0; t < num_tasks; ++t) {
+      const int w = rows[static_cast<size_t>(t)];
+      if (w >= 0 &&
+          cost[static_cast<size_t>(t)][static_cast<size_t>(w)] < kInfeasible) {
+        match_task[static_cast<size_t>(t)] = w;
+      }
+    }
+  } else {
+    const std::vector<int> cols = HungarianRect(
+        [&task_worker](int w, int t) { return task_worker(t, w); }, num_workers,
+        num_tasks);
+    for (int w = 0; w < num_workers; ++w) {
+      const int t = cols[static_cast<size_t>(w)];
+      if (t >= 0 &&
+          cost[static_cast<size_t>(t)][static_cast<size_t>(w)] < kInfeasible) {
+        match_task[static_cast<size_t>(t)] = w;
+      }
+    }
+  }
+  return match_task;
+}
+
+OfflineOptimalMatcher::OfflineOptimalMatcher(OfflineObjective objective)
+    : objective_(objective) {}
+
+std::string OfflineOptimalMatcher::name() const {
+  return objective_ == OfflineObjective::kMaxTasks ? "Offline-MaxTasks"
+                                                   : "Offline-MinCost";
+}
+
+MatchResult OfflineOptimalMatcher::Run(const Workload& workload,
+                                       stats::Rng& /*rng*/) {
+  const auto start = std::chrono::steady_clock::now();
+  MatchResult result;
+  RunMetrics& m = result.metrics;
+  m.num_tasks = static_cast<int64_t>(workload.tasks.size());
+  m.num_workers = static_cast<int64_t>(workload.workers.size());
+
+  std::vector<int> match;
+  if (objective_ == OfflineObjective::kMaxTasks) {
+    std::vector<std::vector<int>> adjacency(workload.tasks.size());
+    for (size_t t = 0; t < workload.tasks.size(); ++t) {
+      for (size_t w = 0; w < workload.workers.size(); ++w) {
+        if (workload.workers[w].CanReach(workload.tasks[t].location)) {
+          adjacency[t].push_back(static_cast<int>(w));
+        }
+      }
+    }
+    match = MaxCardinalityMatching(adjacency,
+                                   static_cast<int>(workload.workers.size()));
+  } else {
+    std::vector<std::vector<double>> cost(
+        workload.tasks.size(),
+        std::vector<double>(workload.workers.size(), kInfeasible));
+    for (size_t t = 0; t < workload.tasks.size(); ++t) {
+      for (size_t w = 0; w < workload.workers.size(); ++w) {
+        if (workload.workers[w].CanReach(workload.tasks[t].location)) {
+          cost[t][w] =
+              geo::Distance(workload.workers[w].location, workload.tasks[t].location);
+        }
+      }
+    }
+    match = MinCostMaxMatching(cost);
+  }
+
+  for (size_t t = 0; t < match.size(); ++t) {
+    if (match[t] == kNil) continue;
+    const Worker& worker = workload.workers[static_cast<size_t>(match[t])];
+    const Task& task = workload.tasks[t];
+    const double travel = geo::Distance(worker.location, task.location);
+    result.assignments.push_back({task.id, worker.id, travel});
+    m.assigned_tasks += 1;
+    m.accepted_assignments += 1;
+    m.travel_sum_m += travel;
+  }
+  m.total_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace scguard::assign

@@ -1,0 +1,55 @@
+#ifndef SCGUARD_ASSIGN_OFFLINE_H_
+#define SCGUARD_ASSIGN_OFFLINE_H_
+
+#include <vector>
+
+#include "assign/matcher.h"
+
+namespace scguard::assign {
+
+/// Maximum-cardinality bipartite matching (Hopcroft-Karp, O(E sqrt(V))).
+///
+/// `adjacency[t]` lists the worker indices reachable from task t. Returns
+/// for each task the matched worker index or -1. This is the *offline*
+/// optimum that online algorithms are measured against: Ranking is
+/// (1 - 1/e)-competitive with it in expectation [Karp-Vazirani-Vazirani].
+std::vector<int> MaxCardinalityMatching(
+    const std::vector<std::vector<int>>& adjacency, int num_workers);
+
+/// Minimum-cost assignment (Hungarian algorithm / Jonker-Volgenant style
+/// shortest augmenting paths, O(n^3)).
+///
+/// `cost[t][w]` is the cost of assigning task t to worker w; entries of
+/// `kInfeasible` (or anything >= it) mark unreachable pairs. Maximizes
+/// cardinality first, then minimizes total cost among maximum matchings
+/// (implemented by offsetting feasible costs below a cardinality bonus).
+/// Returns per-task worker index or -1.
+inline constexpr double kInfeasible = 1e18;
+std::vector<int> MinCostMaxMatching(const std::vector<std::vector<double>>& cost);
+
+/// How the offline matcher scores worker-task pairs.
+enum class OfflineObjective {
+  kMaxTasks,        ///< Maximum number of assigned tasks (Hopcroft-Karp).
+  kMinTravelCost,   ///< Max tasks, then minimum total travel (Hungarian).
+};
+
+/// The clairvoyant offline baseline: sees the entire task sequence and all
+/// exact locations up-front and computes the optimal assignment. Not
+/// achievable by any online algorithm; used by benches to report
+/// competitive ratios.
+class OfflineOptimalMatcher final : public OnlineMatcher {
+ public:
+  explicit OfflineOptimalMatcher(
+      OfflineObjective objective = OfflineObjective::kMaxTasks);
+
+  MatchResult Run(const Workload& workload, stats::Rng& rng) override;
+
+  std::string name() const override;
+
+ private:
+  OfflineObjective objective_;
+};
+
+}  // namespace scguard::assign
+
+#endif  // SCGUARD_ASSIGN_OFFLINE_H_

@@ -1,0 +1,206 @@
+#include "assign/scguard_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/str_format.h"
+
+namespace scguard::assign {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Elapsed(Clock::time_point since) {
+  return std::chrono::duration<double>(Clock::now() - since).count();
+}
+
+}  // namespace
+
+ScGuardEngine::ScGuardEngine(EnginePolicy policy) : policy_(std::move(policy)) {
+  SCGUARD_CHECK(policy_.u2u_model != nullptr);
+  if (policy_.rank == RankStrategy::kProbability) {
+    SCGUARD_CHECK(policy_.u2e_model != nullptr);
+  }
+  SCGUARD_CHECK(policy_.alpha > 0.0 && policy_.alpha <= 1.0);
+  SCGUARD_CHECK(policy_.beta >= 0.0 && policy_.beta <= 1.0);
+  SCGUARD_CHECK(policy_.redundancy_k >= 1);
+}
+
+std::string ScGuardEngine::name() const {
+  if (!policy_.name.empty()) return policy_.name;
+  return StrCat("SCGuard[", policy_.u2u_model->name(), ",",
+                RankStrategyName(policy_.rank), "]");
+}
+
+MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
+  const auto run_start = Clock::now();
+  MatchResult result;
+  RunMetrics& m = result.metrics;
+  m.num_tasks = static_cast<int64_t>(workload.tasks.size());
+  m.num_workers = static_cast<int64_t>(workload.workers.size());
+
+  const size_t n = workload.workers.size();
+
+  // Ranking's random priorities, fixed once per run (Alg. 1 Line 12).
+  std::vector<double> random_rank(n);
+  for (auto& r : random_rank) r = rng.UniformDouble();
+
+  std::vector<bool> matched(n, false);
+
+  // Optional U2U pruning index over the workers' uncertainty rectangles.
+  std::unique_ptr<index::UncertainRegionPruner> pruner;
+  if (policy_.pruning_gamma.has_value()) {
+    std::vector<index::UncertainRegionPruner::WorkerRegion> regions;
+    regions.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const Worker& w = workload.workers[i];
+      regions.push_back({static_cast<int64_t>(i), w.noisy_location,
+                         w.reach_radius_m});
+    }
+    pruner = std::make_unique<index::UncertainRegionPruner>(
+        std::move(regions), policy_.worker_params, policy_.task_params,
+        *policy_.pruning_gamma, policy_.pruning_backend, workload.region);
+  }
+
+  // Reused scratch between tasks.
+  std::vector<size_t> scan_order(n);
+  for (size_t i = 0; i < n; ++i) scan_order[i] = i;
+
+  for (const Task& task : workload.tasks) {
+    // ---- Stage 1: U2U (server) -------------------------------------
+    // Server sees only noisy locations and the workers' reach radii.
+    std::vector<size_t> candidates;
+    auto consider = [&](size_t i) {
+      if (matched[i]) return;
+      const Worker& w = workload.workers[i];
+      const double d_obs =
+          geo::Distance(w.noisy_location, task.noisy_location);
+      const double p = policy_.u2u_model->ProbReachable(
+          reachability::Stage::kU2U, d_obs, w.reach_radius_m);
+      if (p >= policy_.alpha) candidates.push_back(i);
+    };
+    if (pruner != nullptr) {
+      for (int64_t id : pruner->Candidates(task.noisy_location)) {
+        consider(static_cast<size_t>(id));
+      }
+      std::sort(candidates.begin(), candidates.end());  // Determinism.
+    } else {
+      for (size_t i : scan_order) consider(i);
+    }
+    m.candidates_sum += static_cast<int64_t>(candidates.size());
+    m.server_to_requester_msgs += 1;
+
+    // U2U accuracy metrics, scored against ground truth (observer-only:
+    // no protocol party computes this).
+    {
+      int64_t truly_reachable_available = 0;
+      int64_t candidates_reachable = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (!matched[i] && workload.workers[i].CanReach(task.location)) {
+          ++truly_reachable_available;
+        }
+      }
+      for (size_t i : candidates) {
+        if (workload.workers[i].CanReach(task.location)) ++candidates_reachable;
+      }
+      if (!candidates.empty()) {
+        m.precision_sum += static_cast<double>(candidates_reachable) /
+                           static_cast<double>(candidates.size());
+        m.precision_count += 1;
+      }
+      if (truly_reachable_available > 0) {
+        m.recall_sum += static_cast<double>(candidates_reachable) /
+                        static_cast<double>(truly_reachable_available);
+        m.recall_count += 1;
+      }
+    }
+
+    if (candidates.empty()) continue;  // Task remains unassigned.
+
+    // ---- Stage 2: U2E (requester) ----------------------------------
+    // Requester knows the exact task location and the candidates' noisy
+    // locations; ranks and contacts them best-first.
+    const auto u2e_start = Clock::now();
+    std::vector<std::pair<double, size_t>> ranked;
+    ranked.reserve(candidates.size());
+    for (size_t i : candidates) {
+      const Worker& w = workload.workers[i];
+      double score = 0.0;
+      switch (policy_.rank) {
+        case RankStrategy::kRandom:
+          score = random_rank[i];
+          break;
+        case RankStrategy::kNearest:
+          score = -geo::Distance(w.noisy_location, task.location);
+          break;
+        case RankStrategy::kProbability:
+          score = policy_.u2e_model->ProbReachable(
+              reachability::Stage::kU2E,
+              geo::Distance(w.noisy_location, task.location),
+              w.reach_radius_m);
+          break;
+      }
+      ranked.emplace_back(score, i);
+    }
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;  // Stable tie-break for determinism.
+    });
+    m.u2e_seconds += Elapsed(u2e_start);
+
+    // ---- Stage 3: E2E (workers), interleaved with U2E re-ranking ----
+    int accepted = 0;
+    size_t next = 0;
+    bool cancelled = false;
+    while (accepted < policy_.redundancy_k && next < ranked.size()) {
+      const auto [score, i] = ranked[next++];
+      // Beta thresholding (Alg. 2 Line 13): the requester cancels rather
+      // than disclose to an unlikely-reachable worker. Under
+      // kFirstContactOnly the threshold only guards the first disclosure.
+      const bool beta_applies =
+          policy_.rank == RankStrategy::kProbability && policy_.beta > 0.0 &&
+          (policy_.beta_mode == BetaMode::kEveryContact || next == 1);
+      if (beta_applies && score < policy_.beta) {
+        cancelled = true;
+        break;
+      }
+      // Requester sends the exact task location to the worker: this is
+      // the protocol's only disclosure point.
+      m.requester_to_worker_msgs += 1;
+      const Worker& w = workload.workers[i];
+      if (w.CanReach(task.location)) {
+        matched[i] = true;
+        ++accepted;
+        const double travel = geo::Distance(w.location, task.location);
+        result.assignments.push_back({task.id, w.id, travel});
+        m.accepted_assignments += 1;
+        m.travel_sum_m += travel;
+      } else {
+        // The worker learned the task location yet rejects: a false hit.
+        m.false_hits += 1;
+      }
+    }
+    if (accepted >= policy_.redundancy_k) {
+      m.assigned_tasks += 1;
+    } else {
+      // Task ends unassigned (cancelled or exhausted): reachable
+      // candidates that were never contacted are false dismissals. On a
+      // beta cancel, the candidate that tripped the threshold was not
+      // contacted either.
+      const size_t first_uncontacted = cancelled ? next - 1 : next;
+      for (size_t k = first_uncontacted; k < ranked.size(); ++k) {
+        if (workload.workers[ranked[k].second].CanReach(task.location)) {
+          m.false_dismissals += 1;
+        }
+      }
+    }
+  }
+
+  m.total_seconds = Elapsed(run_start);
+  return result;
+}
+
+}  // namespace scguard::assign

@@ -1,0 +1,33 @@
+#ifndef SCGUARD_COMMON_CHECK_H_
+#define SCGUARD_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+
+namespace scguard::internal_check {
+
+[[noreturn]] inline void CheckFail(const char* file, int line, const char* expr) {
+  std::cerr << file << ":" << line << ": SCGUARD_CHECK failed: " << expr << std::endl;
+  std::abort();
+}
+
+}  // namespace scguard::internal_check
+
+/// Aborts the process when `cond` is false. For programmer errors
+/// (precondition violations that indicate a bug, not recoverable input
+/// errors — those return Status instead). Enabled in all build types.
+#define SCGUARD_CHECK(cond)                                               \
+  do {                                                                    \
+    if (!(cond)) ::scguard::internal_check::CheckFail(__FILE__, __LINE__, #cond); \
+  } while (false)
+
+/// Like SCGUARD_CHECK but compiled out of release builds (NDEBUG).
+#ifdef NDEBUG
+#define SCGUARD_DCHECK(cond) \
+  do {                       \
+  } while (false)
+#else
+#define SCGUARD_DCHECK(cond) SCGUARD_CHECK(cond)
+#endif
+
+#endif  // SCGUARD_COMMON_CHECK_H_

@@ -1,0 +1,90 @@
+#ifndef SCGUARD_COMMON_RESULT_H_
+#define SCGUARD_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <type_traits>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace scguard {
+
+/// Either a value of type T or a non-OK Status (Arrow's arrow::Result idiom).
+///
+/// Accessing the value of an erroneous Result aborts the process with the
+/// status printed; callers must check `ok()` (or use SCGUARD_ASSIGN_OR_RETURN)
+/// before dereferencing.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit so `return value;` works).
+  Result(T value) : rep_(std::in_place_index<0>, std::move(value)) {}
+
+  /// Constructs from a non-OK status (implicit so `return status;` works).
+  /// Aborts if the status is OK: an OK Result must carry a value.
+  Result(Status status) : rep_(std::in_place_index<1>, std::move(status)) {
+    if (std::get<1>(rep_).ok()) Fail("Result constructed from OK Status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return rep_.index() == 0; }
+
+  /// OK when a value is held, the stored error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<1>(rep_);
+  }
+
+  const T& ValueOrDie() const& {
+    if (!ok()) Fail(std::get<1>(rep_).ToString());
+    return std::get<0>(rep_);
+  }
+  T& ValueOrDie() & {
+    if (!ok()) Fail(std::get<1>(rep_).ToString());
+    return std::get<0>(rep_);
+  }
+  T&& ValueOrDie() && {
+    if (!ok()) Fail(std::get<1>(rep_).ToString());
+    return std::get<0>(std::move(rep_));
+  }
+
+  /// Returns the value, or `fallback` when this Result holds an error.
+  T ValueOr(T fallback) const& {
+    return ok() ? std::get<0>(rep_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  [[noreturn]] static void Fail(std::string_view what) {
+    std::cerr << "Result<T> accessed in error state: " << what << std::endl;
+    std::abort();
+  }
+
+  std::variant<T, Status> rep_;
+};
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns the Status
+/// from the enclosing function, otherwise assigns the value to `lhs`.
+#define SCGUARD_ASSIGN_OR_RETURN(lhs, rexpr)                    \
+  SCGUARD_ASSIGN_OR_RETURN_IMPL_(                               \
+      SCGUARD_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define SCGUARD_CONCAT_INNER_(a, b) a##b
+#define SCGUARD_CONCAT_(a, b) SCGUARD_CONCAT_INNER_(a, b)
+#define SCGUARD_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr)         \
+  auto tmp = (rexpr);                                           \
+  if (!tmp.ok()) return tmp.status();                           \
+  lhs = std::move(tmp).ValueOrDie()
+
+}  // namespace scguard
+
+#endif  // SCGUARD_COMMON_RESULT_H_

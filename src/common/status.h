@@ -1,0 +1,127 @@
+#ifndef SCGUARD_COMMON_STATUS_H_
+#define SCGUARD_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace scguard {
+
+/// Machine-readable category of a Status.
+///
+/// The set mirrors the categories used by database engines (Arrow/RocksDB):
+/// it is deliberately small so call sites can switch exhaustively.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kIOError = 6,
+  kNotImplemented = 7,
+  kInternal = 8,
+};
+
+/// Returns the canonical lower-case name of a code ("ok", "invalid-argument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation that can fail without carrying a value.
+///
+/// SCGuard does not use exceptions (per the project style); every fallible
+/// operation returns a Status or a Result<T>. The OK state stores no heap
+/// data, so returning OK is as cheap as returning an int.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(const Status& other) : rep_(other.rep_ ? new Rep(*other.rep_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) rep_.reset(other.rep_ ? new Rep(*other.rep_) : nullptr);
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Constructs a status with the given non-OK code and message.
+  Status(StatusCode code, std::string message)
+      : rep_(code == StatusCode::kOk ? nullptr : new Rep{code, std::move(message)}) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  /// Message of a non-OK status; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsFailedPrecondition() const { return code() == StatusCode::kFailedPrecondition; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  /// Prepends context to the message of a non-OK status; OK is unchanged.
+  Status WithContext(std::string_view context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // Null for OK so the common path allocates nothing.
+  std::unique_ptr<Rep> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define SCGUARD_RETURN_NOT_OK(expr)                   \
+  do {                                                \
+    ::scguard::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                        \
+  } while (false)
+
+}  // namespace scguard
+
+#endif  // SCGUARD_COMMON_STATUS_H_

@@ -1,0 +1,34 @@
+#ifndef SCGUARD_COMMON_STR_FORMAT_H_
+#define SCGUARD_COMMON_STR_FORMAT_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scguard {
+
+/// Concatenates the streamable arguments into one string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (void)(os << ... << args);
+  return os.str();
+}
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string StrJoin(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view text);
+
+/// Formats a double with `digits` significant fraction digits, no trailing
+/// zeros beyond that ("12.50" with digits=2).
+std::string FormatDouble(double value, int digits);
+
+}  // namespace scguard
+
+#endif  // SCGUARD_COMMON_STR_FORMAT_H_

@@ -1,0 +1,162 @@
+#include "core/protocol.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "privacy/geo_ind.h"
+
+namespace scguard::core {
+
+// ---------------------------------------------------------------- Worker
+
+WorkerDevice::WorkerDevice(int64_t id, geo::Point true_location,
+                           double reach_radius_m,
+                           const privacy::PrivacyParams& params)
+    : id_(id),
+      true_location_(true_location),
+      reach_radius_m_(reach_radius_m),
+      params_(params) {
+  SCGUARD_CHECK(reach_radius_m > 0.0);
+  SCGUARD_CHECK(params.Validate().ok());
+}
+
+WorkerRegistration WorkerDevice::Register(stats::Rng& rng) {
+  const privacy::GeoIndMechanism mechanism(params_);
+  return {id_, mechanism.Perturb(true_location_, rng), reach_radius_m_};
+}
+
+bool WorkerDevice::HandleTaskOffer(geo::Point exact_task_location) const {
+  return geo::Distance(true_location_, exact_task_location) <= reach_radius_m_;
+}
+
+// ------------------------------------------------------------- Requester
+
+RequesterDevice::RequesterDevice(int64_t task_id, geo::Point true_task_location,
+                                 const privacy::PrivacyParams& params)
+    : task_id_(task_id),
+      true_task_location_(true_task_location),
+      params_(params) {
+  SCGUARD_CHECK(params.Validate().ok());
+}
+
+TaskRequest RequesterDevice::Submit(stats::Rng& rng) {
+  const privacy::GeoIndMechanism mechanism(params_);
+  return {task_id_, mechanism.Perturb(true_task_location_, rng)};
+}
+
+std::vector<CandidateWorker> RequesterDevice::RankCandidates(
+    const std::vector<CandidateWorker>& candidates,
+    const reachability::ReachabilityModel& model, double beta) const {
+  std::vector<std::pair<double, const CandidateWorker*>> scored;
+  scored.reserve(candidates.size());
+  for (const auto& c : candidates) {
+    const double score = model.ProbReachable(
+        reachability::Stage::kU2E,
+        geo::Distance(c.noisy_location, true_task_location_), c.reach_radius_m);
+    if (score < beta) continue;  // Below the disclosure threshold.
+    scored.emplace_back(score, &c);
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second->worker_id < b.second->worker_id;
+  });
+  std::vector<CandidateWorker> plan;
+  plan.reserve(scored.size());
+  for (const auto& [score, c] : scored) plan.push_back(*c);
+  return plan;
+}
+
+// ---------------------------------------------------------------- Server
+
+TaskingServer::TaskingServer(const reachability::ReachabilityModel* model,
+                             double alpha)
+    : model_(model), alpha_(alpha) {
+  SCGUARD_CHECK(model != nullptr);
+  SCGUARD_CHECK(alpha > 0.0 && alpha <= 1.0);
+}
+
+void TaskingServer::RegisterWorker(const WorkerRegistration& registration) {
+  workers_.push_back(registration);
+  assigned_.push_back(false);
+}
+
+std::vector<CandidateWorker> TaskingServer::FindCandidates(
+    const TaskRequest& request) const {
+  std::vector<CandidateWorker> candidates;
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    if (assigned_[i]) continue;
+    const auto& w = workers_[i];
+    const double p = model_->ProbReachable(
+        reachability::Stage::kU2U,
+        geo::Distance(w.noisy_location, request.noisy_location),
+        w.reach_radius_m);
+    if (p >= alpha_) {
+      candidates.push_back({w.worker_id, w.noisy_location, w.reach_radius_m});
+    }
+  }
+  return candidates;
+}
+
+void TaskingServer::MarkAssigned(int64_t worker_id) {
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    if (workers_[i].worker_id == worker_id) {
+      assigned_[i] = true;
+      return;
+    }
+  }
+  SCGUARD_CHECK(false && "unknown worker id");
+}
+
+size_t TaskingServer::available_workers() const {
+  size_t n = 0;
+  for (bool a : assigned_) n += a ? 0 : 1;
+  return n;
+}
+
+// ----------------------------------------------------------- Coordinator
+
+ProtocolCoordinator::ProtocolCoordinator(
+    TaskingServer* server, const reachability::ReachabilityModel* u2e_model,
+    double beta)
+    : server_(server), u2e_model_(u2e_model), beta_(beta) {
+  SCGUARD_CHECK(server != nullptr && u2e_model != nullptr);
+  SCGUARD_CHECK(beta >= 0.0 && beta <= 1.0);
+}
+
+TaskOutcome ProtocolCoordinator::AssignTask(
+    const RequesterDevice& requester, const TaskRequest& request,
+    const std::vector<WorkerDevice>& workers) {
+  TaskOutcome outcome;
+  outcome.task_id = requester.task_id();
+  trace_.task_requests += 1;
+
+  // U2U on the server over perturbed data only.
+  const std::vector<CandidateWorker> candidates =
+      server_->FindCandidates(request);
+  trace_.candidate_lists_sent += 1;
+  outcome.candidates = static_cast<int64_t>(candidates.size());
+  if (candidates.empty()) return outcome;
+
+  // U2E on the requester's device (exact task location never leaves it
+  // until the targeted disclosure below).
+  const std::vector<CandidateWorker> plan =
+      requester.RankCandidates(candidates, *u2e_model_, beta_);
+
+  // E2E: disclose the task location to one worker at a time.
+  for (const CandidateWorker& c : plan) {
+    SCGUARD_CHECK(c.worker_id >= 0 &&
+                  static_cast<size_t>(c.worker_id) < workers.size());
+    const WorkerDevice& device = workers[static_cast<size_t>(c.worker_id)];
+    trace_.task_location_disclosures += 1;
+    outcome.disclosures += 1;
+    if (device.HandleTaskOffer(requester.exact_task_location())) {
+      server_->MarkAssigned(c.worker_id);
+      outcome.assigned_worker = c.worker_id;
+      return outcome;
+    }
+    trace_.rejections += 1;
+  }
+  return outcome;
+}
+
+}  // namespace scguard::core

@@ -1,0 +1,85 @@
+#include "core/reputation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scguard::core {
+
+ReputationTracker::ReputationTracker(const Config& config) : config_(config) {}
+
+void ReputationTracker::RecordTask(int64_t requester_id, geo::Point task_location) {
+  RequesterState& state = requesters_[requester_id];
+  state.task_locations.push_back(task_location);
+  state.tasks_this_window += 1;
+}
+
+void ReputationTracker::RecordOutcome(int64_t requester_id, bool completed) {
+  RequesterState& state = requesters_[requester_id];
+  state.finished += 1;
+  if (completed) state.completed += 1;
+}
+
+void ReputationTracker::AdvanceWindow() {
+  for (auto& [id, state] : requesters_) state.tasks_this_window = 0;
+}
+
+const ReputationTracker::RequesterState* ReputationTracker::Find(
+    int64_t requester_id) const {
+  const auto it = requesters_.find(requester_id);
+  return it == requesters_.end() ? nullptr : &it->second;
+}
+
+double ReputationTracker::Score(int64_t requester_id) const {
+  const RequesterState* state = Find(requester_id);
+  if (state == nullptr) return 1.0;  // Unknown requesters start clean.
+  if (static_cast<int>(state->task_locations.size()) < config_.min_observations) {
+    return 1.0;  // Not enough history to judge.
+  }
+
+  double score = 1.0;
+
+  // Completion signal: ratio of completed to finished tasks.
+  if (state->finished >= config_.min_observations) {
+    const double ratio = static_cast<double>(state->completed) /
+                         static_cast<double>(state->finished);
+    if (ratio < config_.min_completion_ratio) {
+      score *= ratio / config_.min_completion_ratio;
+    }
+  }
+
+  // Concentration signal: mean pairwise distance of posted tasks (sampled
+  // against the centroid for O(n)).
+  {
+    geo::Point centroid{0, 0};
+    for (geo::Point p : state->task_locations) centroid = centroid + p;
+    centroid = centroid * (1.0 / static_cast<double>(state->task_locations.size()));
+    double mean_spread = 0.0;
+    for (geo::Point p : state->task_locations) {
+      mean_spread += geo::Distance(p, centroid);
+    }
+    mean_spread /= static_cast<double>(state->task_locations.size());
+    if (mean_spread < config_.min_task_spread_m) {
+      score *= std::max(0.0, mean_spread / config_.min_task_spread_m);
+    }
+  }
+
+  // Volume signal.
+  if (state->tasks_this_window > config_.max_tasks_per_window) {
+    score *= static_cast<double>(config_.max_tasks_per_window) /
+             static_cast<double>(state->tasks_this_window);
+  }
+
+  return std::clamp(score, 0.0, 1.0);
+}
+
+bool ReputationTracker::IsSuspicious(int64_t requester_id) const {
+  return Score(requester_id) < 0.5;
+}
+
+int64_t ReputationTracker::tasks_recorded(int64_t requester_id) const {
+  const RequesterState* state = Find(requester_id);
+  return state == nullptr ? 0
+                          : static_cast<int64_t>(state->task_locations.size());
+}
+
+}  // namespace scguard::core

@@ -1,0 +1,81 @@
+#ifndef SCGUARD_CORE_REPUTATION_H_
+#define SCGUARD_CORE_REPUTATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace scguard::core {
+
+/// Requester reputation tracking against the fake-task probing attack of
+/// paper Sec. VII: a malicious requester posts many tasks it never intends
+/// to run, using workers' accept/reject responses to triangulate their
+/// locations. The protocol cannot prevent this cryptographically under the
+/// semi-honest model, but the countermeasure the paper sketches — a
+/// reputation system that flags abusive patterns — can rate-limit it.
+///
+/// Signals tracked per requester:
+///  * completion ratio — probes are cancelled/never completed;
+///  * probe concentration — probes cluster around a victim's area, so the
+///    pairwise spread of a requester's task locations collapses;
+///  * volume — probing needs many tasks in little time.
+class ReputationTracker {
+ public:
+  struct Config {
+    /// Tasks below this completion ratio are suspicious once enough
+    /// history exists.
+    double min_completion_ratio = 0.3;
+    /// A requester whose mean pairwise task distance falls below this (in
+    /// meters) while posting many tasks is probing one spot.
+    double min_task_spread_m = 500.0;
+    /// History size before any flagging applies.
+    int min_observations = 10;
+    /// Tasks allowed per accounting window before the volume signal trips.
+    int max_tasks_per_window = 50;
+  };
+
+  ReputationTracker() : ReputationTracker(Config()) {}
+  explicit ReputationTracker(const Config& config);
+
+  /// Records a posted task for `requester_id` at (exact) location
+  /// `task_location` — in deployment this runs requester-side or on an
+  /// audit authority, not on the untrusted server.
+  void RecordTask(int64_t requester_id, geo::Point task_location);
+
+  /// Records the final outcome of a requester's task.
+  void RecordOutcome(int64_t requester_id, bool completed);
+
+  /// Advances to the next accounting window (volume counters reset).
+  void AdvanceWindow();
+
+  /// Reputation score in [0, 1]; 1 = no suspicious signal. The score is
+  /// the product of the per-signal factors, so any strong signal drags it
+  /// down.
+  double Score(int64_t requester_id) const;
+
+  /// True when the score falls below 0.5 — the platform should require
+  /// payment/deposit or throttle this requester (the paper's suggested
+  /// mitigations).
+  bool IsSuspicious(int64_t requester_id) const;
+
+  int64_t tasks_recorded(int64_t requester_id) const;
+
+ private:
+  struct RequesterState {
+    std::vector<geo::Point> task_locations;
+    int64_t completed = 0;
+    int64_t finished = 0;  // Completed + failed/cancelled.
+    int64_t tasks_this_window = 0;
+  };
+
+  const RequesterState* Find(int64_t requester_id) const;
+
+  Config config_;
+  std::unordered_map<int64_t, RequesterState> requesters_;
+};
+
+}  // namespace scguard::core
+
+#endif  // SCGUARD_CORE_REPUTATION_H_

@@ -1,0 +1,96 @@
+#include "core/scguard.h"
+
+#include <utility>
+
+#include "data/beijing.h"
+
+namespace scguard::core {
+
+std::string_view AlgorithmKindName(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kGroundTruthRR:
+      return "GroundTruth-RR";
+    case AlgorithmKind::kGroundTruthNN:
+      return "GroundTruth-NN";
+    case AlgorithmKind::kObliviousRR:
+      return "Oblivious-RR";
+    case AlgorithmKind::kObliviousRN:
+      return "Oblivious-RN";
+    case AlgorithmKind::kProbabilisticModel:
+      return "Probabilistic-Model";
+    case AlgorithmKind::kProbabilisticData:
+      return "Probabilistic-Data";
+  }
+  return "?";
+}
+
+ScGuard::ScGuard(ScGuardOptions options, assign::MatcherHandle handle)
+    : options_(std::move(options)),
+      handle_(std::make_unique<assign::MatcherHandle>(std::move(handle))) {}
+
+Result<ScGuard> ScGuard::Create(const ScGuardOptions& options) {
+  SCGUARD_RETURN_NOT_OK(options.worker_params.Validate());
+  SCGUARD_RETURN_NOT_OK(options.task_params.Validate());
+  if (!(options.alpha > 0.0 && options.alpha <= 1.0)) {
+    return Status::InvalidArgument("alpha must be in (0, 1]");
+  }
+  if (!(options.beta >= 0.0 && options.beta <= 1.0)) {
+    return Status::InvalidArgument("beta must be in [0, 1]");
+  }
+  if (options.redundancy_k < 1) {
+    return Status::InvalidArgument("redundancy_k must be >= 1");
+  }
+
+  assign::AlgorithmParams params;
+  params.worker_params = options.worker_params;
+  params.task_params = options.task_params;
+  params.alpha = options.alpha;
+  params.beta = options.beta;
+  params.redundancy_k = options.redundancy_k;
+  params.pruning_gamma = options.pruning_gamma;
+  params.analytical_mode = options.analytical_mode;
+
+  switch (options.algorithm) {
+    case AlgorithmKind::kGroundTruthRR:
+      return ScGuard(options, assign::MakeGroundTruth(assign::RankStrategy::kRandom));
+    case AlgorithmKind::kGroundTruthNN:
+      return ScGuard(options,
+                     assign::MakeGroundTruth(assign::RankStrategy::kNearest));
+    case AlgorithmKind::kObliviousRR:
+      return ScGuard(options,
+                     assign::MakeOblivious(assign::RankStrategy::kRandom, params));
+    case AlgorithmKind::kObliviousRN:
+      return ScGuard(options,
+                     assign::MakeOblivious(assign::RankStrategy::kNearest, params));
+    case AlgorithmKind::kProbabilisticModel:
+      return ScGuard(options, assign::MakeProbabilisticModel(params));
+    case AlgorithmKind::kProbabilisticData: {
+      reachability::EmpiricalModelConfig config = options.empirical;
+      if (config.region.empty()) config.region = data::BeijingRegion();
+      stats::Rng rng(options.empirical_seed);
+      SCGUARD_ASSIGN_OR_RETURN(
+          reachability::EmpiricalModel model,
+          reachability::EmpiricalModel::Build(config, options.worker_params,
+                                              options.task_params, rng));
+      auto shared = std::make_shared<const reachability::EmpiricalModel>(
+          std::move(model));
+      return ScGuard(options,
+                     assign::MakeProbabilisticData(params, std::move(shared)));
+    }
+  }
+  return Status::InvalidArgument("unknown algorithm kind");
+}
+
+assign::MatchResult ScGuard::Assign(const assign::Workload& workload,
+                                    stats::Rng& rng) {
+  return handle_->Run(workload, rng);
+}
+
+assign::MatchResult ScGuard::PerturbAndAssign(assign::Workload workload,
+                                              stats::Rng& rng) {
+  data::PerturbWorkload(options_.worker_params, options_.task_params, rng,
+                        workload);
+  return handle_->Run(workload, rng);
+}
+
+}  // namespace scguard::core

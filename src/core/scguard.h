@@ -1,0 +1,81 @@
+#ifndef SCGUARD_CORE_SCGUARD_H_
+#define SCGUARD_CORE_SCGUARD_H_
+
+#include <memory>
+#include <string>
+
+#include "assign/algorithms.h"
+#include "common/result.h"
+#include "data/workload.h"
+
+namespace scguard::core {
+
+/// The assignment algorithms of the paper's evaluation (Sec. V-B).
+enum class AlgorithmKind {
+  kGroundTruthRR,       ///< Ranking with exact locations, random rank.
+  kGroundTruthNN,       ///< Ranking with exact locations, nearest worker.
+  kObliviousRR,         ///< Algorithm 1, random rank.
+  kObliviousRN,         ///< Algorithm 1, nearest (noisy) worker.
+  kProbabilisticModel,  ///< Algorithm 2 + analytical model (Sec. IV-B1).
+  kProbabilisticData,   ///< Algorithm 2 + empirical model (Sec. IV-B2).
+};
+
+std::string_view AlgorithmKindName(AlgorithmKind kind);
+
+/// One-stop configuration for the facade.
+struct ScGuardOptions {
+  AlgorithmKind algorithm = AlgorithmKind::kProbabilisticModel;
+  privacy::PrivacyParams worker_params;  ///< Default (0.7, 800 m).
+  privacy::PrivacyParams task_params;
+  double alpha = 0.1;
+  double beta = 0.25;
+  int redundancy_k = 1;
+  std::optional<double> pruning_gamma;
+  reachability::AnalyticalMode analytical_mode =
+      reachability::AnalyticalMode::kPaperNormalApprox;
+  /// Used only by kProbabilisticData: geometry/sample count of the
+  /// empirical precomputation and the seed for its Monte-Carlo draw. The
+  /// region defaults to the workload region at first use if empty.
+  reachability::EmpiricalModelConfig empirical;
+  uint64_t empirical_seed = 17;
+};
+
+/// Facade over the whole library: pick an algorithm, hand in workloads.
+///
+/// Typical use:
+///   auto guard = core::ScGuard::Create(options).ValueOrDie();
+///   assign::Workload w = ...;                // build or load
+///   data::PerturbWorkload(wp, tp, rng, w);   // device-side Geo-I
+///   assign::MatchResult r = guard.Assign(w, rng);
+class ScGuard {
+ public:
+  /// Validates options; for kProbabilisticData runs the empirical
+  /// precomputation (the expensive part, done once).
+  static Result<ScGuard> Create(const ScGuardOptions& options);
+
+  ScGuard(ScGuard&&) noexcept = default;
+  ScGuard& operator=(ScGuard&&) noexcept = default;
+
+  /// Runs online assignment over a (pre-perturbed, unless ground truth)
+  /// workload.
+  assign::MatchResult Assign(const assign::Workload& workload,
+                             stats::Rng& rng);
+
+  /// Perturbs a copy of the workload with the configured privacy levels,
+  /// then assigns. Convenience for the common case.
+  assign::MatchResult PerturbAndAssign(assign::Workload workload,
+                                       stats::Rng& rng);
+
+  const ScGuardOptions& options() const { return options_; }
+  std::string algorithm_name() const { return handle_->name(); }
+
+ private:
+  ScGuard(ScGuardOptions options, assign::MatcherHandle handle);
+
+  ScGuardOptions options_;
+  std::unique_ptr<assign::MatcherHandle> handle_;
+};
+
+}  // namespace scguard::core
+
+#endif  // SCGUARD_CORE_SCGUARD_H_

@@ -1,0 +1,67 @@
+#ifndef SCGUARD_CORE_VARIANTS_H_
+#define SCGUARD_CORE_VARIANTS_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/protocol.h"
+#include "privacy/location_set.h"
+#include "reachability/model.h"
+
+namespace scguard::core {
+
+/// The two alternative U2E designs the paper considers and rejects
+/// (Sec. III-A), implemented so their cost can be measured rather than
+/// argued:
+///
+/// * kParallelBroadcast — the server forwards the *perturbed* task
+///   location to every candidate at once; candidates who deem it
+///   reachable reveal themselves (their exact locations) to the
+///   requester. More round-trips saved, but every self-revealing
+///   candidate discloses a worker location, and several may do so for
+///   one task.
+/// * kServerRanked — candidates send their reachability likelihoods back
+///   to the *server*, which picks the best. The responses are computed
+///   from the same task, so they are correlated observations of it: to
+///   keep (eps, r)-Geo-I for the task the requester must fall back to
+///   location-set budgeting (eps / |candidates| per response), collapsing
+///   accuracy exactly as the paper predicts.
+enum class U2eVariant { kSequential, kParallelBroadcast, kServerRanked };
+
+constexpr std::string_view U2eVariantName(U2eVariant v) {
+  switch (v) {
+    case U2eVariant::kSequential:
+      return "sequential";
+    case U2eVariant::kParallelBroadcast:
+      return "parallel-broadcast";
+    case U2eVariant::kServerRanked:
+      return "server-ranked";
+  }
+  return "?";
+}
+
+/// Outcome of one task under a variant, with its disclosure profile.
+struct VariantOutcome {
+  std::optional<int64_t> assigned_worker;
+  int64_t task_location_disclosures = 0;    ///< Exact task loc -> workers.
+  int64_t worker_location_disclosures = 0;  ///< Exact worker loc -> requester.
+  int64_t server_learned_responses = 0;     ///< Correlated signals to server.
+};
+
+/// Runs one task through the chosen U2E variant against a fleet of worker
+/// devices (ids equal to their index) given the server's candidate list.
+/// `request` is the task's U2U submission (its noisy location is what
+/// broadcast variants show to candidates); `model` scores reachability
+/// where the variant needs it; `beta` applies to sequential ranking and to
+/// the candidates' self-selection threshold in the broadcast variant.
+VariantOutcome RunU2eVariant(U2eVariant variant,
+                             const RequesterDevice& requester,
+                             const TaskRequest& request,
+                             const std::vector<CandidateWorker>& candidates,
+                             const std::vector<WorkerDevice>& workers,
+                             const reachability::ReachabilityModel& model,
+                             double beta, stats::Rng& rng);
+
+}  // namespace scguard::core
+
+#endif  // SCGUARD_CORE_VARIANTS_H_

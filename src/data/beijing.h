@@ -1,0 +1,36 @@
+#ifndef SCGUARD_DATA_BEIJING_H_
+#define SCGUARD_DATA_BEIJING_H_
+
+#include "geo/bbox.h"
+#include "geo/latlon.h"
+#include "geo/projection.h"
+
+namespace scguard::data {
+
+/// Geographic extent of greater Beijing used by the synthetic T-Drive
+/// workload (the paper's region of interest for the empirical model).
+/// T-Drive trips cover the metro area well beyond the urban core; the
+/// extent below calibrates the synthetic workload's reachability density
+/// to the paper's ground-truth utility (~320 of 500 tasks assignable).
+inline constexpr geo::LatLon kBeijingSouthWest{39.68, 116.10};
+inline constexpr geo::LatLon kBeijingNorthEast{40.18, 116.70};
+inline constexpr geo::LatLon kBeijingCenter{39.93, 116.40};
+
+/// Projection anchored at the Beijing center; all synthetic workloads are
+/// expressed in its local meter coordinates.
+inline geo::LocalProjection BeijingProjection() {
+  return geo::LocalProjection(kBeijingCenter);
+}
+
+/// The Beijing extent in local meters (about 30 km x 33 km).
+inline geo::BoundingBox BeijingRegion() {
+  const geo::LocalProjection proj = BeijingProjection();
+  geo::BoundingBox box;
+  box.Extend(proj.Forward(kBeijingSouthWest));
+  box.Extend(proj.Forward(kBeijingNorthEast));
+  return box;
+}
+
+}  // namespace scguard::data
+
+#endif  // SCGUARD_DATA_BEIJING_H_

@@ -1,0 +1,94 @@
+#include "data/csv_loader.h"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/str_format.h"
+
+namespace scguard::data {
+namespace {
+
+Result<double> ParseDouble(std::string_view field, int line_no) {
+  field = StripAsciiWhitespace(field);
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc() || ptr != field.data() + field.size()) {
+    return Status::InvalidArgument(
+        StrCat("line ", line_no, ": bad number '", std::string(field), "'"));
+  }
+  return value;
+}
+
+Result<std::vector<Trip>> LoadTripsImpl(std::istream& is, bool latlon,
+                                        const geo::LocalProjection* projection) {
+  std::vector<Trip> trips;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view stripped = StripAsciiWhitespace(line);
+    if (stripped.empty()) continue;
+    if (line_no == 1 && stripped.substr(0, 7) == "taxi_id") continue;  // Header.
+    const std::vector<std::string> fields = StrSplit(stripped, ',');
+    if (fields.size() != 7) {
+      return Status::InvalidArgument(
+          StrCat("line ", line_no, ": expected 7 fields, got ", fields.size()));
+    }
+    SCGUARD_ASSIGN_OR_RETURN(const double taxi_id, ParseDouble(fields[0], line_no));
+    SCGUARD_ASSIGN_OR_RETURN(const double pt, ParseDouble(fields[1], line_no));
+    SCGUARD_ASSIGN_OR_RETURN(const double pa, ParseDouble(fields[2], line_no));
+    SCGUARD_ASSIGN_OR_RETURN(const double pb, ParseDouble(fields[3], line_no));
+    SCGUARD_ASSIGN_OR_RETURN(const double dt, ParseDouble(fields[4], line_no));
+    SCGUARD_ASSIGN_OR_RETURN(const double da, ParseDouble(fields[5], line_no));
+    SCGUARD_ASSIGN_OR_RETURN(const double db, ParseDouble(fields[6], line_no));
+    Trip trip;
+    trip.taxi_id = static_cast<int64_t>(taxi_id);
+    trip.pickup_time_s = pt;
+    trip.dropoff_time_s = dt;
+    if (latlon) {
+      trip.pickup = projection->Forward({/*lat=*/pb, /*lon=*/pa});
+      trip.dropoff = projection->Forward({/*lat=*/db, /*lon=*/da});
+    } else {
+      trip.pickup = {pa, pb};
+      trip.dropoff = {da, db};
+    }
+    if (trip.dropoff_time_s < trip.pickup_time_s) {
+      return Status::InvalidArgument(
+          StrCat("line ", line_no, ": dropoff precedes pickup"));
+    }
+    trips.push_back(trip);
+  }
+  return trips;
+}
+
+}  // namespace
+
+Result<std::vector<Trip>> LoadTripsCsv(std::istream& is) {
+  return LoadTripsImpl(is, /*latlon=*/false, nullptr);
+}
+
+Result<std::vector<Trip>> LoadTripsCsvLatLon(
+    std::istream& is, const geo::LocalProjection& projection) {
+  return LoadTripsImpl(is, /*latlon=*/true, &projection);
+}
+
+void WriteTripsCsv(const std::vector<Trip>& trips, std::ostream& os) {
+  os.precision(12);  // Meter coordinates round-trip losslessly in practice.
+  os << "taxi_id,pickup_time_s,pickup_x,pickup_y,dropoff_time_s,dropoff_x,dropoff_y\n";
+  for (const auto& t : trips) {
+    os << t.taxi_id << ',' << t.pickup_time_s << ',' << t.pickup.x << ','
+       << t.pickup.y << ',' << t.dropoff_time_s << ',' << t.dropoff.x << ','
+       << t.dropoff.y << '\n';
+  }
+}
+
+Result<std::vector<Trip>> LoadTripsCsvFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IOError(StrCat("cannot open ", path));
+  return LoadTripsCsv(file);
+}
+
+}  // namespace scguard::data

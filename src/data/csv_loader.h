@@ -1,0 +1,40 @@
+#ifndef SCGUARD_DATA_CSV_LOADER_H_
+#define SCGUARD_DATA_CSV_LOADER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/trip_model.h"
+#include "geo/projection.h"
+
+namespace scguard::data {
+
+/// Reads a trip log in the 7-column CSV format
+/// `taxi_id,pickup_time_s,pickup_x,pickup_y,dropoff_time_s,dropoff_x,dropoff_y`
+/// with coordinates in local meters. A header line starting with "taxi_id"
+/// is skipped; blank lines are ignored. Fails with the offending line
+/// number on malformed input.
+///
+/// This is the drop-in path for evaluating on the real T-Drive data the
+/// paper uses: extract trips from the raw traces with any tool, project
+/// them, and feed the CSV here.
+Result<std::vector<Trip>> LoadTripsCsv(std::istream& is);
+
+/// Like LoadTripsCsv but with `lon,lat` degree coordinates, projected
+/// through `projection` (columns:
+/// `taxi_id,pickup_time_s,pickup_lon,pickup_lat,dropoff_time_s,dropoff_lon,dropoff_lat`).
+Result<std::vector<Trip>> LoadTripsCsvLatLon(std::istream& is,
+                                             const geo::LocalProjection& projection);
+
+/// Writes trips in the meters CSV format accepted by LoadTripsCsv
+/// (including the header line).
+void WriteTripsCsv(const std::vector<Trip>& trips, std::ostream& os);
+
+/// Convenience: LoadTripsCsv from a file path.
+Result<std::vector<Trip>> LoadTripsCsvFile(const std::string& path);
+
+}  // namespace scguard::data
+
+#endif  // SCGUARD_DATA_CSV_LOADER_H_

@@ -1,0 +1,71 @@
+#include "data/tdrive_synth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/str_format.h"
+
+namespace scguard::data {
+
+TDriveSynthesizer::TDriveSynthesizer(const TDriveSynthConfig& config,
+                                     HotspotMixture demand)
+    : config_(config), demand_(std::move(demand)) {}
+
+Result<TDriveSynthesizer> TDriveSynthesizer::Create(
+    const TDriveSynthConfig& config, const geo::BoundingBox& region,
+    stats::Rng& rng) {
+  if (config.num_taxis <= 0) {
+    return Status::InvalidArgument("num_taxis must be positive");
+  }
+  if (config.mean_trips_per_taxi <= 0.0 || config.day_length_s <= 0.0 ||
+      config.mean_trip_speed_mps <= 0.0 || config.num_hotspots <= 0) {
+    return Status::InvalidArgument("synth config rates must be positive");
+  }
+  if (region.empty()) {
+    return Status::InvalidArgument("region must be non-empty");
+  }
+  return TDriveSynthesizer(
+      config, HotspotMixture::MakeBeijingLike(region, config.num_hotspots, rng));
+}
+
+std::vector<Trip> TDriveSynthesizer::GenerateTrips(stats::Rng& rng) const {
+  std::vector<Trip> trips;
+  trips.reserve(static_cast<size_t>(config_.num_taxis) *
+                static_cast<size_t>(config_.mean_trips_per_taxi));
+  for (int taxi = 0; taxi < config_.num_taxis; ++taxi) {
+    // Shifts start spread over the first quarter of the day.
+    double clock = rng.UniformDouble(0.0, config_.day_length_s * 0.25);
+    // Poisson-ish trip count: geometric spread around the mean.
+    const double count_scale = rng.UniformDouble(0.5, 1.5);
+    const int trip_count = std::max(
+        1, static_cast<int>(std::lround(config_.mean_trips_per_taxi * count_scale)));
+    geo::Point position = demand_.Sample(rng);
+    for (int k = 0; k < trip_count; ++k) {
+      Trip trip;
+      trip.taxi_id = taxi;
+      // Cruise to the next passenger: the pick-up comes from the demand
+      // surface; the approach leg consumes time too.
+      trip.pickup = demand_.Sample(rng);
+      const double approach_s =
+          geo::Distance(position, trip.pickup) / config_.mean_trip_speed_mps;
+      clock += approach_s + rng.UniformDouble(config_.min_idle_gap_s,
+                                              config_.max_idle_gap_s);
+      trip.pickup_time_s = clock;
+      trip.dropoff = demand_.Sample(rng);
+      const double ride_s =
+          geo::Distance(trip.pickup, trip.dropoff) / config_.mean_trip_speed_mps;
+      clock += ride_s;
+      trip.dropoff_time_s = clock;
+      position = trip.dropoff;
+      if (clock > config_.day_length_s) break;  // Shift over.
+      trips.push_back(trip);
+    }
+  }
+  std::sort(trips.begin(), trips.end(), [](const Trip& a, const Trip& b) {
+    return a.pickup_time_s < b.pickup_time_s;
+  });
+  return trips;
+}
+
+}  // namespace scguard::data

@@ -1,0 +1,54 @@
+#ifndef SCGUARD_DATA_TDRIVE_SYNTH_H_
+#define SCGUARD_DATA_TDRIVE_SYNTH_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/trip_model.h"
+#include "geo/bbox.h"
+#include "stats/rng.h"
+
+namespace scguard::data {
+
+/// Configuration of the synthetic T-Drive day.
+struct TDriveSynthConfig {
+  int num_taxis = 9019;        ///< Paper: 9,019 taxis on Jan 11, 2012.
+  double mean_trips_per_taxi = 12.0;
+  int num_hotspots = 24;
+  double day_length_s = 86400.0;
+  double mean_trip_speed_mps = 8.0;   ///< ~29 km/h urban average.
+  double min_idle_gap_s = 120.0;      ///< Idle time between trips.
+  double max_idle_gap_s = 1800.0;
+};
+
+/// Synthesizes a day of taxi trips over a region, standing in for the
+/// (non-redistributable) T-Drive dataset the paper evaluates on.
+///
+/// Every taxi executes a chain of trips: pick-up locations are drawn from a
+/// hotspot demand mixture, drop-offs likewise, travel time follows the
+/// pick-up/drop-off distance at an urban speed, and idle gaps separate
+/// trips. The output preserves what the paper actually consumes: clustered
+/// pick-up points with a time order (tasks) and drop-off points (workers).
+class TDriveSynthesizer {
+ public:
+  /// Requires a valid config (positive counts and rates).
+  static Result<TDriveSynthesizer> Create(const TDriveSynthConfig& config,
+                                          const geo::BoundingBox& region,
+                                          stats::Rng& rng);
+
+  /// All trips of the synthetic day, sorted by pickup_time_s.
+  std::vector<Trip> GenerateTrips(stats::Rng& rng) const;
+
+  const HotspotMixture& demand() const { return demand_; }
+  const TDriveSynthConfig& config() const { return config_; }
+
+ private:
+  TDriveSynthesizer(const TDriveSynthConfig& config, HotspotMixture demand);
+
+  TDriveSynthConfig config_;
+  HotspotMixture demand_;
+};
+
+}  // namespace scguard::data
+
+#endif  // SCGUARD_DATA_TDRIVE_SYNTH_H_

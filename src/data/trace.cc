@@ -1,0 +1,180 @@
+#include "data/trace.h"
+
+#include <algorithm>
+#include <charconv>
+#include <istream>
+#include <map>
+#include <ostream>
+
+#include "common/str_format.h"
+
+namespace scguard::data {
+namespace {
+
+// A maximal stationary episode of one taxi.
+struct Stop {
+  double arrive_s = 0.0;
+  double depart_s = 0.0;
+  geo::Point location;
+};
+
+// Stay-point detection over one taxi's time-ordered, speed-filtered fixes:
+// grow a window while every fix stays within stop_radius_m of the window's
+// anchor; emit a Stop when the window spans >= stop_time_s.
+std::vector<Stop> DetectStops(const std::vector<GpsFix>& fixes,
+                              const TraceExtractorConfig& config) {
+  std::vector<Stop> stops;
+  size_t anchor = 0;
+  while (anchor < fixes.size()) {
+    size_t end = anchor;
+    geo::Point centroid = fixes[anchor].position;
+    while (end + 1 < fixes.size() &&
+           geo::Distance(fixes[end + 1].position, fixes[anchor].position) <=
+               config.stop_radius_m) {
+      ++end;
+      centroid = centroid + fixes[end].position;
+    }
+    const double span = fixes[end].time_s - fixes[anchor].time_s;
+    if (span >= config.stop_time_s) {
+      Stop stop;
+      stop.arrive_s = fixes[anchor].time_s;
+      stop.depart_s = fixes[end].time_s;
+      stop.location = centroid * (1.0 / static_cast<double>(end - anchor + 1));
+      stops.push_back(stop);
+      anchor = end + 1;
+    } else {
+      ++anchor;
+    }
+  }
+  return stops;
+}
+
+}  // namespace
+
+Result<std::vector<Trip>> ExtractTripsFromTraces(
+    const std::vector<GpsFix>& fixes, const TraceExtractorConfig& config) {
+  if (config.stop_radius_m <= 0.0 || config.stop_time_s <= 0.0 ||
+      config.max_speed_mps <= 0.0) {
+    return Status::InvalidArgument("trace extractor thresholds must be positive");
+  }
+
+  // Group by taxi, preserving nothing about input order.
+  std::map<int64_t, std::vector<GpsFix>> by_taxi;
+  for (const auto& fix : fixes) by_taxi[fix.taxi_id].push_back(fix);
+
+  std::vector<Trip> trips;
+  for (auto& [taxi_id, taxi_fixes] : by_taxi) {
+    std::sort(taxi_fixes.begin(), taxi_fixes.end(),
+              [](const GpsFix& a, const GpsFix& b) { return a.time_s < b.time_s; });
+
+    // Speed filter: drop fixes implying impossible jumps from their
+    // accepted predecessor.
+    std::vector<GpsFix> clean;
+    clean.reserve(taxi_fixes.size());
+    for (const auto& fix : taxi_fixes) {
+      if (!clean.empty()) {
+        const double dt = fix.time_s - clean.back().time_s;
+        if (dt <= 0.0) continue;  // Duplicate timestamp.
+        const double speed = geo::Distance(fix.position, clean.back().position) / dt;
+        if (speed > config.max_speed_mps) continue;  // Glitch.
+      }
+      clean.push_back(fix);
+    }
+
+    const std::vector<Stop> stops = DetectStops(clean, config);
+    for (size_t i = 0; i + 1 < stops.size(); ++i) {
+      Trip trip;
+      trip.taxi_id = taxi_id;
+      trip.pickup_time_s = stops[i].depart_s;
+      trip.pickup = stops[i].location;
+      trip.dropoff_time_s = stops[i + 1].arrive_s;
+      trip.dropoff = stops[i + 1].location;
+      if (geo::Distance(trip.pickup, trip.dropoff) < config.min_trip_distance_m) {
+        continue;  // Stationary jitter, not a ride.
+      }
+      trips.push_back(trip);
+    }
+  }
+  std::sort(trips.begin(), trips.end(), [](const Trip& a, const Trip& b) {
+    return a.pickup_time_s < b.pickup_time_s;
+  });
+  return trips;
+}
+
+std::vector<GpsFix> RenderTraces(const std::vector<Trip>& trips,
+                                 const TraceRenderConfig& config,
+                                 stats::Rng& rng) {
+  std::vector<GpsFix> fixes;
+  auto emit = [&](int64_t taxi, double t, geo::Point p) {
+    fixes.push_back({taxi, t,
+                     p + geo::Point{rng.Gaussian(0.0, config.gps_noise_m),
+                                    rng.Gaussian(0.0, config.gps_noise_m)}});
+  };
+  for (const auto& trip : trips) {
+    // Dwell at the pick-up before departure (the stop the extractor must
+    // find), then linear motion to the drop-off, then dwell there.
+    for (double t = trip.pickup_time_s - config.stop_dwell_s;
+         t <= trip.pickup_time_s; t += config.sample_interval_s) {
+      emit(trip.taxi_id, t, trip.pickup);
+    }
+    const double ride_s = trip.dropoff_time_s - trip.pickup_time_s;
+    if (ride_s > 0.0) {
+      for (double t = config.sample_interval_s; t < ride_s;
+           t += config.sample_interval_s) {
+        const double frac = t / ride_s;
+        emit(trip.taxi_id, trip.pickup_time_s + t,
+             trip.pickup + (trip.dropoff - trip.pickup) * frac);
+      }
+    }
+    for (double t = trip.dropoff_time_s;
+         t <= trip.dropoff_time_s + config.stop_dwell_s;
+         t += config.sample_interval_s) {
+      emit(trip.taxi_id, t, trip.dropoff);
+    }
+  }
+  return fixes;
+}
+
+Result<std::vector<GpsFix>> LoadFixesCsv(std::istream& is) {
+  std::vector<GpsFix> fixes;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view stripped = StripAsciiWhitespace(line);
+    if (stripped.empty()) continue;
+    if (line_no == 1 && stripped.substr(0, 7) == "taxi_id") continue;
+    const std::vector<std::string> fields = StrSplit(stripped, ',');
+    if (fields.size() != 4) {
+      return Status::InvalidArgument(
+          StrCat("line ", line_no, ": expected 4 fields, got ", fields.size()));
+    }
+    GpsFix fix;
+    double values[4];
+    for (int i = 0; i < 4; ++i) {
+      const std::string_view f = StripAsciiWhitespace(fields[static_cast<size_t>(i)]);
+      const auto [ptr, ec] =
+          std::from_chars(f.data(), f.data() + f.size(), values[i]);
+      if (ec != std::errc() || ptr != f.data() + f.size()) {
+        return Status::InvalidArgument(
+            StrCat("line ", line_no, ": bad number '", std::string(f), "'"));
+      }
+    }
+    fix.taxi_id = static_cast<int64_t>(values[0]);
+    fix.time_s = values[1];
+    fix.position = {values[2], values[3]};
+    fixes.push_back(fix);
+  }
+  return fixes;
+}
+
+void WriteFixesCsv(const std::vector<GpsFix>& fixes, std::ostream& os) {
+  os.precision(12);
+  os << "taxi_id,time_s,x,y\n";
+  for (const auto& f : fixes) {
+    os << f.taxi_id << ',' << f.time_s << ',' << f.position.x << ','
+       << f.position.y << '\n';
+  }
+}
+
+}  // namespace scguard::data

@@ -1,0 +1,68 @@
+#ifndef SCGUARD_DATA_TRACE_H_
+#define SCGUARD_DATA_TRACE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/result.h"
+#include "data/trip_model.h"
+#include "geo/point.h"
+#include "stats/rng.h"
+
+namespace scguard::data {
+
+/// One raw GPS fix, the record format of the real T-Drive release
+/// (taxi id, timestamp, position).
+struct GpsFix {
+  int64_t taxi_id = 0;
+  double time_s = 0.0;  ///< Seconds since start of day.
+  geo::Point position;  ///< Local meters.
+};
+
+/// Tuning of the trace -> trips extractor.
+struct TraceExtractorConfig {
+  /// A taxi stationary within `stop_radius_m` for at least `stop_time_s`
+  /// is considered stopped (passenger exchange).
+  double stop_radius_m = 150.0;
+  double stop_time_s = 180.0;
+  /// Fixes implying speed above this are GPS glitches and are dropped.
+  double max_speed_mps = 40.0;
+  /// Trips shorter than this (straight-line) are noise and discarded.
+  double min_trip_distance_m = 300.0;
+};
+
+/// Extracts trips from raw GPS traces by stay-point detection: each
+/// maximal stationary episode is a stop; the movement between consecutive
+/// stops of a taxi is a trip (pick-up at the first stop's end, drop-off at
+/// the next stop's start). Fixes need not be sorted; they are grouped by
+/// taxi and time-ordered internally. This is the preprocessing the paper's
+/// T-Drive evaluation presumes (drivers' drop-off / passengers' pick-up
+/// locations).
+Result<std::vector<Trip>> ExtractTripsFromTraces(
+    const std::vector<GpsFix>& fixes, const TraceExtractorConfig& config = {});
+
+/// Controls for RenderTraces.
+struct TraceRenderConfig {
+  double sample_interval_s = 30.0;  ///< T-Drive averages ~3 min; we default denser.
+  double gps_noise_m = 15.0;        ///< Per-fix isotropic Gaussian jitter.
+  double stop_dwell_s = 240.0;      ///< Stationary time emitted around stops.
+};
+
+/// Inverse of the extractor, for testing and synthetic-data generation:
+/// renders a trip list into the raw GPS fixes a taxi fleet would log
+/// (linear movement between endpoints, dwell at stops, sampling jitter).
+std::vector<GpsFix> RenderTraces(const std::vector<Trip>& trips,
+                                 const TraceRenderConfig& config,
+                                 stats::Rng& rng);
+
+/// Reads raw fixes in the T-Drive text format
+/// `taxi_id,time_s,x,y` (local meters; header optional).
+Result<std::vector<GpsFix>> LoadFixesCsv(std::istream& is);
+
+/// Writes fixes in the format LoadFixesCsv reads.
+void WriteFixesCsv(const std::vector<GpsFix>& fixes, std::ostream& os);
+
+}  // namespace scguard::data
+
+#endif  // SCGUARD_DATA_TRACE_H_

@@ -1,0 +1,75 @@
+#include "data/trip_model.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace scguard::data {
+
+HotspotMixture::HotspotMixture(const geo::BoundingBox& region,
+                               std::vector<Hotspot> hotspots,
+                               double background_weight)
+    : region_(region),
+      hotspots_(std::move(hotspots)),
+      background_weight_(background_weight),
+      total_weight_(background_weight) {
+  SCGUARD_CHECK(!region.empty());
+  SCGUARD_CHECK(background_weight >= 0.0);
+  for (const auto& h : hotspots_) {
+    SCGUARD_CHECK(h.weight >= 0.0 && h.sigma_m > 0.0);
+    total_weight_ += h.weight;
+  }
+  SCGUARD_CHECK(total_weight_ > 0.0);
+}
+
+HotspotMixture HotspotMixture::MakeBeijingLike(const geo::BoundingBox& region,
+                                               int num_hotspots,
+                                               stats::Rng& rng) {
+  SCGUARD_CHECK(num_hotspots >= 1);
+  std::vector<Hotspot> hotspots;
+  hotspots.reserve(static_cast<size_t>(num_hotspots));
+  // Hotspot centers concentrate in the middle 60% of the region (urban
+  // core), with Zipf-like weights so a few stations dominate, matching the
+  // heavy skew of real taxi demand.
+  const double inset_x = region.Width() * 0.2;
+  const double inset_y = region.Height() * 0.2;
+  for (int i = 0; i < num_hotspots; ++i) {
+    Hotspot h;
+    h.center = {rng.UniformDouble(region.min_x + inset_x, region.max_x - inset_x),
+                rng.UniformDouble(region.min_y + inset_y, region.max_y - inset_y)};
+    h.sigma_m = rng.UniformDouble(400.0, 2000.0);
+    h.weight = 1.0 / static_cast<double>(i + 1);  // Zipf(1).
+    hotspots.push_back(h);
+  }
+  // 20% of demand is diffuse background.
+  double hotspot_mass = 0.0;
+  for (const auto& h : hotspots) hotspot_mass += h.weight;
+  return HotspotMixture(region, std::move(hotspots), hotspot_mass * 0.25);
+}
+
+geo::Point HotspotMixture::Sample(stats::Rng& rng) const {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    double pick = rng.UniformDouble(0.0, total_weight_);
+    if (pick < background_weight_) {
+      return {rng.UniformDouble(region_.min_x, region_.max_x),
+              rng.UniformDouble(region_.min_y, region_.max_y)};
+    }
+    pick -= background_weight_;
+    for (const auto& h : hotspots_) {
+      if (pick >= h.weight) {
+        pick -= h.weight;
+        continue;
+      }
+      const geo::Point p{rng.Gaussian(h.center.x, h.sigma_m),
+                         rng.Gaussian(h.center.y, h.sigma_m)};
+      if (region_.Contains(p)) return p;
+      break;  // Rejected: redraw component and point.
+    }
+  }
+  // Pathological truncation (hotspot far outside region): uniform fallback.
+  return {rng.UniformDouble(region_.min_x, region_.max_x),
+          rng.UniformDouble(region_.min_y, region_.max_y)};
+}
+
+}  // namespace scguard::data

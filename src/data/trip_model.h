@@ -1,0 +1,63 @@
+#ifndef SCGUARD_DATA_TRIP_MODEL_H_
+#define SCGUARD_DATA_TRIP_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/point.h"
+#include "stats/rng.h"
+
+namespace scguard::data {
+
+/// One taxi trip: the pick-up is a passenger request (an SC task in the
+/// paper's mapping) and the drop-off leaves the taxi (an SC worker) at a
+/// known location.
+struct Trip {
+  int64_t taxi_id = 0;
+  double pickup_time_s = 0;  ///< Seconds since start of day.
+  geo::Point pickup;
+  double dropoff_time_s = 0;
+  geo::Point dropoff;
+};
+
+/// A spatial mixture of Gaussian hotspots plus a uniform background over a
+/// region: the demand surface of an urban taxi system. Stands in for the
+/// empirical spatial clustering of T-Drive pick-ups/drop-offs.
+class HotspotMixture {
+ public:
+  struct Hotspot {
+    geo::Point center;
+    double sigma_m = 1000.0;  ///< Spatial spread of the hotspot.
+    double weight = 1.0;      ///< Relative demand mass.
+  };
+
+  /// `background_weight` is the relative mass of the uniform component;
+  /// requires a non-empty region and at least one hotspot or background
+  /// mass.
+  HotspotMixture(const geo::BoundingBox& region, std::vector<Hotspot> hotspots,
+                 double background_weight);
+
+  /// Generates a canonical Beijing-like demand surface: `num_hotspots`
+  /// centers drawn within the central 60% of the region with sigmas in
+  /// [400 m, 2 km] and Zipf-ish weights, plus 20% uniform background.
+  static HotspotMixture MakeBeijingLike(const geo::BoundingBox& region,
+                                        int num_hotspots, stats::Rng& rng);
+
+  /// Draws one location; samples falling outside the region are rejected
+  /// and redrawn (hotspots near the border thus truncate).
+  geo::Point Sample(stats::Rng& rng) const;
+
+  const std::vector<Hotspot>& hotspots() const { return hotspots_; }
+  const geo::BoundingBox& region() const { return region_; }
+
+ private:
+  geo::BoundingBox region_;
+  std::vector<Hotspot> hotspots_;
+  double background_weight_;
+  double total_weight_;
+};
+
+}  // namespace scguard::data
+
+#endif  // SCGUARD_DATA_TRIP_MODEL_H_

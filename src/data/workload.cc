@@ -1,0 +1,129 @@
+#include "data/workload.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/str_format.h"
+#include "privacy/geo_ind.h"
+
+namespace scguard::data {
+namespace {
+
+// Draws `k` distinct indices from [0, n) (partial Fisher-Yates).
+std::vector<size_t> SampleDistinct(size_t n, size_t k, stats::Rng& rng) {
+  std::vector<size_t> pool(n);
+  for (size_t i = 0; i < n; ++i) pool[i] = i;
+  for (size_t i = 0; i < k; ++i) {
+    const size_t j = i + rng.UniformInt(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace
+
+Result<assign::Workload> BuildWorkloadFromTrips(const std::vector<Trip>& trips,
+                                                const WorkloadConfig& config,
+                                                stats::Rng& rng) {
+  if (config.num_workers <= 0 || config.num_tasks <= 0) {
+    return Status::InvalidArgument("workload counts must be positive");
+  }
+  if (!(config.reach_min_m > 0.0) || config.reach_max_m < config.reach_min_m) {
+    return Status::InvalidArgument("bad reach radius range");
+  }
+
+  // Most recent drop-off per taxi (trips are pickup-time sorted, so keep
+  // the latest by dropoff time).
+  std::unordered_map<int64_t, const Trip*> last_dropoff;
+  for (const auto& t : trips) {
+    auto [it, inserted] = last_dropoff.try_emplace(t.taxi_id, &t);
+    if (!inserted && t.dropoff_time_s > it->second->dropoff_time_s) {
+      it->second = &t;
+    }
+  }
+  if (last_dropoff.size() < static_cast<size_t>(config.num_workers)) {
+    return Status::InvalidArgument(
+        StrCat("trip log has ", last_dropoff.size(), " taxis; need ",
+               config.num_workers, " workers"));
+  }
+  if (trips.size() < static_cast<size_t>(config.num_tasks)) {
+    return Status::InvalidArgument(StrCat("trip log has ", trips.size(),
+                                          " trips; need ", config.num_tasks,
+                                          " tasks"));
+  }
+
+  assign::Workload workload;
+
+  // Workers: a random sample of taxis at their final drop-off.
+  std::vector<const Trip*> taxis;
+  taxis.reserve(last_dropoff.size());
+  for (const auto& [id, trip] : last_dropoff) taxis.push_back(trip);
+  // unordered_map order is not deterministic across libraries; fix it.
+  std::sort(taxis.begin(), taxis.end(),
+            [](const Trip* a, const Trip* b) { return a->taxi_id < b->taxi_id; });
+  for (size_t idx : SampleDistinct(taxis.size(),
+                                   static_cast<size_t>(config.num_workers), rng)) {
+    assign::Worker w;
+    w.id = static_cast<int64_t>(workload.workers.size());
+    w.location = taxis[idx]->dropoff;
+    w.reach_radius_m = rng.UniformDouble(config.reach_min_m, config.reach_max_m);
+    workload.workers.push_back(w);
+    workload.region.Extend(w.location);
+  }
+
+  // Tasks: a random sample of pick-ups, ordered by pick-up time.
+  std::vector<size_t> task_idx =
+      SampleDistinct(trips.size(), static_cast<size_t>(config.num_tasks), rng);
+  std::sort(task_idx.begin(), task_idx.end(), [&trips](size_t a, size_t b) {
+    return trips[a].pickup_time_s < trips[b].pickup_time_s;
+  });
+  for (size_t i = 0; i < task_idx.size(); ++i) {
+    assign::Task t;
+    t.id = static_cast<int64_t>(i);
+    t.location = trips[task_idx[i]].pickup;
+    t.arrival_seq = static_cast<int64_t>(i);
+    workload.tasks.push_back(t);
+    workload.region.Extend(t.location);
+  }
+  return workload;
+}
+
+void PerturbWorkload(const privacy::PrivacyParams& worker_params,
+                     const privacy::PrivacyParams& task_params,
+                     stats::Rng& rng, assign::Workload& workload) {
+  const privacy::GeoIndMechanism worker_mech(worker_params);
+  const privacy::GeoIndMechanism task_mech(task_params);
+  for (auto& w : workload.workers) {
+    w.noisy_location = worker_mech.Perturb(w.location, rng);
+  }
+  for (auto& t : workload.tasks) {
+    t.noisy_location = task_mech.Perturb(t.location, rng);
+  }
+}
+
+assign::Workload MakeUniformWorkload(const geo::BoundingBox& region,
+                                     const WorkloadConfig& config,
+                                     stats::Rng& rng) {
+  assign::Workload workload;
+  workload.region = region;
+  for (int i = 0; i < config.num_workers; ++i) {
+    assign::Worker w;
+    w.id = i;
+    w.location = {rng.UniformDouble(region.min_x, region.max_x),
+                  rng.UniformDouble(region.min_y, region.max_y)};
+    w.reach_radius_m = rng.UniformDouble(config.reach_min_m, config.reach_max_m);
+    workload.workers.push_back(w);
+  }
+  for (int i = 0; i < config.num_tasks; ++i) {
+    assign::Task t;
+    t.id = i;
+    t.location = {rng.UniformDouble(region.min_x, region.max_x),
+                  rng.UniformDouble(region.min_y, region.max_y)};
+    t.arrival_seq = i;
+    workload.tasks.push_back(t);
+  }
+  return workload;
+}
+
+}  // namespace scguard::data

@@ -1,0 +1,50 @@
+#ifndef SCGUARD_DATA_WORKLOAD_H_
+#define SCGUARD_DATA_WORKLOAD_H_
+
+#include <vector>
+
+#include "assign/entities.h"
+#include "common/result.h"
+#include "data/trip_model.h"
+#include "privacy/privacy_params.h"
+#include "stats/rng.h"
+
+namespace scguard::data {
+
+/// How a trip log is turned into an online-assignment instance
+/// (paper Sec. V-A).
+struct WorkloadConfig {
+  int num_workers = 500;  ///< Paper: 500 random workers.
+  int num_tasks = 500;    ///< Paper: 500 random tasks.
+  double reach_min_m = 1000.0;  ///< R_w ~ Uniform[reach_min, reach_max].
+  double reach_max_m = 3000.0;
+};
+
+/// Builds a workload following the paper's T-Drive mapping: each sampled
+/// taxi becomes a worker located at its most recent (final) drop-off; each
+/// sampled pick-up becomes a task, and tasks arrive in pick-up time order.
+/// Noisy locations are NOT set; call PerturbWorkload.
+///
+/// Fails when the trip log has fewer distinct taxis than `num_workers` or
+/// fewer trips than `num_tasks`.
+Result<assign::Workload> BuildWorkloadFromTrips(const std::vector<Trip>& trips,
+                                                const WorkloadConfig& config,
+                                                stats::Rng& rng);
+
+/// Applies Geo-I perturbation to every worker and task location, filling
+/// their `noisy_location` fields — the device-side step of the protocol
+/// (Alg. 1/2 lines 3-4). Workers and requesters may use different privacy
+/// levels.
+void PerturbWorkload(const privacy::PrivacyParams& worker_params,
+                     const privacy::PrivacyParams& task_params,
+                     stats::Rng& rng, assign::Workload& workload);
+
+/// Uniform-random workload over a region (used by unit tests and the
+/// empirical-model precomputation cross-checks).
+assign::Workload MakeUniformWorkload(const geo::BoundingBox& region,
+                                     const WorkloadConfig& config,
+                                     stats::Rng& rng);
+
+}  // namespace scguard::data
+
+#endif  // SCGUARD_DATA_WORKLOAD_H_

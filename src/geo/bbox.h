@@ -1,0 +1,92 @@
+#ifndef SCGUARD_GEO_BBOX_H_
+#define SCGUARD_GEO_BBOX_H_
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+
+#include "geo/point.h"
+
+namespace scguard::geo {
+
+/// An axis-aligned rectangle in local planar coordinates (meters).
+///
+/// The default-constructed box is *empty* (contains nothing); extending an
+/// empty box with a point yields the degenerate box at that point.
+struct BoundingBox {
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+
+  static BoundingBox FromCorners(Point lo, Point hi) {
+    return {std::min(lo.x, hi.x), std::min(lo.y, hi.y),
+            std::max(lo.x, hi.x), std::max(lo.y, hi.y)};
+  }
+
+  /// The smallest box containing the disk of radius `radius` around `center`.
+  static BoundingBox FromCircle(Point center, double radius) {
+    return {center.x - radius, center.y - radius, center.x + radius,
+            center.y + radius};
+  }
+
+  bool empty() const { return min_x > max_x || min_y > max_y; }
+  double Width() const { return empty() ? 0.0 : max_x - min_x; }
+  double Height() const { return empty() ? 0.0 : max_y - min_y; }
+  double Area() const { return Width() * Height(); }
+  Point Center() const { return {(min_x + max_x) / 2.0, (min_y + max_y) / 2.0}; }
+
+  bool Contains(Point p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  bool Intersects(const BoundingBox& o) const {
+    return !empty() && !o.empty() && min_x <= o.max_x && o.min_x <= max_x &&
+           min_y <= o.max_y && o.min_y <= max_y;
+  }
+
+  /// Grows this box to include `p`.
+  void Extend(Point p) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+
+  /// Grows this box to include `o`.
+  void Extend(const BoundingBox& o) {
+    if (o.empty()) return;
+    min_x = std::min(min_x, o.min_x);
+    min_y = std::min(min_y, o.min_y);
+    max_x = std::max(max_x, o.max_x);
+    max_y = std::max(max_y, o.max_y);
+  }
+
+  /// The union of this box and `o`, without modifying either.
+  BoundingBox Union(const BoundingBox& o) const {
+    BoundingBox out = *this;
+    out.Extend(o);
+    return out;
+  }
+
+  /// Minimum distance from `p` to any point of this box (0 if inside).
+  double DistanceTo(Point p) const {
+    const double dx = std::max({min_x - p.x, 0.0, p.x - max_x});
+    const double dy = std::max({min_y - p.y, 0.0, p.y - max_y});
+    return std::hypot(dx, dy);
+  }
+
+  friend bool operator==(const BoundingBox& a, const BoundingBox& b) {
+    return a.min_x == b.min_x && a.min_y == b.min_y && a.max_x == b.max_x &&
+           a.max_y == b.max_y;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const BoundingBox& b) {
+  return os << "[" << b.min_x << "," << b.min_y << " .. " << b.max_x << ","
+            << b.max_y << "]";
+}
+
+}  // namespace scguard::geo
+
+#endif  // SCGUARD_GEO_BBOX_H_

@@ -1,0 +1,26 @@
+#ifndef SCGUARD_GEO_CIRCLE_H_
+#define SCGUARD_GEO_CIRCLE_H_
+
+#include "geo/bbox.h"
+#include "geo/point.h"
+
+namespace scguard::geo {
+
+/// A disk in local planar coordinates: the worker's spatial region R_w of
+/// the paper is `Circle{l_w, R_w}`.
+struct Circle {
+  Point center;
+  double radius = 0.0;
+
+  bool Contains(Point p) const { return Distance(center, p) <= radius; }
+
+  bool Intersects(const Circle& o) const {
+    return Distance(center, o.center) <= radius + o.radius;
+  }
+
+  BoundingBox Mbr() const { return BoundingBox::FromCircle(center, radius); }
+};
+
+}  // namespace scguard::geo
+
+#endif  // SCGUARD_GEO_CIRCLE_H_

@@ -1,0 +1,24 @@
+#include "geo/latlon.h"
+
+#include <cmath>
+
+namespace scguard::geo {
+namespace {
+
+constexpr double kEarthRadiusMeters = 6371000.0;
+constexpr double kDegToRad = M_PI / 180.0;
+
+}  // namespace
+
+double HaversineMeters(LatLon a, LatLon b) {
+  const double phi1 = a.lat * kDegToRad;
+  const double phi2 = b.lat * kDegToRad;
+  const double dphi = (b.lat - a.lat) * kDegToRad;
+  const double dlam = (b.lon - a.lon) * kDegToRad;
+  const double s1 = std::sin(dphi / 2.0);
+  const double s2 = std::sin(dlam / 2.0);
+  const double h = s1 * s1 + std::cos(phi1) * std::cos(phi2) * s2 * s2;
+  return 2.0 * kEarthRadiusMeters * std::asin(std::sqrt(h));
+}
+
+}  // namespace scguard::geo

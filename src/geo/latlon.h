@@ -1,0 +1,25 @@
+#ifndef SCGUARD_GEO_LATLON_H_
+#define SCGUARD_GEO_LATLON_H_
+
+#include <ostream>
+
+namespace scguard::geo {
+
+/// A WGS84 geographic coordinate in decimal degrees.
+struct LatLon {
+  double lat = 0.0;  ///< Latitude, degrees in [-90, 90].
+  double lon = 0.0;  ///< Longitude, degrees in [-180, 180].
+
+  friend bool operator==(LatLon a, LatLon b) { return a.lat == b.lat && a.lon == b.lon; }
+};
+
+/// Great-circle (haversine) distance between two coordinates, in meters.
+double HaversineMeters(LatLon a, LatLon b);
+
+inline std::ostream& operator<<(std::ostream& os, LatLon ll) {
+  return os << "(" << ll.lat << "N, " << ll.lon << "E)";
+}
+
+}  // namespace scguard::geo
+
+#endif  // SCGUARD_GEO_LATLON_H_

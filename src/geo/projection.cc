@@ -1,0 +1,29 @@
+#include "geo/projection.h"
+
+#include <cmath>
+
+namespace scguard::geo {
+namespace {
+
+constexpr double kEarthRadiusMeters = 6371000.0;
+constexpr double kDegToRad = M_PI / 180.0;
+
+}  // namespace
+
+LocalProjection::LocalProjection(LatLon origin)
+    : origin_(origin),
+      meters_per_deg_lat_(kEarthRadiusMeters * kDegToRad),
+      meters_per_deg_lon_(kEarthRadiusMeters * kDegToRad *
+                          std::cos(origin.lat * kDegToRad)) {}
+
+Point LocalProjection::Forward(LatLon ll) const {
+  return {(ll.lon - origin_.lon) * meters_per_deg_lon_,
+          (ll.lat - origin_.lat) * meters_per_deg_lat_};
+}
+
+LatLon LocalProjection::Backward(Point p) const {
+  return {origin_.lat + p.y / meters_per_deg_lat_,
+          origin_.lon + p.x / meters_per_deg_lon_};
+}
+
+}  // namespace scguard::geo

@@ -1,0 +1,36 @@
+#ifndef SCGUARD_GEO_PROJECTION_H_
+#define SCGUARD_GEO_PROJECTION_H_
+
+#include "geo/latlon.h"
+#include "geo/point.h"
+
+namespace scguard::geo {
+
+/// Local equirectangular projection anchored at a reference coordinate.
+///
+/// Over a city-scale extent (tens of km, e.g. Beijing for T-Drive) the
+/// distance distortion of this projection is far below the Geo-I noise
+/// scale, so planar Euclidean distance on projected points is a faithful
+/// stand-in for geodesic distance.
+class LocalProjection {
+ public:
+  /// Creates a projection with `origin` mapping to Point{0, 0}.
+  explicit LocalProjection(LatLon origin);
+
+  /// Projects a geographic coordinate to local meters.
+  Point Forward(LatLon ll) const;
+
+  /// Inverse-projects local meters back to a geographic coordinate.
+  LatLon Backward(Point p) const;
+
+  LatLon origin() const { return origin_; }
+
+ private:
+  LatLon origin_;
+  double meters_per_deg_lat_;
+  double meters_per_deg_lon_;
+};
+
+}  // namespace scguard::geo
+
+#endif  // SCGUARD_GEO_PROJECTION_H_

@@ -1,0 +1,70 @@
+#include "index/grid_index.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace scguard::index {
+
+GridIndex::GridIndex(const geo::BoundingBox& region, int cells_per_axis)
+    : region_(region),
+      cells_(cells_per_axis),
+      cell_w_(region.Width() / cells_per_axis),
+      cell_h_(region.Height() / cells_per_axis),
+      cells_entries_(static_cast<size_t>(cells_per_axis) *
+                     static_cast<size_t>(cells_per_axis)) {
+  SCGUARD_CHECK(!region.empty() && cells_per_axis >= 1);
+  SCGUARD_CHECK(cell_w_ > 0.0 && cell_h_ > 0.0);
+}
+
+GridIndex::CellRange GridIndex::CellsFor(const geo::BoundingBox& box) const {
+  auto clamp = [this](double v) {
+    return std::clamp(static_cast<int>(v), 0, cells_ - 1);
+  };
+  return {clamp((box.min_x - region_.min_x) / cell_w_),
+          clamp((box.max_x - region_.min_x) / cell_w_),
+          clamp((box.min_y - region_.min_y) / cell_h_),
+          clamp((box.max_y - region_.min_y) / cell_h_)};
+}
+
+void GridIndex::Insert(const geo::BoundingBox& box, int64_t id) {
+  SCGUARD_CHECK(!box.empty());
+  const size_t entry = boxes_.size();
+  boxes_.push_back(box);
+  ids_.push_back(id);
+  stamps_.push_back(0);
+  const CellRange range = CellsFor(box);
+  for (int cy = range.y0; cy <= range.y1; ++cy) {
+    for (int cx = range.x0; cx <= range.x1; ++cx) {
+      cells_entries_[CellSlot(cx, cy)].push_back(entry);
+    }
+  }
+}
+
+void GridIndex::Query(const geo::BoundingBox& query,
+                      const std::function<void(int64_t)>& fn) const {
+  if (boxes_.empty() || query.empty()) return;
+  ++current_stamp_;
+  if (current_stamp_ == 0) {  // Stamp counter wrapped; reset all.
+    std::fill(stamps_.begin(), stamps_.end(), 0u);
+    current_stamp_ = 1;
+  }
+  const CellRange range = CellsFor(query);
+  for (int cy = range.y0; cy <= range.y1; ++cy) {
+    for (int cx = range.x0; cx <= range.x1; ++cx) {
+      for (size_t entry : cells_entries_[CellSlot(cx, cy)]) {
+        if (stamps_[entry] == current_stamp_) continue;
+        stamps_[entry] = current_stamp_;
+        if (boxes_[entry].Intersects(query)) fn(ids_[entry]);
+      }
+    }
+  }
+}
+
+std::vector<int64_t> GridIndex::QueryIds(const geo::BoundingBox& query) const {
+  std::vector<int64_t> out;
+  Query(query, [&out](int64_t id) { out.push_back(id); });
+  return out;
+}
+
+}  // namespace scguard::index

@@ -1,0 +1,61 @@
+#ifndef SCGUARD_INDEX_GRID_INDEX_H_
+#define SCGUARD_INDEX_GRID_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geo/bbox.h"
+
+namespace scguard::index {
+
+/// A uniform grid over a fixed region indexing (rectangle, id) entries.
+///
+/// Simpler and often faster than the R-tree for the city-scale, roughly
+/// uniform extents SCGuard deals with; both satisfy the same query contract
+/// so the U2U pruner can use either (ablated in bench_ablation_pruning).
+class GridIndex {
+ public:
+  /// `region` must be non-empty; `cells_per_axis` >= 1. Entries extending
+  /// beyond the region are clamped to the border cells.
+  GridIndex(const geo::BoundingBox& region, int cells_per_axis);
+
+  /// Inserts an entry into every cell its rectangle overlaps.
+  void Insert(const geo::BoundingBox& box, int64_t id);
+
+  /// Invokes `fn` once per entry whose rectangle intersects `query`
+  /// (deduplicated even when the entry spans several cells).
+  void Query(const geo::BoundingBox& query,
+             const std::function<void(int64_t)>& fn) const;
+
+  /// All entry ids intersecting `query` (unordered, unique).
+  std::vector<int64_t> QueryIds(const geo::BoundingBox& query) const;
+
+  size_t size() const { return boxes_.size(); }
+
+ private:
+  struct CellRange {
+    int x0, x1, y0, y1;  // Inclusive cell coordinates.
+  };
+  CellRange CellsFor(const geo::BoundingBox& box) const;
+  size_t CellSlot(int cx, int cy) const {
+    return static_cast<size_t>(cy) * static_cast<size_t>(cells_) +
+           static_cast<size_t>(cx);
+  }
+
+  geo::BoundingBox region_;
+  int cells_;
+  double cell_w_;
+  double cell_h_;
+  std::vector<std::vector<size_t>> cells_entries_;  // Cell -> entry indices.
+  std::vector<geo::BoundingBox> boxes_;             // Entry index -> box.
+  std::vector<int64_t> ids_;                        // Entry index -> id.
+  // Query-time visited stamps to deduplicate multi-cell entries without
+  // allocating per query.
+  mutable std::vector<uint32_t> stamps_;
+  mutable uint32_t current_stamp_ = 0;
+};
+
+}  // namespace scguard::index
+
+#endif  // SCGUARD_INDEX_GRID_INDEX_H_

@@ -1,0 +1,124 @@
+#include "index/kdtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace scguard::index {
+
+KdTree::KdTree(std::vector<Entry> entries) : entries_(std::move(entries)) {
+  if (entries_.empty()) return;
+  std::vector<int> order(entries_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  nodes_.reserve(entries_.size());
+  root_ = Build(0, static_cast<int>(order.size()), /*split_on_x=*/true, order);
+}
+
+int KdTree::Build(int lo, int hi, bool split_on_x, std::vector<int>& order) {
+  if (lo >= hi) return -1;
+  const int mid = lo + (hi - lo) / 2;
+  auto begin = order.begin();
+  std::nth_element(begin + lo, begin + mid, begin + hi,
+                   [this, split_on_x](int a, int b) {
+                     const geo::Point& pa = entries_[static_cast<size_t>(a)].point;
+                     const geo::Point& pb = entries_[static_cast<size_t>(b)].point;
+                     return split_on_x ? pa.x < pb.x : pa.y < pb.y;
+                   });
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.push_back({order[static_cast<size_t>(mid)], -1, -1, split_on_x});
+  // Children are built after the push, so indices must be re-assigned via
+  // the local copy (vector reallocation invalidates references).
+  const int left = Build(lo, mid, !split_on_x, order);
+  const int right = Build(mid + 1, hi, !split_on_x, order);
+  nodes_[static_cast<size_t>(node_index)].left = left;
+  nodes_[static_cast<size_t>(node_index)].right = right;
+  return node_index;
+}
+
+void KdTree::NearestRec(int node, geo::Point query,
+                        const std::function<bool(int64_t)>& skip,
+                        int /*exclude_count*/, std::vector<Neighbor>& best,
+                        size_t k) const {
+  if (node < 0) return;
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  const Entry& e = entries_[static_cast<size_t>(n.entry)];
+
+  if (skip == nullptr || !skip(e.id)) {
+    const double d = geo::Distance(query, e.point);
+    if (best.size() < k) {
+      best.push_back({e.id, d});
+      std::push_heap(best.begin(), best.end(),
+                     [](const Neighbor& a, const Neighbor& b) {
+                       return a.distance < b.distance;
+                     });
+    } else if (d < best.front().distance) {
+      std::pop_heap(best.begin(), best.end(),
+                    [](const Neighbor& a, const Neighbor& b) {
+                      return a.distance < b.distance;
+                    });
+      best.back() = {e.id, d};
+      std::push_heap(best.begin(), best.end(),
+                     [](const Neighbor& a, const Neighbor& b) {
+                       return a.distance < b.distance;
+                     });
+    }
+  }
+
+  const double axis_delta =
+      n.split_on_x ? query.x - e.point.x : query.y - e.point.y;
+  const int near_child = axis_delta <= 0.0 ? n.left : n.right;
+  const int far_child = axis_delta <= 0.0 ? n.right : n.left;
+  NearestRec(near_child, query, skip, 0, best, k);
+  // Visit the far side only if the splitting plane is closer than the
+  // current k-th best (or we do not yet have k).
+  const double worst =
+      best.size() < k ? std::numeric_limits<double>::infinity()
+                      : best.front().distance;
+  if (std::abs(axis_delta) < worst) {
+    NearestRec(far_child, query, skip, 0, best, k);
+  }
+}
+
+KdTree::Neighbor KdTree::Nearest(geo::Point query,
+                                 const std::function<bool(int64_t)>& skip) const {
+  std::vector<Neighbor> best;
+  NearestRec(root_, query, skip, 0, best, 1);
+  if (best.empty()) return {-1, std::numeric_limits<double>::infinity()};
+  return best.front();
+}
+
+std::vector<KdTree::Neighbor> KdTree::KNearest(geo::Point query, int k) const {
+  SCGUARD_CHECK(k >= 1);
+  std::vector<Neighbor> best;
+  NearestRec(root_, query, nullptr, 0, best, static_cast<size_t>(k));
+  std::sort(best.begin(), best.end(), [](const Neighbor& a, const Neighbor& b) {
+    return a.distance < b.distance;
+  });
+  return best;
+}
+
+void KdTree::RadiusRec(int node, geo::Point query, double radius,
+                       std::vector<Neighbor>& out) const {
+  if (node < 0) return;
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  const Entry& e = entries_[static_cast<size_t>(n.entry)];
+  const double d = geo::Distance(query, e.point);
+  if (d <= radius) out.push_back({e.id, d});
+  const double axis_delta =
+      n.split_on_x ? query.x - e.point.x : query.y - e.point.y;
+  const int near_child = axis_delta <= 0.0 ? n.left : n.right;
+  const int far_child = axis_delta <= 0.0 ? n.right : n.left;
+  RadiusRec(near_child, query, radius, out);
+  if (std::abs(axis_delta) <= radius) RadiusRec(far_child, query, radius, out);
+}
+
+std::vector<KdTree::Neighbor> KdTree::WithinRadius(geo::Point query,
+                                                   double radius) const {
+  std::vector<Neighbor> out;
+  RadiusRec(root_, query, radius, out);
+  return out;
+}
+
+}  // namespace scguard::index

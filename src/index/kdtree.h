@@ -1,0 +1,70 @@
+#ifndef SCGUARD_INDEX_KDTREE_H_
+#define SCGUARD_INDEX_KDTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace scguard::index {
+
+/// A static 2-d tree over (point, id) entries supporting nearest-neighbor,
+/// k-nearest and radius queries.
+///
+/// Used by the non-private baselines (nearest-worker lookup) and available
+/// to deployments whose U2E stage ranks by distance; built once per worker
+/// snapshot (median splits, O(n log n)), queries O(log n) expected.
+class KdTree {
+ public:
+  struct Entry {
+    geo::Point point;
+    int64_t id = 0;
+  };
+
+  struct Neighbor {
+    int64_t id = 0;
+    double distance = 0.0;
+  };
+
+  /// Builds the tree from `entries` (copied, then recursively median-split).
+  explicit KdTree(std::vector<Entry> entries);
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// The nearest entry to `query`, optionally skipping entries for which
+  /// `skip` returns true (e.g. already-matched workers). Returns id -1
+  /// when no eligible entry exists.
+  Neighbor Nearest(geo::Point query,
+                   const std::function<bool(int64_t)>& skip = nullptr) const;
+
+  /// The k nearest entries, closest first.
+  std::vector<Neighbor> KNearest(geo::Point query, int k) const;
+
+  /// All entries within `radius` of `query` (unordered).
+  std::vector<Neighbor> WithinRadius(geo::Point query, double radius) const;
+
+ private:
+  struct Node {
+    int entry = -1;       // Index into entries_.
+    int left = -1;
+    int right = -1;
+    bool split_on_x = true;
+  };
+
+  int Build(int lo, int hi, bool split_on_x, std::vector<int>& order);
+  void NearestRec(int node, geo::Point query,
+                  const std::function<bool(int64_t)>& skip, int exclude_count,
+                  std::vector<Neighbor>& best, size_t k) const;
+  void RadiusRec(int node, geo::Point query, double radius,
+                 std::vector<Neighbor>& out) const;
+
+  std::vector<Entry> entries_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace scguard::index
+
+#endif  // SCGUARD_INDEX_KDTREE_H_

@@ -1,0 +1,76 @@
+#include "index/pruning.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "privacy/planar_laplace.h"
+
+namespace scguard::index {
+
+UncertainRegionPruner::UncertainRegionPruner(
+    std::vector<WorkerRegion> workers,
+    const privacy::PrivacyParams& worker_params,
+    const privacy::PrivacyParams& task_params, double gamma,
+    PrunerBackend backend, const geo::BoundingBox& region)
+    : workers_(std::move(workers)),
+      r_r_worker_(
+          privacy::PlanarLaplace(worker_params.unit_epsilon()).ConfidenceRadius(gamma)),
+      r_r_task_(
+          privacy::PlanarLaplace(task_params.unit_epsilon()).ConfidenceRadius(gamma)),
+      backend_(backend) {
+  SCGUARD_CHECK(gamma > 0.0 && gamma < 1.0);
+  if (backend_ == PrunerBackend::kLinearScan) return;
+
+  // The expanded worker rectangles can stick out beyond the deployment
+  // region; grow the grid region accordingly so border cells stay balanced.
+  geo::BoundingBox grid_region = region;
+  double max_extent = r_r_worker_;
+  for (const auto& w : workers_) {
+    max_extent = std::max(max_extent, r_r_worker_ + w.reach_radius_m);
+  }
+  grid_region.Extend(geo::Point{region.min_x - max_extent, region.min_y - max_extent});
+  grid_region.Extend(geo::Point{region.max_x + max_extent, region.max_y + max_extent});
+
+  if (backend_ == PrunerBackend::kGrid) {
+    grid_ = std::make_unique<GridIndex>(grid_region, /*cells_per_axis=*/64);
+    for (const auto& w : workers_) {
+      grid_->Insert(geo::BoundingBox::FromCircle(
+                        w.noisy_location, r_r_worker_ + w.reach_radius_m),
+                    w.worker_id);
+    }
+  } else {
+    rtree_ = std::make_unique<RTree>();
+    std::vector<RTree::Entry> entries;
+    entries.reserve(workers_.size());
+    for (const auto& w : workers_) {
+      entries.push_back({geo::BoundingBox::FromCircle(
+                             w.noisy_location, r_r_worker_ + w.reach_radius_m),
+                         w.worker_id});
+    }
+    rtree_->BulkLoad(std::move(entries));
+  }
+}
+
+std::vector<int64_t> UncertainRegionPruner::Candidates(
+    geo::Point task_noisy_location) const {
+  const geo::BoundingBox task_box =
+      geo::BoundingBox::FromCircle(task_noisy_location, r_r_task_);
+  switch (backend_) {
+    case PrunerBackend::kLinearScan: {
+      std::vector<int64_t> out;
+      for (const auto& w : workers_) {
+        const geo::BoundingBox worker_box = geo::BoundingBox::FromCircle(
+            w.noisy_location, r_r_worker_ + w.reach_radius_m);
+        if (worker_box.Intersects(task_box)) out.push_back(w.worker_id);
+      }
+      return out;
+    }
+    case PrunerBackend::kGrid:
+      return grid_->QueryIds(task_box);
+    case PrunerBackend::kRTree:
+      return rtree_->QueryIds(task_box);
+  }
+  return {};
+}
+
+}  // namespace scguard::index

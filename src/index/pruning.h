@@ -1,0 +1,77 @@
+#ifndef SCGUARD_INDEX_PRUNING_H_
+#define SCGUARD_INDEX_PRUNING_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/point.h"
+#include "index/grid_index.h"
+#include "index/rtree.h"
+#include "privacy/privacy_params.h"
+
+namespace scguard::index {
+
+/// Index backend used by the U2U pruner.
+enum class PrunerBackend { kLinearScan, kGrid, kRTree };
+
+constexpr std::string_view PrunerBackendName(PrunerBackend b) {
+  switch (b) {
+    case PrunerBackend::kLinearScan:
+      return "linear";
+    case PrunerBackend::kGrid:
+      return "grid";
+    case PrunerBackend::kRTree:
+      return "rtree";
+  }
+  return "?";
+}
+
+/// The U2U pruning optimization of paper Sec. IV-C1.
+///
+/// Each perturbed worker location is expanded to the rectangle bounding
+/// disk(l_w', r_R + R_w) and each perturbed task to disk(l_t', r_R), where
+/// r_R is the Geo-I confidence radius at level gamma. If the rectangles do
+/// not overlap, the pair is reachable with probability < gamma and is
+/// pruned before any probability evaluation. The pruner is conservative:
+/// it may keep unreachable workers but never drops a pair whose disks
+/// overlap.
+class UncertainRegionPruner {
+ public:
+  struct WorkerRegion {
+    int64_t worker_id = 0;
+    geo::Point noisy_location;
+    double reach_radius_m = 0.0;
+  };
+
+  /// `gamma` in (0,1): confidence that a true location lies within the
+  /// expanded disk of its observation. `region` bounds the deployment area
+  /// (needed by the grid backend; pass the workload bounding box).
+  UncertainRegionPruner(std::vector<WorkerRegion> workers,
+                        const privacy::PrivacyParams& worker_params,
+                        const privacy::PrivacyParams& task_params,
+                        double gamma, PrunerBackend backend,
+                        const geo::BoundingBox& region);
+
+  /// Worker ids whose expanded rectangle intersects the task's rectangle.
+  std::vector<int64_t> Candidates(geo::Point task_noisy_location) const;
+
+  /// Confidence radius applied to worker observations.
+  double worker_confidence_radius_m() const { return r_r_worker_; }
+  /// Confidence radius applied to task observations.
+  double task_confidence_radius_m() const { return r_r_task_; }
+  PrunerBackend backend() const { return backend_; }
+
+ private:
+  std::vector<WorkerRegion> workers_;
+  double r_r_worker_;
+  double r_r_task_;
+  PrunerBackend backend_;
+  std::unique_ptr<GridIndex> grid_;
+  std::unique_ptr<RTree> rtree_;
+};
+
+}  // namespace scguard::index
+
+#endif  // SCGUARD_INDEX_PRUNING_H_

@@ -1,0 +1,366 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace scguard::index {
+namespace {
+
+double Enlargement(const geo::BoundingBox& box, const geo::BoundingBox& add) {
+  return box.Union(add).Area() - box.Area();
+}
+
+// Quadratic seed pick (Guttman): the pair wasting the most area together.
+std::pair<size_t, size_t> PickSeeds(const std::vector<geo::BoundingBox>& boxes) {
+  double worst = -std::numeric_limits<double>::infinity();
+  std::pair<size_t, size_t> seeds{0, 1};
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    for (size_t j = i + 1; j < boxes.size(); ++j) {
+      const double waste =
+          boxes[i].Union(boxes[j]).Area() - boxes[i].Area() - boxes[j].Area();
+      if (waste > worst) {
+        worst = waste;
+        seeds = {i, j};
+      }
+    }
+  }
+  return seeds;
+}
+
+// Partitions indices 0..n-1 into two groups by quadratic distribution.
+// Returns group assignment (false = group A, true = group B).
+std::vector<bool> QuadraticPartition(const std::vector<geo::BoundingBox>& boxes,
+                                     size_t min_fill) {
+  const size_t n = boxes.size();
+  auto [seed_a, seed_b] = PickSeeds(boxes);
+  std::vector<bool> in_b(n, false);
+  std::vector<bool> assigned(n, false);
+  geo::BoundingBox box_a = boxes[seed_a];
+  geo::BoundingBox box_b = boxes[seed_b];
+  size_t count_a = 1, count_b = 1;
+  assigned[seed_a] = true;
+  assigned[seed_b] = true;
+  in_b[seed_b] = true;
+
+  size_t remaining = n - 2;
+  while (remaining > 0) {
+    // Force-assign when one group must take everything left to reach fill.
+    if (count_a + remaining == min_fill) {
+      for (size_t i = 0; i < n; ++i) {
+        if (!assigned[i]) {
+          assigned[i] = true;
+          box_a.Extend(boxes[i]);
+          ++count_a;
+        }
+      }
+      break;
+    }
+    if (count_b + remaining == min_fill) {
+      for (size_t i = 0; i < n; ++i) {
+        if (!assigned[i]) {
+          assigned[i] = true;
+          in_b[i] = true;
+          box_b.Extend(boxes[i]);
+          ++count_b;
+        }
+      }
+      break;
+    }
+    // PickNext: the entry with the strongest preference for one group.
+    double best_diff = -1.0;
+    size_t best = 0;
+    double best_da = 0.0, best_db = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (assigned[i]) continue;
+      const double da = Enlargement(box_a, boxes[i]);
+      const double db = Enlargement(box_b, boxes[i]);
+      const double diff = std::abs(da - db);
+      if (diff > best_diff) {
+        best_diff = diff;
+        best = i;
+        best_da = da;
+        best_db = db;
+      }
+    }
+    assigned[best] = true;
+    --remaining;
+    const bool to_b =
+        best_db < best_da ||
+        (best_db == best_da && (box_b.Area() < box_a.Area() ||
+                                (box_b.Area() == box_a.Area() && count_b < count_a)));
+    if (to_b) {
+      in_b[best] = true;
+      box_b.Extend(boxes[best]);
+      ++count_b;
+    } else {
+      box_a.Extend(boxes[best]);
+      ++count_a;
+    }
+  }
+  return in_b;
+}
+
+}  // namespace
+
+RTree::RTree(int max_entries)
+    : max_entries_(max_entries),
+      min_entries_(std::max(2, max_entries * 2 / 5)),
+      root_(std::make_unique<Node>()) {
+  SCGUARD_CHECK(max_entries >= 4);
+}
+
+void RTree::RecomputeBox(Node* node) const {
+  node->box = geo::BoundingBox();
+  if (node->leaf) {
+    for (const auto& e : node->entries) node->box.Extend(e.box);
+  } else {
+    for (const auto& c : node->children) node->box.Extend(c->box);
+  }
+}
+
+RTree::NodePtr RTree::SplitLeaf(Node* node) {
+  std::vector<geo::BoundingBox> boxes;
+  boxes.reserve(node->entries.size());
+  for (const auto& e : node->entries) boxes.push_back(e.box);
+  const auto in_b = QuadraticPartition(boxes, static_cast<size_t>(min_entries_));
+
+  auto sibling = std::make_unique<Node>();
+  sibling->leaf = true;
+  std::vector<Entry> keep;
+  for (size_t i = 0; i < node->entries.size(); ++i) {
+    if (in_b[i]) {
+      sibling->entries.push_back(std::move(node->entries[i]));
+    } else {
+      keep.push_back(std::move(node->entries[i]));
+    }
+  }
+  node->entries = std::move(keep);
+  RecomputeBox(node);
+  RecomputeBox(sibling.get());
+  return sibling;
+}
+
+RTree::NodePtr RTree::SplitInternal(Node* node) {
+  std::vector<geo::BoundingBox> boxes;
+  boxes.reserve(node->children.size());
+  for (const auto& c : node->children) boxes.push_back(c->box);
+  const auto in_b = QuadraticPartition(boxes, static_cast<size_t>(min_entries_));
+
+  auto sibling = std::make_unique<Node>();
+  sibling->leaf = false;
+  std::vector<NodePtr> keep;
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    if (in_b[i]) {
+      sibling->children.push_back(std::move(node->children[i]));
+    } else {
+      keep.push_back(std::move(node->children[i]));
+    }
+  }
+  node->children = std::move(keep);
+  RecomputeBox(node);
+  RecomputeBox(sibling.get());
+  return sibling;
+}
+
+void RTree::Insert(const geo::BoundingBox& box, int64_t id) {
+  SCGUARD_CHECK(!box.empty());
+  ++size_;
+
+  // Descend to the best leaf, remembering the path for box updates/splits.
+  std::vector<Node*> path;
+  Node* node = root_.get();
+  path.push_back(node);
+  while (!node->leaf) {
+    Node* best = nullptr;
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (const auto& child : node->children) {
+      const double enl = Enlargement(child->box, box);
+      const double area = child->box.Area();
+      if (enl < best_enlargement ||
+          (enl == best_enlargement && area < best_area)) {
+        best_enlargement = enl;
+        best_area = area;
+        best = child.get();
+      }
+    }
+    node = best;
+    path.push_back(node);
+  }
+
+  node->entries.push_back({box, id});
+  node->box.Extend(box);
+
+  // Propagate splits and box growth up the path.
+  NodePtr pending;  // Sibling produced by a split at the current level.
+  for (size_t level = path.size(); level-- > 0;) {
+    Node* current = path[level];
+    if (pending) {
+      current->children.push_back(std::move(pending));
+    }
+    current->box.Extend(box);
+    const size_t load =
+        current->leaf ? current->entries.size() : current->children.size();
+    if (load > static_cast<size_t>(max_entries_)) {
+      pending = current->leaf ? SplitLeaf(current) : SplitInternal(current);
+    } else {
+      pending = nullptr;
+    }
+  }
+  if (pending) {
+    // Root split: grow the tree by one level.
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(pending));
+    RecomputeBox(new_root.get());
+    root_ = std::move(new_root);
+  }
+}
+
+void RTree::BulkLoad(std::vector<Entry> entries) {
+  size_ = entries.size();
+  if (entries.empty()) {
+    root_ = std::make_unique<Node>();
+    return;
+  }
+
+  // STR: sort by x, slice into vertical strips of ~sqrt(n/M) * M entries,
+  // sort each strip by y, and pack runs of M entries into leaves; recurse
+  // on the parent level.
+  const size_t cap = static_cast<size_t>(max_entries_);
+
+  std::vector<NodePtr> level;
+  {
+    const size_t num_leaves = (entries.size() + cap - 1) / cap;
+    const auto strips = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+    const size_t strip_size = ((num_leaves + strips - 1) / strips) * cap;
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) {
+                return a.box.Center().x < b.box.Center().x;
+              });
+    for (size_t s = 0; s < entries.size(); s += strip_size) {
+      const size_t end = std::min(s + strip_size, entries.size());
+      std::sort(entries.begin() + static_cast<long>(s),
+                entries.begin() + static_cast<long>(end),
+                [](const Entry& a, const Entry& b) {
+                  return a.box.Center().y < b.box.Center().y;
+                });
+      for (size_t i = s; i < end; i += cap) {
+        auto leaf = std::make_unique<Node>();
+        leaf->leaf = true;
+        const size_t leaf_end = std::min(i + cap, end);
+        leaf->entries.assign(entries.begin() + static_cast<long>(i),
+                             entries.begin() + static_cast<long>(leaf_end));
+        RecomputeBox(leaf.get());
+        level.push_back(std::move(leaf));
+      }
+    }
+  }
+
+  // Pack parent levels the same way until one root remains.
+  while (level.size() > 1) {
+    const size_t num_parents = (level.size() + cap - 1) / cap;
+    const auto strips = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(num_parents))));
+    const size_t strip_size = ((num_parents + strips - 1) / strips) * cap;
+    std::sort(level.begin(), level.end(), [](const NodePtr& a, const NodePtr& b) {
+      return a->box.Center().x < b->box.Center().x;
+    });
+    std::vector<NodePtr> parents;
+    for (size_t s = 0; s < level.size(); s += strip_size) {
+      const size_t end = std::min(s + strip_size, level.size());
+      std::sort(level.begin() + static_cast<long>(s),
+                level.begin() + static_cast<long>(end),
+                [](const NodePtr& a, const NodePtr& b) {
+                  return a->box.Center().y < b->box.Center().y;
+                });
+      for (size_t i = s; i < end; i += cap) {
+        auto parent = std::make_unique<Node>();
+        parent->leaf = false;
+        const size_t parent_end = std::min(i + cap, end);
+        for (size_t j = i; j < parent_end; ++j) {
+          parent->children.push_back(std::move(level[j]));
+        }
+        RecomputeBox(parent.get());
+        parents.push_back(std::move(parent));
+      }
+    }
+    level = std::move(parents);
+  }
+  root_ = std::move(level.front());
+}
+
+void RTree::QueryNode(const Node* node, const geo::BoundingBox& query,
+                      const std::function<void(const Entry&)>& fn) const {
+  if (node->leaf) {
+    for (const auto& e : node->entries) {
+      if (e.box.Intersects(query)) fn(e);
+    }
+    return;
+  }
+  for (const auto& child : node->children) {
+    if (child->box.Intersects(query)) QueryNode(child.get(), query, fn);
+  }
+}
+
+void RTree::Query(const geo::BoundingBox& query,
+                  const std::function<void(const Entry&)>& fn) const {
+  if (size_ == 0) return;
+  QueryNode(root_.get(), query, fn);
+}
+
+std::vector<int64_t> RTree::QueryIds(const geo::BoundingBox& query) const {
+  std::vector<int64_t> ids;
+  Query(query, [&ids](const Entry& e) { ids.push_back(e.id); });
+  return ids;
+}
+
+int RTree::Height() const {
+  if (size_ == 0) return 0;
+  int h = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+int RTree::LeafDepth(const Node* node) const {
+  int depth = 0;
+  while (!node->leaf) {
+    node = node->children.front().get();
+    ++depth;
+  }
+  return depth;
+}
+
+bool RTree::CheckNode(const Node* node, int depth, int leaf_depth) const {
+  if (node->leaf) {
+    if (depth != leaf_depth) return false;
+    geo::BoundingBox box;
+    for (const auto& e : node->entries) box.Extend(e.box);
+    return node->entries.empty() ? node->box.empty() : box == node->box;
+  }
+  if (node->children.empty()) return false;
+  geo::BoundingBox box;
+  for (const auto& c : node->children) {
+    box.Extend(c->box);
+    if (!CheckNode(c.get(), depth + 1, leaf_depth)) return false;
+    const size_t load = c->leaf ? c->entries.size() : c->children.size();
+    if (load > static_cast<size_t>(max_entries_)) return false;
+  }
+  return box == node->box;
+}
+
+bool RTree::CheckInvariants() const {
+  if (size_ == 0) return root_->leaf && root_->entries.empty();
+  return CheckNode(root_.get(), 0, LeafDepth(root_.get()));
+}
+
+}  // namespace scguard::index

@@ -1,0 +1,87 @@
+#ifndef SCGUARD_INDEX_RTREE_H_
+#define SCGUARD_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "geo/bbox.h"
+
+namespace scguard::index {
+
+/// An in-memory R-tree over (rectangle, id) entries with quadratic-split
+/// insertion (Guttman) and STR bulk loading.
+///
+/// SCGuard's server indexes the workers' uncertainty rectangles with this
+/// structure so that the U2U stage prunes far-away workers without a full
+/// linear scan (paper Sec. IV-C1, following the uncertain-database range
+/// search of Tao et al. / Bernecker et al.).
+class RTree {
+ public:
+  struct Entry {
+    geo::BoundingBox box;
+    int64_t id = 0;
+  };
+
+  /// `max_entries` is the node fan-out M (>= 4); min fill is M * 0.4.
+  explicit RTree(int max_entries = 16);
+
+  RTree(RTree&&) noexcept = default;
+  RTree& operator=(RTree&&) noexcept = default;
+
+  /// Inserts one entry (quadratic split on overflow).
+  void Insert(const geo::BoundingBox& box, int64_t id);
+
+  /// Replaces the tree contents with a Sort-Tile-Recursive bulk load of
+  /// `entries`; O(n log n) and yields better-packed nodes than repeated
+  /// Insert.
+  void BulkLoad(std::vector<Entry> entries);
+
+  /// Invokes `fn` for every entry whose rectangle intersects `query`.
+  void Query(const geo::BoundingBox& query,
+             const std::function<void(const Entry&)>& fn) const;
+
+  /// All entry ids intersecting `query` (unordered).
+  std::vector<int64_t> QueryIds(const geo::BoundingBox& query) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Height of the tree (0 when empty, 1 for a single leaf).
+  int Height() const;
+
+  /// Verifies structural invariants (bounding boxes cover children, fill
+  /// factors respected, all leaves at the same depth); test support.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+  using NodePtr = std::unique_ptr<Node>;
+
+  struct Node {
+    bool leaf = true;
+    geo::BoundingBox box;
+    std::vector<Entry> entries;   // Valid when leaf.
+    std::vector<NodePtr> children;  // Valid when !leaf.
+  };
+
+  Node* ChooseLeaf(Node* node, const geo::BoundingBox& box,
+                   std::vector<Node*>& path);
+  NodePtr SplitLeaf(Node* node);
+  NodePtr SplitInternal(Node* node);
+  void RecomputeBox(Node* node) const;
+  void QueryNode(const Node* node, const geo::BoundingBox& query,
+                 const std::function<void(const Entry&)>& fn) const;
+  bool CheckNode(const Node* node, int depth, int leaf_depth) const;
+  int LeafDepth(const Node* node) const;
+
+  int max_entries_;
+  int min_entries_;
+  NodePtr root_;
+  size_t size_ = 0;
+};
+
+}  // namespace scguard::index
+
+#endif  // SCGUARD_INDEX_RTREE_H_

@@ -1,0 +1,41 @@
+#include "privacy/budget.h"
+
+#include "common/check.h"
+#include "common/str_format.h"
+
+namespace scguard::privacy {
+
+namespace {
+// Tolerance for floating-point budget comparisons: spending exactly the
+// remaining budget must succeed.
+constexpr double kSlack = 1e-12;
+}  // namespace
+
+BudgetLedger::BudgetLedger(double total_epsilon) : total_(total_epsilon) {
+  SCGUARD_CHECK(total_epsilon > 0.0);
+}
+
+Status BudgetLedger::Spend(double epsilon) {
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon to spend must be positive");
+  }
+  if (!CanSpend(epsilon)) {
+    return Status::FailedPrecondition(
+        StrCat("privacy budget exhausted: spent ", spent_, " of ", total_,
+               ", requested ", epsilon));
+  }
+  spent_ += epsilon;
+  return Status::OK();
+}
+
+bool BudgetLedger::CanSpend(double epsilon) const {
+  return epsilon > 0.0 && spent_ + epsilon <= total_ * (1.0 + kSlack);
+}
+
+double BudgetLedger::UniformEpsilonFor(int releases) const {
+  SCGUARD_CHECK(releases > 0);
+  const double remaining = total_ - spent_;
+  return remaining > 0.0 ? remaining / releases : 0.0;
+}
+
+}  // namespace scguard::privacy

@@ -1,0 +1,46 @@
+#ifndef SCGUARD_PRIVACY_BUDGET_H_
+#define SCGUARD_PRIVACY_BUDGET_H_
+
+#include <string>
+
+#include "common/result.h"
+
+namespace scguard::privacy {
+
+/// Per-device privacy budget ledger with sequential composition.
+///
+/// Geo-I composes like differential privacy: releasing two observations of
+/// the *same* (or correlated) location at levels eps1 and eps2 is
+/// (eps1 + eps2)-geo-indistinguishable. A device that re-reports its
+/// location across protocol rounds must therefore account for cumulative
+/// spend; this ledger enforces a total budget and refuses further spends
+/// once exhausted (paper Sec. VII, "protection for dynamic workers").
+class BudgetLedger {
+ public:
+  /// `total_epsilon` > 0 is the lifetime budget at a fixed radius of
+  /// concern.
+  explicit BudgetLedger(double total_epsilon);
+
+  double total_epsilon() const { return total_; }
+  double spent_epsilon() const { return spent_; }
+  double remaining_epsilon() const { return total_ - spent_; }
+
+  /// Records a release at level `epsilon`. Fails with FailedPrecondition
+  /// (spending nothing) if the remaining budget is insufficient.
+  Status Spend(double epsilon);
+
+  /// True iff a release at `epsilon` would still be within budget.
+  bool CanSpend(double epsilon) const;
+
+  /// Largest per-release epsilon that allows `releases` further releases.
+  /// Returns 0 when the budget is exhausted.
+  double UniformEpsilonFor(int releases) const;
+
+ private:
+  double total_;
+  double spent_ = 0.0;
+};
+
+}  // namespace scguard::privacy
+
+#endif  // SCGUARD_PRIVACY_BUDGET_H_

@@ -1,0 +1,49 @@
+#include "privacy/cloaking.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace scguard::privacy {
+
+CloakingMechanism::CloakingMechanism(double width_m, double height_m)
+    : width_(width_m), height_(height_m) {
+  SCGUARD_CHECK(width_m > 0.0 && height_m > 0.0);
+}
+
+CloakingMechanism CloakingMechanism::WithArea(double area_m2) {
+  SCGUARD_CHECK(area_m2 > 0.0);
+  const double side = std::sqrt(area_m2);
+  return CloakingMechanism(side, side);
+}
+
+geo::BoundingBox CloakingMechanism::Cloak(geo::Point location,
+                                          stats::Rng& rng) const {
+  // Uniform placement of the rectangle subject to containing the point:
+  // the lower-left corner is uniform in [x - W, x] x [y - H, y].
+  const double min_x = location.x - rng.UniformDouble(0.0, width_);
+  const double min_y = location.y - rng.UniformDouble(0.0, height_);
+  return geo::BoundingBox{min_x, min_y, min_x + width_, min_y + height_};
+}
+
+double CloakReachProbability(const geo::BoundingBox& cloak, geo::Point task,
+                             double reach_radius_m) {
+  SCGUARD_CHECK(!cloak.empty());
+  if (reach_radius_m <= 0.0) return 0.0;
+  // Quick bounds before sampling.
+  if (cloak.DistanceTo(task) > reach_radius_m) return 0.0;
+  constexpr int kGrid = 16;
+  const double dx = cloak.Width() / kGrid;
+  const double dy = cloak.Height() / kGrid;
+  int inside = 0;
+  for (int iy = 0; iy < kGrid; ++iy) {
+    for (int ix = 0; ix < kGrid; ++ix) {
+      const geo::Point p{cloak.min_x + (ix + 0.5) * dx,
+                         cloak.min_y + (iy + 0.5) * dy};
+      inside += geo::Distance(p, task) <= reach_radius_m ? 1 : 0;
+    }
+  }
+  return static_cast<double>(inside) / (kGrid * kGrid);
+}
+
+}  // namespace scguard::privacy

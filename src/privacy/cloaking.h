@@ -1,0 +1,49 @@
+#ifndef SCGUARD_PRIVACY_CLOAKING_H_
+#define SCGUARD_PRIVACY_CLOAKING_H_
+
+#include "geo/bbox.h"
+#include "geo/point.h"
+#include "stats/rng.h"
+
+namespace scguard::privacy {
+
+/// The spatial-cloaking baseline of the related work (Gruteser &
+/// Grunwald; Pournajaf et al.): instead of a perturbed point, the device
+/// reports a rectangle that contains its true location.
+///
+/// The rectangle is placed uniformly at random subject to containing the
+/// true point, so that — absent side information — the location is
+/// uniformly distributed within the reported cloak. Unlike Geo-I, the
+/// guarantee is *syntactic*: a prior-informed adversary can concentrate
+/// far beyond uniform (quantified by privacy::BayesianAdversary and
+/// bench_cloaking_vs_geoi), which is the paper's argument for preferring
+/// geo-indistinguishability.
+class CloakingMechanism {
+ public:
+  /// Cloak rectangles of `width_m` x `height_m` (> 0).
+  CloakingMechanism(double width_m, double height_m);
+
+  /// A square cloak with the given area.
+  static CloakingMechanism WithArea(double area_m2);
+
+  /// Reports a cloak containing `location`.
+  geo::BoundingBox Cloak(geo::Point location, stats::Rng& rng) const;
+
+  double width_m() const { return width_; }
+  double height_m() const { return height_; }
+  double area_m2() const { return width_ * height_; }
+
+ private:
+  double width_;
+  double height_;
+};
+
+/// Probability that a worker uniformly distributed in `cloak` is within
+/// `reach_radius_m` of `task` — the cloaked analogue of the reachability
+/// probability (midpoint-rule fraction of the cloak covered by the disk).
+double CloakReachProbability(const geo::BoundingBox& cloak, geo::Point task,
+                             double reach_radius_m);
+
+}  // namespace scguard::privacy
+
+#endif  // SCGUARD_PRIVACY_CLOAKING_H_

@@ -1,0 +1,27 @@
+#include "privacy/geo_ind.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace scguard::privacy {
+
+GeoIndMechanism::GeoIndMechanism(const PrivacyParams& params)
+    : params_(params), laplace_(params.unit_epsilon()) {
+  SCGUARD_CHECK(params.Validate().ok());
+}
+
+Result<GeoIndMechanism> GeoIndMechanism::Create(const PrivacyParams& params) {
+  SCGUARD_RETURN_NOT_OK(params.Validate());
+  return GeoIndMechanism(params);
+}
+
+geo::Point GeoIndMechanism::Perturb(geo::Point x, stats::Rng& rng) const {
+  return x + laplace_.Sample(rng);
+}
+
+double GeoIndMechanism::DistinguishabilityBound(double distance_m) const {
+  return std::exp(params_.unit_epsilon() * distance_m);
+}
+
+}  // namespace scguard::privacy

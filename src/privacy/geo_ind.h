@@ -1,0 +1,46 @@
+#ifndef SCGUARD_PRIVACY_GEO_IND_H_
+#define SCGUARD_PRIVACY_GEO_IND_H_
+
+#include "geo/point.h"
+#include "privacy/planar_laplace.h"
+#include "privacy/privacy_params.h"
+#include "stats/rng.h"
+
+namespace scguard::privacy {
+
+/// The (eps, r)-geo-indistinguishability obfuscation mechanism each worker
+/// and requester runs locally on their own device before anything reaches
+/// the untrusted server (paper Sec. II / Alg. 1 lines 3-4).
+class GeoIndMechanism {
+ public:
+  /// Dies on invalid params; use Create() for checked construction.
+  explicit GeoIndMechanism(const PrivacyParams& params);
+
+  /// Checked factory: rejects non-positive epsilon or radius.
+  static Result<GeoIndMechanism> Create(const PrivacyParams& params);
+
+  const PrivacyParams& params() const { return params_; }
+  const PlanarLaplace& noise() const { return laplace_; }
+
+  /// Reports a perturbed location for the true location `x`.
+  geo::Point Perturb(geo::Point x, stats::Rng& rng) const;
+
+  /// Multiplicative bound e^{eps * d(x,x') / r} on the ratio of observation
+  /// densities for two true locations; at d = r this equals e^eps, the
+  /// guarantee of (eps, r)-Geo-I.
+  double DistinguishabilityBound(double distance_m) const;
+
+  /// Radius containing the true location with probability >= gamma given an
+  /// observed location.
+  double ConfidenceRadius(double gamma) const {
+    return laplace_.ConfidenceRadius(gamma);
+  }
+
+ private:
+  PrivacyParams params_;
+  PlanarLaplace laplace_;
+};
+
+}  // namespace scguard::privacy
+
+#endif  // SCGUARD_PRIVACY_GEO_IND_H_

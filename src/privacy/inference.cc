@@ -1,0 +1,99 @@
+#include "privacy/inference.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace scguard::privacy {
+
+BayesianAdversary::BayesianAdversary(const geo::BoundingBox& region,
+                                     int cells_per_axis,
+                                     std::function<double(geo::Point)> prior_density)
+    : region_(region),
+      cells_(cells_per_axis),
+      cell_w_(region.Width() / cells_per_axis),
+      cell_h_(region.Height() / cells_per_axis) {
+  SCGUARD_CHECK(!region.empty() && cells_per_axis >= 2);
+  prior_.resize(static_cast<size_t>(cells_) * static_cast<size_t>(cells_));
+  double total = 0;
+  for (size_t i = 0; i < prior_.size(); ++i) {
+    const double density = prior_density(CellCenter(static_cast<int>(i)));
+    SCGUARD_CHECK(density >= 0.0);
+    prior_[i] = density;
+    total += density;
+  }
+  SCGUARD_CHECK(total > 0.0);
+  for (double& p : prior_) p /= total;
+}
+
+BayesianAdversary::BayesianAdversary(const geo::BoundingBox& region,
+                                     int cells_per_axis)
+    : BayesianAdversary(region, cells_per_axis,
+                        [](geo::Point) { return 1.0; }) {}
+
+geo::Point BayesianAdversary::CellCenter(int index) const {
+  const int cx = index % cells_;
+  const int cy = index / cells_;
+  return {region_.min_x + (cx + 0.5) * cell_w_,
+          region_.min_y + (cy + 0.5) * cell_h_};
+}
+
+std::vector<double> BayesianAdversary::PosteriorLaplace(
+    geo::Point report, double unit_epsilon) const {
+  SCGUARD_CHECK(unit_epsilon > 0.0);
+  std::vector<double> posterior(prior_.size());
+  // Subtract the minimum exponent for numerical stability before
+  // normalizing (the likelihood's 2*pi/eps^2 factor cancels).
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(prior_.size());
+  for (size_t i = 0; i < prior_.size(); ++i) {
+    dist[i] = geo::Distance(CellCenter(static_cast<int>(i)), report);
+    best = std::min(best, dist[i]);
+  }
+  double total = 0;
+  for (size_t i = 0; i < prior_.size(); ++i) {
+    posterior[i] = prior_[i] * std::exp(-unit_epsilon * (dist[i] - best));
+    total += posterior[i];
+  }
+  for (double& p : posterior) p /= total;
+  return posterior;
+}
+
+std::vector<double> BayesianAdversary::PosteriorCloak(
+    const geo::BoundingBox& cloak) const {
+  std::vector<double> posterior(prior_.size(), 0.0);
+  double total = 0;
+  for (size_t i = 0; i < prior_.size(); ++i) {
+    if (cloak.Contains(CellCenter(static_cast<int>(i)))) {
+      posterior[i] = prior_[i];
+      total += prior_[i];
+    }
+  }
+  if (total == 0.0) return std::vector<double>(prior_.size(), 0.0);
+  for (double& p : posterior) p /= total;
+  return posterior;
+}
+
+BayesianAdversary::AttackResult BayesianAdversary::Evaluate(
+    const std::vector<double>& posterior, geo::Point true_location,
+    double radius_of_concern) const {
+  SCGUARD_CHECK(posterior.size() == prior_.size());
+  AttackResult result;
+  double best_mass = -1.0;
+  geo::Point map_estimate{0, 0};
+  for (size_t i = 0; i < posterior.size(); ++i) {
+    const geo::Point center = CellCenter(static_cast<int>(i));
+    const double d = geo::Distance(center, true_location);
+    result.expected_error_m += posterior[i] * d;
+    if (d <= radius_of_concern) result.mass_within_r += posterior[i];
+    if (posterior[i] > best_mass) {
+      best_mass = posterior[i];
+      map_estimate = center;
+    }
+  }
+  result.map_error_m = geo::Distance(map_estimate, true_location);
+  return result;
+}
+
+}  // namespace scguard::privacy

@@ -1,0 +1,43 @@
+#include "privacy/location_set.h"
+
+#include "common/str_format.h"
+#include "privacy/planar_laplace.h"
+
+namespace scguard::privacy {
+
+LocationSetMechanism::LocationSetMechanism(const PrivacyParams& joint,
+                                           int set_size)
+    : joint_(joint),
+      per_location_{joint.epsilon / set_size, joint.radius_m},
+      set_size_(set_size) {}
+
+Result<LocationSetMechanism> LocationSetMechanism::Create(
+    const PrivacyParams& params, int set_size) {
+  SCGUARD_RETURN_NOT_OK(params.Validate());
+  if (set_size < 1) {
+    return Status::InvalidArgument("set_size must be >= 1");
+  }
+  return LocationSetMechanism(params, set_size);
+}
+
+Result<std::vector<geo::Point>> LocationSetMechanism::PerturbSet(
+    const std::vector<geo::Point>& locations, stats::Rng& rng) const {
+  if (locations.size() > static_cast<size_t>(set_size_)) {
+    return Status::InvalidArgument(
+        StrCat("set of ", locations.size(), " exceeds the protected size ",
+               set_size_));
+  }
+  const PlanarLaplace laplace(per_location_.unit_epsilon());
+  std::vector<geo::Point> out;
+  out.reserve(locations.size());
+  for (geo::Point l : locations) out.push_back(l + laplace.Sample(rng));
+  return out;
+}
+
+geo::Point LocationSetMechanism::PerturbOne(geo::Point location,
+                                            stats::Rng& rng) const {
+  const PlanarLaplace laplace(per_location_.unit_epsilon());
+  return location + laplace.Sample(rng);
+}
+
+}  // namespace scguard::privacy

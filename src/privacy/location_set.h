@@ -1,0 +1,53 @@
+#ifndef SCGUARD_PRIVACY_LOCATION_SET_H_
+#define SCGUARD_PRIVACY_LOCATION_SET_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "geo/point.h"
+#include "privacy/privacy_params.h"
+#include "stats/rng.h"
+
+namespace scguard::privacy {
+
+/// Geo-indistinguishability for a *set* of correlated locations
+/// (paper Sec. VII / Andrés et al. Sec. III-E).
+///
+/// When a user releases n locations that are correlated (a worker's trace,
+/// a requester's task cluster), protecting each at (eps, r) only yields
+/// (n*eps, r) jointly. To keep the joint guarantee at (eps, r), each
+/// individual release must run at eps/n — the noise per location grows
+/// linearly with the set size, which is exactly the utility collapse the
+/// paper predicts for the rejected "server ranks U2E responses" design
+/// and for naive dynamic re-reporting.
+class LocationSetMechanism {
+ public:
+  /// Joint guarantee (eps, r) over sets of up to `set_size` locations.
+  /// Requires valid params and set_size >= 1.
+  static Result<LocationSetMechanism> Create(const PrivacyParams& params,
+                                             int set_size);
+
+  /// The per-location privacy level actually applied: (eps / set_size, r).
+  PrivacyParams per_location_params() const { return per_location_; }
+  const PrivacyParams& joint_params() const { return joint_; }
+  int set_size() const { return set_size_; }
+
+  /// Perturbs up to set_size() locations under the joint guarantee.
+  /// Fails with InvalidArgument if more locations are passed.
+  Result<std::vector<geo::Point>> PerturbSet(
+      const std::vector<geo::Point>& locations, stats::Rng& rng) const;
+
+  /// Perturbs a single member of the set (spending its eps/n share).
+  geo::Point PerturbOne(geo::Point location, stats::Rng& rng) const;
+
+ private:
+  LocationSetMechanism(const PrivacyParams& joint, int set_size);
+
+  PrivacyParams joint_;
+  PrivacyParams per_location_;
+  int set_size_;
+};
+
+}  // namespace scguard::privacy
+
+#endif  // SCGUARD_PRIVACY_LOCATION_SET_H_

@@ -1,0 +1,78 @@
+#include "privacy/planar_laplace.h"
+
+#include <cmath>
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "stats/lambert_w.h"
+#include "stats/quadrature.h"
+
+namespace scguard::privacy {
+
+PlanarLaplace::PlanarLaplace(double unit_epsilon) : eps_(unit_epsilon) {
+  SCGUARD_CHECK(unit_epsilon > 0.0);
+}
+
+double PlanarLaplace::Pdf(geo::Point z) const {
+  return eps_ * eps_ / (2.0 * M_PI) * std::exp(-eps_ * z.Norm());
+}
+
+double PlanarLaplace::RadialCdf(double r0) const {
+  if (r0 <= 0.0) return 0.0;
+  const double t = eps_ * r0;
+  return 1.0 - (1.0 + t) * std::exp(-t);
+}
+
+double PlanarLaplace::InverseRadialCdf(double p) const {
+  SCGUARD_CHECK(p >= 0.0 && p < 1.0);
+  if (p == 0.0) return 0.0;
+  // Solve (1 + t) e^-t = 1 - p  =>  t = -W-1((p - 1)/e) - 1.
+  const double w = *stats::LambertWm1((p - 1.0) / M_E);
+  return -(w + 1.0) / eps_;
+}
+
+double PlanarLaplace::ConfidenceRadius(double gamma) const {
+  SCGUARD_CHECK(gamma > 0.0 && gamma < 1.0);
+  return InverseRadialCdf(gamma);
+}
+
+double PlanarLaplace::DiskProbability(double center_distance,
+                                      double disk_radius) const {
+  SCGUARD_CHECK(center_distance >= 0.0 && disk_radius >= 0.0);
+  if (disk_radius == 0.0) return 0.0;
+  const double nu = center_distance;
+  const double radius = disk_radius;
+  if (nu == 0.0) return RadialCdf(radius);
+
+  // Mass of noise rings fully inside the disk (only when the true location
+  // itself is inside): closed form via the radial CDF.
+  double prob = nu < radius ? RadialCdf(radius - nu) : 0.0;
+
+  // Rings that cross the disk boundary contribute their covered arc
+  // fraction: acos((rho^2 + nu^2 - R^2) / (2 rho nu)) / pi.
+  const double band_lo = std::abs(radius - nu);
+  const double band_hi = nu + radius;
+  const double eps = eps_;
+  const auto integrand = [nu, radius, eps](double rho) {
+    if (rho <= 0.0) return 0.0;
+    double cosine = (rho * rho + nu * nu - radius * radius) / (2.0 * rho * nu);
+    cosine = std::clamp(cosine, -1.0, 1.0);
+    const double coverage = std::acos(cosine) / M_PI;
+    const double radial_pdf = eps * eps * rho * std::exp(-eps * rho);
+    return radial_pdf * coverage;
+  };
+  prob += stats::AdaptiveSimpson(integrand, band_lo, band_hi, 1e-9);
+  return std::clamp(prob, 0.0, 1.0);
+}
+
+geo::Point PlanarLaplace::Sample(stats::Rng& rng) const {
+  const double theta = rng.UniformDouble(0.0, 2.0 * M_PI);
+  // 1 - UniformDoublePositive() is in [0, 1): valid for the inverse CDF and
+  // never hits the p = 1 pole.
+  const double p = 1.0 - rng.UniformDoublePositive();
+  const double radius = InverseRadialCdf(p);
+  return {radius * std::cos(theta), radius * std::sin(theta)};
+}
+
+}  // namespace scguard::privacy

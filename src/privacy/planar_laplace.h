@@ -1,0 +1,64 @@
+#ifndef SCGUARD_PRIVACY_PLANAR_LAPLACE_H_
+#define SCGUARD_PRIVACY_PLANAR_LAPLACE_H_
+
+#include "common/result.h"
+#include "geo/point.h"
+#include "stats/rng.h"
+
+namespace scguard::privacy {
+
+/// The planar Laplace noise distribution of Andrés et al. (CCS'13), the
+/// mechanism that achieves geo-indistinguishability.
+///
+/// Density at displacement z from the true location: eps^2/(2 pi) e^{-eps |z|}
+/// where `eps` is the *per-meter* epsilon. Sampling uses the polar method:
+/// the angle is uniform, and the radius is drawn by inverting the radial CDF
+/// C(r0) = 1 - (1 + eps r0) e^{-eps r0} through the Lambert W-1 branch.
+class PlanarLaplace {
+ public:
+  /// Requires unit_epsilon > 0 (per-meter budget, typically eps / r).
+  explicit PlanarLaplace(double unit_epsilon);
+
+  double unit_epsilon() const { return eps_; }
+
+  /// Density of the noise displacement `z` (a vector from the true point).
+  double Pdf(geo::Point z) const;
+
+  /// Radial CDF: probability that the noise magnitude is <= r0.
+  double RadialCdf(double r0) const;
+
+  /// Inverse radial CDF; p in [0, 1). C^-1(p) = -(1/eps)(W-1((p-1)/e) + 1).
+  double InverseRadialCdf(double p) const;
+
+  /// Radius r_R such that the true location lies within r_R of the reported
+  /// one with probability at least gamma (Sec. 5 of Andrés et al.; used by
+  /// the U2U pruning of paper Sec. IV-C1). gamma in (0, 1).
+  double ConfidenceRadius(double gamma) const;
+
+  /// Draws one noise displacement.
+  geo::Point Sample(stats::Rng& rng) const;
+
+  /// Exact probability that the perturbed point lands inside a disk of
+  /// radius `disk_radius` whose center lies `center_distance` away from the
+  /// true location (both in meters, >= 0). Computed by 1-D radial
+  /// quadrature of the noise density against the disk's angular coverage.
+  ///
+  /// This is the gold-standard U2E reachability probability: with the task
+  /// exact and the worker perturbed, Pr(d(w, t) <= R_w | d(w', t) = nu) =
+  /// DiskProbability(nu, R_w).
+  double DiskProbability(double center_distance, double disk_radius) const;
+
+  /// Mean of the noise magnitude: 2 / eps.
+  double RadialMean() const { return 2.0 / eps_; }
+
+  /// Per-coordinate variance of the noise: 3 / eps^2 (the radial second
+  /// moment 6/eps^2 split over two symmetric coordinates).
+  double CoordinateVariance() const { return 3.0 / (eps_ * eps_); }
+
+ private:
+  double eps_;
+};
+
+}  // namespace scguard::privacy
+
+#endif  // SCGUARD_PRIVACY_PLANAR_LAPLACE_H_

@@ -1,0 +1,37 @@
+#ifndef SCGUARD_PRIVACY_PRIVACY_PARAMS_H_
+#define SCGUARD_PRIVACY_PRIVACY_PARAMS_H_
+
+#include "common/result.h"
+
+namespace scguard::privacy {
+
+/// The (eps, r) pair of constrained geo-indistinguishability (paper Sec. II).
+///
+/// `epsilon` is the privacy level and `radius_m` the radius of concern in
+/// meters: any two true locations within `radius_m` of each other produce
+/// observation distributions within multiplicative distance
+/// `epsilon * d(x, x') / radius_m <= epsilon`. Equivalently, the planar
+/// Laplace mechanism is run with a per-meter budget of
+/// `unit_epsilon() = epsilon / radius_m`.
+struct PrivacyParams {
+  double epsilon = 0.7;    ///< Total budget over the radius of concern.
+  double radius_m = 800.0; ///< Radius of concern, meters.
+
+  /// The per-meter epsilon the planar Laplace sampler consumes.
+  double unit_epsilon() const { return epsilon / radius_m; }
+
+  /// OK iff epsilon > 0 and radius_m > 0.
+  Status Validate() const {
+    if (!(epsilon > 0.0)) return Status::InvalidArgument("epsilon must be > 0");
+    if (!(radius_m > 0.0)) return Status::InvalidArgument("radius_m must be > 0");
+    return Status::OK();
+  }
+
+  friend bool operator==(const PrivacyParams& a, const PrivacyParams& b) {
+    return a.epsilon == b.epsilon && a.radius_m == b.radius_m;
+  }
+};
+
+}  // namespace scguard::privacy
+
+#endif  // SCGUARD_PRIVACY_PRIVACY_PARAMS_H_

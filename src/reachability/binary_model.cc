@@ -1,0 +1,10 @@
+#include "reachability/binary_model.h"
+
+namespace scguard::reachability {
+
+double BinaryModel::ProbReachable(Stage /*stage*/, double observed_distance_m,
+                                  double reach_radius_m) const {
+  return observed_distance_m <= reach_radius_m ? 1.0 : 0.0;
+}
+
+}  // namespace scguard::reachability

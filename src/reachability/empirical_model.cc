@@ -1,0 +1,75 @@
+#include "reachability/empirical_model.h"
+
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "privacy/geo_ind.h"
+
+namespace scguard::reachability {
+
+EmpiricalModel::EmpiricalModel(EmpiricalTable u2u, EmpiricalTable u2e)
+    : u2u_(std::make_unique<EmpiricalTable>(std::move(u2u))),
+      u2e_(std::make_unique<EmpiricalTable>(std::move(u2e))) {}
+
+Result<EmpiricalModel> EmpiricalModel::Build(
+    const EmpiricalModelConfig& config,
+    const privacy::PrivacyParams& worker_params,
+    const privacy::PrivacyParams& task_params, stats::Rng& rng) {
+  if (config.region.empty()) {
+    return Status::InvalidArgument("empirical model needs a non-empty region");
+  }
+  if (config.num_samples == 0) {
+    return Status::InvalidArgument("num_samples must be > 0");
+  }
+  SCGUARD_RETURN_NOT_OK(worker_params.Validate());
+  SCGUARD_RETURN_NOT_OK(task_params.Validate());
+
+  const privacy::GeoIndMechanism worker_mech(worker_params);
+  const privacy::GeoIndMechanism task_mech(task_params);
+
+  EmpiricalTable u2u(config.bucket_width_m, config.num_buckets,
+                     config.true_max_m, config.true_bins);
+  EmpiricalTable u2e(config.bucket_width_m, config.num_buckets,
+                     config.true_max_m, config.true_bins);
+
+  const auto& region = config.region;
+  for (uint64_t i = 0; i < config.num_samples; ++i) {
+    const geo::Point worker{rng.UniformDouble(region.min_x, region.max_x),
+                            rng.UniformDouble(region.min_y, region.max_y)};
+    const geo::Point task{rng.UniformDouble(region.min_x, region.max_x),
+                          rng.UniformDouble(region.min_y, region.max_y)};
+    const double d_true = geo::Distance(worker, task);
+    const geo::Point worker_noisy = worker_mech.Perturb(worker, rng);
+    const geo::Point task_noisy = task_mech.Perturb(task, rng);
+    // U2U: both endpoints observed with noise.
+    u2u.Add(d_true, geo::Distance(worker_noisy, task_noisy));
+    // U2E: exact task location, noisy worker location.
+    u2e.Add(d_true, geo::Distance(worker_noisy, task));
+  }
+  return EmpiricalModel(std::move(u2u), std::move(u2e));
+}
+
+double EmpiricalModel::ProbReachable(Stage stage, double observed_distance_m,
+                                     double reach_radius_m) const {
+  const EmpiricalTable& table = stage == Stage::kU2U ? *u2u_ : *u2e_;
+  return table.ProbBelow(observed_distance_m, reach_radius_m);
+}
+
+void EmpiricalModel::Serialize(std::ostream& os) const {
+  os << "empirical-model-v1\n";
+  u2u_->Serialize(os);
+  u2e_->Serialize(os);
+}
+
+Result<EmpiricalModel> EmpiricalModel::Deserialize(std::istream& is) {
+  std::string magic;
+  if (!(is >> magic) || magic != "empirical-model-v1") {
+    return Status::IOError("bad empirical model header");
+  }
+  SCGUARD_ASSIGN_OR_RETURN(EmpiricalTable u2u, EmpiricalTable::Deserialize(is));
+  SCGUARD_ASSIGN_OR_RETURN(EmpiricalTable u2e, EmpiricalTable::Deserialize(is));
+  return EmpiricalModel(std::move(u2u), std::move(u2e));
+}
+
+}  // namespace scguard::reachability

@@ -1,0 +1,80 @@
+#ifndef SCGUARD_REACHABILITY_EMPIRICAL_MODEL_H_
+#define SCGUARD_REACHABILITY_EMPIRICAL_MODEL_H_
+
+#include <iosfwd>
+#include <memory>
+
+#include "common/result.h"
+#include "geo/bbox.h"
+#include "privacy/privacy_params.h"
+#include "reachability/empirical_table.h"
+#include "reachability/model.h"
+#include "stats/rng.h"
+
+namespace scguard::reachability {
+
+/// Parameters of the Monte-Carlo simulation that precomputes the empirical
+/// tables (paper Sec. IV-B2).
+struct EmpiricalModelConfig {
+  /// Region of interest over which pair locations are generated uniformly
+  /// (the paper uses Beijing City).
+  geo::BoundingBox region;
+  /// Number of simulated worker-task pairs per table.
+  uint64_t num_samples = 200000;
+  /// Noisy-distance bucket width s (paper: 100 m).
+  double bucket_width_m = 100.0;
+  /// Closed buckets [0, s) ... [(B-1)s, Bs); bucket B is [Bs, inf).
+  /// Paper: 121 buckets (up to 120 s).
+  int num_buckets = 121;
+  /// Geometry of the per-bucket true-distance histograms.
+  double true_max_m = 40000.0;
+  int true_bins = 400;
+};
+
+/// The empirical reachability model (*Probabilistic-Data* in the paper's
+/// evaluation): precomputes, from synthetic or historic data, the
+/// distribution of true distance per bucket of observed distance, for both
+/// the U2U and U2E stages.
+///
+/// The precomputation uses randomly generated locations, so it does not
+/// touch (or leak) any individual's data.
+class EmpiricalModel final : public ReachabilityModel {
+ public:
+  /// Runs the Monte-Carlo precomputation for the given privacy levels.
+  /// Requires a non-empty region and num_samples > 0.
+  static Result<EmpiricalModel> Build(const EmpiricalModelConfig& config,
+                                      const privacy::PrivacyParams& worker_params,
+                                      const privacy::PrivacyParams& task_params,
+                                      stats::Rng& rng);
+
+  /// Convenience: both parties at the same privacy level.
+  static Result<EmpiricalModel> Build(const EmpiricalModelConfig& config,
+                                      const privacy::PrivacyParams& params,
+                                      stats::Rng& rng) {
+    return Build(config, params, params, rng);
+  }
+
+  double ProbReachable(Stage stage, double observed_distance_m,
+                       double reach_radius_m) const override;
+
+  std::string_view name() const override { return "empirical"; }
+
+  const EmpiricalTable& u2u_table() const { return *u2u_; }
+  const EmpiricalTable& u2e_table() const { return *u2e_; }
+
+  /// Text round-trip so tables can be built once and shipped.
+  void Serialize(std::ostream& os) const;
+  static Result<EmpiricalModel> Deserialize(std::istream& is);
+
+ private:
+  EmpiricalModel(EmpiricalTable u2u, EmpiricalTable u2e);
+
+  // unique_ptr keeps the model cheap to move while EmpiricalTable stays
+  // value-semantic.
+  std::unique_ptr<EmpiricalTable> u2u_;
+  std::unique_ptr<EmpiricalTable> u2e_;
+};
+
+}  // namespace scguard::reachability
+
+#endif  // SCGUARD_REACHABILITY_EMPIRICAL_MODEL_H_

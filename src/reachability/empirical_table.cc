@@ -1,0 +1,94 @@
+#include "reachability/empirical_table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "common/check.h"
+#include "common/str_format.h"
+
+namespace scguard::reachability {
+
+EmpiricalTable::EmpiricalTable(double bucket_width_m, int num_buckets,
+                               double true_max_m, int true_bins)
+    : bucket_width_(bucket_width_m), true_max_(true_max_m), true_bins_(true_bins) {
+  SCGUARD_CHECK(bucket_width_m > 0.0 && num_buckets >= 1);
+  SCGUARD_CHECK(true_max_m > 0.0 && true_bins >= 1);
+  buckets_.reserve(static_cast<size_t>(num_buckets));
+  for (int i = 0; i < num_buckets; ++i) {
+    buckets_.emplace_back(0.0, true_max_m, true_bins);
+  }
+}
+
+int EmpiricalTable::BucketIndex(double d_obs) const {
+  SCGUARD_DCHECK(d_obs >= 0.0);
+  const auto idx = static_cast<long>(d_obs / bucket_width_);
+  return static_cast<int>(
+      std::min<long>(idx, static_cast<long>(buckets_.size()) - 1));
+}
+
+void EmpiricalTable::Add(double d_true, double d_obs) {
+  buckets_[static_cast<size_t>(BucketIndex(d_obs))].Add(d_true);
+  ++total_samples_;
+}
+
+double EmpiricalTable::ProbBelow(double d_obs, double threshold) const {
+  const int idx = BucketIndex(d_obs);
+  const auto& bucket = buckets_[static_cast<size_t>(idx)];
+  if (bucket.total_count() > 0) return bucket.FractionBelow(threshold);
+  // Sparse-data fallback: walk outward to the nearest populated bucket and
+  // shift the threshold by the difference of bucket centers, so a query in
+  // an empty far bucket borrows the shape of its neighbor at the right
+  // distance offset.
+  for (int delta = 1; delta < num_buckets(); ++delta) {
+    for (int cand : {idx - delta, idx + delta}) {
+      if (cand < 0 || cand >= num_buckets()) continue;
+      const auto& other = buckets_[static_cast<size_t>(cand)];
+      if (other.total_count() == 0) continue;
+      const double center_shift = static_cast<double>(cand - idx) * bucket_width_;
+      return other.FractionBelow(threshold + center_shift);
+    }
+  }
+  return 0.0;  // Entirely empty table.
+}
+
+const stats::Histogram& EmpiricalTable::bucket(int index) const {
+  SCGUARD_CHECK(index >= 0 && index < num_buckets());
+  return buckets_[static_cast<size_t>(index)];
+}
+
+void EmpiricalTable::Serialize(std::ostream& os) const {
+  os << "empirical-table-v1 " << bucket_width_ << ' ' << buckets_.size() << ' '
+     << true_max_ << ' ' << true_bins_ << ' ' << total_samples_ << '\n';
+  for (const auto& b : buckets_) {
+    b.Serialize(os);
+    os << '\n';
+  }
+}
+
+Result<EmpiricalTable> EmpiricalTable::Deserialize(std::istream& is) {
+  std::string magic;
+  double width, true_max;
+  size_t n;
+  int true_bins;
+  uint64_t total;
+  if (!(is >> magic >> width >> n >> true_max >> true_bins >> total) ||
+      magic != "empirical-table-v1") {
+    return Status::IOError("bad empirical table header");
+  }
+  if (!(width > 0.0) || n == 0 || n > (1u << 20) || !(true_max > 0.0) ||
+      true_bins < 1) {
+    return Status::IOError("bad empirical table geometry");
+  }
+  EmpiricalTable table(width, static_cast<int>(n), true_max, true_bins);
+  table.total_samples_ = total;
+  table.buckets_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    SCGUARD_ASSIGN_OR_RETURN(stats::Histogram h, stats::Histogram::Deserialize(is));
+    table.buckets_.push_back(std::move(h));
+  }
+  return table;
+}
+
+}  // namespace scguard::reachability

@@ -1,0 +1,59 @@
+#ifndef SCGUARD_REACHABILITY_EMPIRICAL_TABLE_H_
+#define SCGUARD_REACHABILITY_EMPIRICAL_TABLE_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "common/result.h"
+#include "stats/histogram.h"
+
+namespace scguard::reachability {
+
+/// A precomputed conditional distribution table: for each bucket of
+/// observed (noisy) distance d' — disjoint ranges [0, s), [s, 2s), ...,
+/// [B*s, inf) with s = 100 m in the paper — the empirical distribution of
+/// the true distance d, stored as a Histogram.
+///
+/// Query: Pr(d <= R_w | d' in bucket) = bucket histogram's FractionBelow(R_w).
+class EmpiricalTable {
+ public:
+  /// `bucket_width_m` is s (> 0); `num_buckets` B (>= 1; the last bucket is
+  /// the open-ended [B*s, inf) overflow). True-distance histograms span
+  /// [0, true_max_m) with `true_bins` bins.
+  EmpiricalTable(double bucket_width_m, int num_buckets, double true_max_m,
+                 int true_bins);
+
+  double bucket_width_m() const { return bucket_width_; }
+  int num_buckets() const { return static_cast<int>(buckets_.size()); }
+  uint64_t total_samples() const { return total_samples_; }
+
+  /// Index of the bucket holding observed distance `d_obs` (>= 0); values
+  /// beyond the last closed bucket map to the overflow bucket.
+  int BucketIndex(double d_obs) const;
+
+  /// Records one (true, observed) distance pair.
+  void Add(double d_true, double d_obs);
+
+  /// Pr(d <= threshold | bucket(d_obs)). When the bucket holds no samples,
+  /// falls back to the nearest non-empty bucket (shifting the query by the
+  /// bucket-center offset so the estimate stays distance-consistent).
+  double ProbBelow(double d_obs, double threshold) const;
+
+  /// Direct access to a bucket's true-distance histogram.
+  const stats::Histogram& bucket(int index) const;
+
+  /// Text serialization (header + one histogram line per bucket).
+  void Serialize(std::ostream& os) const;
+  static Result<EmpiricalTable> Deserialize(std::istream& is);
+
+ private:
+  double bucket_width_;
+  double true_max_;
+  int true_bins_;
+  std::vector<stats::Histogram> buckets_;
+  uint64_t total_samples_ = 0;
+};
+
+}  // namespace scguard::reachability
+
+#endif  // SCGUARD_REACHABILITY_EMPIRICAL_TABLE_H_

@@ -1,0 +1,45 @@
+#ifndef SCGUARD_REACHABILITY_MODEL_H_
+#define SCGUARD_REACHABILITY_MODEL_H_
+
+#include <string_view>
+
+namespace scguard::reachability {
+
+/// Which SCGuard protocol stage a reachability query is asked in; the noise
+/// on the observed distance differs per stage (paper Table I).
+enum class Stage {
+  /// Uncertain-to-uncertain: the server sees perturbed worker *and*
+  /// perturbed task locations.
+  kU2U,
+  /// Uncertain-to-exact: the requester knows the exact task location and
+  /// the perturbed worker location.
+  kU2E,
+};
+
+constexpr std::string_view StageName(Stage stage) {
+  return stage == Stage::kU2U ? "U2U" : "U2E";
+}
+
+/// Quantifies the probability that a worker can reach a task given only the
+/// observed (noisy) distance between them: Pr(d(w, t) <= R_w | d').
+///
+/// Implementations correspond to the paper's three options: the binary
+/// "oblivious" step function, the analytical BND/Rice approximation
+/// (Sec. IV-B1), and the Monte-Carlo empirical tables (Sec. IV-B2).
+class ReachabilityModel {
+ public:
+  virtual ~ReachabilityModel() = default;
+
+  /// Reachability probability at `stage` for observed distance
+  /// `observed_distance_m` (>= 0) and worker reach radius `reach_radius_m`.
+  virtual double ProbReachable(Stage stage, double observed_distance_m,
+                               double reach_radius_m) const = 0;
+
+  /// Short identifier used in experiment tables ("binary", "analytical",
+  /// "empirical").
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace scguard::reachability
+
+#endif  // SCGUARD_REACHABILITY_MODEL_H_

@@ -1,0 +1,36 @@
+#ifndef SCGUARD_SIM_DEFAULTS_H_
+#define SCGUARD_SIM_DEFAULTS_H_
+
+#include <array>
+
+#include "privacy/privacy_params.h"
+
+namespace scguard::sim {
+
+// The parameter grid of paper Sec. V-A; defaults in the paper's boldface.
+
+/// Privacy level sweep (strict -> loose).
+inline constexpr std::array<double, 4> kEpsilons = {0.1, 0.4, 0.7, 1.0};
+inline constexpr double kDefaultEpsilon = 0.7;
+
+/// Radius-of-concern sweep, meters.
+inline constexpr std::array<double, 4> kRadii = {200.0, 800.0, 1400.0, 2000.0};
+inline constexpr double kDefaultRadius = 800.0;
+
+/// U2U threshold sweep.
+inline constexpr std::array<double, 8> kAlphas = {0.05, 0.1,  0.15, 0.2,
+                                                  0.25, 0.3, 0.35, 0.4};
+inline constexpr double kDefaultAlpha = 0.1;
+
+/// U2E threshold sweep.
+inline constexpr std::array<double, 7> kBetas = {0.1,  0.15, 0.2, 0.25,
+                                                 0.3, 0.35, 0.4};
+inline constexpr double kDefaultBeta = 0.25;
+
+inline privacy::PrivacyParams DefaultPrivacy() {
+  return {kDefaultEpsilon, kDefaultRadius};
+}
+
+}  // namespace scguard::sim
+
+#endif  // SCGUARD_SIM_DEFAULTS_H_

@@ -1,0 +1,133 @@
+#include "sim/dynamic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "data/beijing.h"
+#include "data/trip_model.h"
+#include "privacy/planar_laplace.h"
+#include "reachability/analytical_model.h"
+
+namespace scguard::sim {
+namespace {
+
+geo::Point ClampToRegion(geo::Point p, const geo::BoundingBox& region) {
+  return {std::clamp(p.x, region.min_x, region.max_x),
+          std::clamp(p.y, region.min_y, region.max_y)};
+}
+
+}  // namespace
+
+std::vector<DynamicRoundMetrics> RunDynamicWorkers(const DynamicConfig& config,
+                                                   ReportingStrategy strategy) {
+  SCGUARD_CHECK(config.rounds >= 1 && config.num_workers >= 1);
+  SCGUARD_CHECK(config.joint.Validate().ok());
+
+  const geo::BoundingBox region = data::BeijingRegion();
+  stats::Rng rng(config.seed);
+  const data::HotspotMixture demand =
+      data::HotspotMixture::MakeBeijingLike(region, 24, rng);
+
+  // Per-report privacy level by strategy.
+  const privacy::PrivacyParams per_report =
+      strategy == ReportingStrategy::kLocationSetSplit
+          ? privacy::PrivacyParams{config.joint.epsilon / config.rounds,
+                                   config.joint.radius_m}
+          : config.joint;
+  const privacy::PlanarLaplace laplace(per_report.unit_epsilon());
+
+  // Reachability models consistent with the *claimed* per-report level:
+  // the server cannot know more than what devices declare.
+  const reachability::AnalyticalModel model(per_report);
+
+  // Worker state.
+  struct DynamicWorker {
+    geo::Point location;
+    geo::Point reported;
+    double reach = 0;
+    double spent_epsilon = 0;
+  };
+  std::vector<DynamicWorker> workers(static_cast<size_t>(config.num_workers));
+  for (auto& w : workers) {
+    w.location = demand.Sample(rng);
+    w.reach = rng.UniformDouble(config.reach_min_m, config.reach_max_m);
+  }
+
+  std::vector<DynamicRoundMetrics> results;
+  for (int round = 0; round < config.rounds; ++round) {
+    // Movement (not in round 0: workers register where they are).
+    if (round > 0) {
+      for (auto& w : workers) {
+        const double angle = rng.UniformDouble(0.0, 2.0 * M_PI);
+        const double step = rng.UniformDouble(0.0, config.max_move_m);
+        w.location = ClampToRegion(
+            w.location + geo::Point{step * std::cos(angle), step * std::sin(angle)},
+            region);
+      }
+    }
+
+    // Reporting.
+    for (auto& w : workers) {
+      const bool refresh = round == 0 || strategy != ReportingStrategy::kReportOnce;
+      if (refresh) {
+        w.reported = w.location + laplace.Sample(rng);
+        w.spent_epsilon += per_report.epsilon;
+      }
+    }
+
+    // One round of online assignment over fresh tasks.
+    DynamicRoundMetrics metrics;
+    metrics.round = round;
+    std::vector<bool> busy(workers.size(), false);
+    double travel_sum = 0;
+    for (int t = 0; t < config.tasks_per_round; ++t) {
+      const geo::Point task = demand.Sample(rng);
+      const geo::Point task_noisy = task + privacy::PlanarLaplace(
+                                               config.joint.unit_epsilon())
+                                               .Sample(rng);
+      // U2U + U2E against reported locations.
+      std::vector<std::pair<double, size_t>> ranked;
+      for (size_t i = 0; i < workers.size(); ++i) {
+        if (busy[i]) continue;
+        const DynamicWorker& w = workers[i];
+        const double p_u2u = model.ProbReachable(
+            reachability::Stage::kU2U, geo::Distance(w.reported, task_noisy),
+            w.reach);
+        if (p_u2u < config.alpha) continue;
+        const double p_u2e = model.ProbReachable(
+            reachability::Stage::kU2E, geo::Distance(w.reported, task), w.reach);
+        ranked.emplace_back(p_u2e, i);
+      }
+      std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+        if (a.first != b.first) return a.first > b.first;
+        return a.second < b.second;
+      });
+      for (const auto& [score, i] : ranked) {
+        if (score < config.beta) break;  // Cancel.
+        const double d_true = geo::Distance(workers[i].location, task);
+        if (d_true <= workers[i].reach) {
+          busy[i] = true;
+          workers[i].location = task;  // Completes the task, ends up there.
+          metrics.assigned += 1;
+          travel_sum += d_true;
+          break;
+        }
+        metrics.false_hits += 1;
+      }
+    }
+    metrics.travel_m = metrics.assigned > 0 ? travel_sum / metrics.assigned : 0;
+
+    double eps_max = 0, error_sum = 0;
+    for (const auto& w : workers) {
+      eps_max = std::max(eps_max, w.spent_epsilon);
+      error_sum += geo::Distance(w.location, w.reported);
+    }
+    metrics.effective_epsilon = eps_max;
+    metrics.report_error_m = error_sum / static_cast<double>(workers.size());
+    results.push_back(metrics);
+  }
+  return results;
+}
+
+}  // namespace scguard::sim

@@ -1,0 +1,81 @@
+#ifndef SCGUARD_SIM_DYNAMIC_H_
+#define SCGUARD_SIM_DYNAMIC_H_
+
+#include <vector>
+
+#include "assign/algorithms.h"
+#include "data/trip_model.h"
+#include "privacy/privacy_params.h"
+#include "stats/rng.h"
+
+namespace scguard::sim {
+
+/// How moving workers refresh their reported locations across rounds
+/// (paper Sec. VII, "protection for dynamic workers and tasks").
+enum class ReportingStrategy {
+  /// Perturb once at round 0 with the full budget and never refresh: the
+  /// (eps, r) guarantee holds forever, but the report goes stale as the
+  /// worker moves.
+  kReportOnce,
+  /// Re-perturb every round at the full budget: reports stay fresh, but
+  /// sequential composition degrades the joint guarantee to
+  /// (rounds * eps, r) — the effective epsilon grows every round.
+  kNaiveRefresh,
+  /// Re-perturb every round at eps / rounds (location-set budgeting): the
+  /// joint guarantee stays (eps, r), at the price of much noisier reports
+  /// — the linear noise growth the paper predicts.
+  kLocationSetSplit,
+};
+
+constexpr std::string_view ReportingStrategyName(ReportingStrategy s) {
+  switch (s) {
+    case ReportingStrategy::kReportOnce:
+      return "report-once";
+    case ReportingStrategy::kNaiveRefresh:
+      return "naive-refresh";
+    case ReportingStrategy::kLocationSetSplit:
+      return "location-set-split";
+  }
+  return "?";
+}
+
+/// Multi-round dynamic-worker experiment configuration.
+struct DynamicConfig {
+  int rounds = 8;
+  int num_workers = 250;
+  int tasks_per_round = 80;
+  /// Random-waypoint movement: distance each worker travels between
+  /// rounds, uniform in [0, max_move_m].
+  double max_move_m = 3000.0;
+  double reach_min_m = 1000.0;
+  double reach_max_m = 3000.0;
+  /// Joint privacy target over the whole horizon.
+  privacy::PrivacyParams joint{0.7, 800.0};
+  double alpha = 0.1;
+  double beta = 0.25;
+  uint64_t seed = 42;
+};
+
+/// Per-round outcome of a dynamic run.
+struct DynamicRoundMetrics {
+  int round = 0;
+  double assigned = 0;          ///< Of tasks_per_round.
+  double travel_m = 0;          ///< Mean over assigned.
+  double false_hits = 0;
+  /// Worst-case epsilon an adversary can use against a worker's whole
+  /// trace after this round (sequential composition of all reports).
+  double effective_epsilon = 0;
+  /// Mean distance between workers' true and reported locations — report
+  /// staleness plus noise.
+  double report_error_m = 0;
+};
+
+/// Simulates `rounds` of online assignment with moving workers under a
+/// reporting strategy; workers matched in a round complete their task and
+/// return to the pool the next round at the task's location.
+std::vector<DynamicRoundMetrics> RunDynamicWorkers(const DynamicConfig& config,
+                                                   ReportingStrategy strategy);
+
+}  // namespace scguard::sim
+
+#endif  // SCGUARD_SIM_DYNAMIC_H_

@@ -1,0 +1,112 @@
+#include "sim/experiment.h"
+
+#include <cmath>
+#include <utility>
+
+#include "data/beijing.h"
+
+namespace scguard::sim {
+
+AggregatedMetrics Aggregate(const std::vector<assign::RunMetrics>& runs) {
+  AggregatedMetrics agg;
+  agg.seeds = static_cast<int>(runs.size());
+  if (runs.empty()) return agg;
+  for (const auto& m : runs) {
+    agg.assigned_tasks += static_cast<double>(m.assigned_tasks);
+    agg.accepted_assignments += static_cast<double>(m.accepted_assignments);
+    agg.travel_m += m.MeanTravelM();
+    agg.candidates += m.MeanCandidates();
+    agg.false_hits += static_cast<double>(m.false_hits);
+    agg.false_dismissals += static_cast<double>(m.false_dismissals);
+    agg.precision += m.MeanPrecision();
+    agg.recall += m.MeanRecall();
+    agg.disclosures_per_task += m.DisclosuresPerAssignedTask();
+    agg.u2e_seconds += m.u2e_seconds;
+    agg.total_seconds += m.total_seconds;
+  }
+  const double n = static_cast<double>(runs.size());
+  agg.assigned_tasks /= n;
+  agg.accepted_assignments /= n;
+  agg.travel_m /= n;
+  agg.candidates /= n;
+  agg.false_hits /= n;
+  agg.false_dismissals /= n;
+  agg.precision /= n;
+  agg.recall /= n;
+  agg.disclosures_per_task /= n;
+  agg.u2e_seconds /= n;
+  agg.total_seconds /= n;
+  if (runs.size() >= 2) {
+    double var_assigned = 0, var_travel = 0;
+    for (const auto& m : runs) {
+      const double da = static_cast<double>(m.assigned_tasks) - agg.assigned_tasks;
+      const double dt = m.MeanTravelM() - agg.travel_m;
+      var_assigned += da * da;
+      var_travel += dt * dt;
+    }
+    agg.assigned_tasks_stddev = std::sqrt(var_assigned / (n - 1.0));
+    agg.travel_m_stddev = std::sqrt(var_travel / (n - 1.0));
+  }
+  return agg;
+}
+
+ExperimentRunner::ExperimentRunner(const ExperimentConfig& config,
+                                   std::vector<data::Trip> trips,
+                                   const geo::BoundingBox& region)
+    : config_(config), trips_(std::move(trips)), region_(region) {}
+
+Result<ExperimentRunner> ExperimentRunner::Create(const ExperimentConfig& config) {
+  if (config.num_seeds <= 0) {
+    return Status::InvalidArgument("num_seeds must be positive");
+  }
+  const geo::BoundingBox region = data::BeijingRegion();
+  stats::Rng city_rng(config.base_seed);
+  SCGUARD_ASSIGN_OR_RETURN(
+      data::TDriveSynthesizer synth,
+      data::TDriveSynthesizer::Create(config.synth, region, city_rng));
+  std::vector<data::Trip> trips = synth.GenerateTrips(city_rng);
+  return ExperimentRunner(config, std::move(trips), region);
+}
+
+Result<assign::Workload> ExperimentRunner::MakeWorkload(
+    int seed, const privacy::PrivacyParams& worker_params,
+    const privacy::PrivacyParams& task_params) const {
+  // Streams: 1 = workload sampling, 2 = Geo-I noise. Sampling is
+  // independent of the privacy level, so the same seed yields the same
+  // true workload for every (eps, r) point of a sweep.
+  stats::Rng root(config_.base_seed + uint64_t{1000003} * static_cast<uint64_t>(seed + 1));
+  stats::Rng sample_rng = root.Fork(1);
+  SCGUARD_ASSIGN_OR_RETURN(
+      assign::Workload workload,
+      data::BuildWorkloadFromTrips(trips_, config_.workload, sample_rng));
+  workload.region = region_;
+  stats::Rng noise_rng = root.Fork(2);
+  data::PerturbWorkload(worker_params, task_params, noise_rng, workload);
+  return workload;
+}
+
+Result<AggregatedMetrics> ExperimentRunner::Run(
+    assign::MatcherHandle& handle, const privacy::PrivacyParams& worker_params,
+    const privacy::PrivacyParams& task_params) const {
+  std::vector<assign::RunMetrics> runs;
+  runs.reserve(static_cast<size_t>(config_.num_seeds));
+  for (int seed = 0; seed < config_.num_seeds; ++seed) {
+    SCGUARD_ASSIGN_OR_RETURN(const assign::Workload workload,
+                             MakeWorkload(seed, worker_params, task_params));
+    stats::Rng root(config_.base_seed +
+                    uint64_t{1000003} * static_cast<uint64_t>(seed + 1));
+    stats::Rng match_rng = root.Fork(3);  // Random ranks, shared per seed.
+    runs.push_back(handle.Run(workload, match_rng).metrics);
+  }
+  return Aggregate(runs);
+}
+
+Result<AggregatedMetrics> ExperimentRunner::RunFactory(
+    const std::function<assign::MatcherHandle()>& factory,
+    const privacy::PrivacyParams& worker_params,
+    const privacy::PrivacyParams& task_params) const {
+  assign::MatcherHandle handle = factory();
+  return Run(handle, worker_params, task_params);
+}
+
+}  // namespace scguard::sim

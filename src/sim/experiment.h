@@ -1,0 +1,94 @@
+#ifndef SCGUARD_SIM_EXPERIMENT_H_
+#define SCGUARD_SIM_EXPERIMENT_H_
+
+#include <functional>
+#include <vector>
+
+#include "assign/algorithms.h"
+#include "assign/matcher.h"
+#include "common/result.h"
+#include "data/tdrive_synth.h"
+#include "data/workload.h"
+#include "privacy/privacy_params.h"
+
+namespace scguard::sim {
+
+/// Multi-seed experiment configuration (paper Sec. V-A: 500 workers, 500
+/// tasks, 10 random seeds on the synthetic T-Drive day).
+struct ExperimentConfig {
+  data::TDriveSynthConfig synth;
+  data::WorkloadConfig workload;
+  int num_seeds = 10;
+  uint64_t base_seed = 42;
+};
+
+/// Per-metric mean over the seeds (what the paper's figures plot).
+struct AggregatedMetrics {
+  double assigned_tasks = 0;
+  double accepted_assignments = 0;
+  double travel_m = 0;           ///< Mean travel over assigned pairs.
+  double candidates = 0;         ///< Mean candidate-set size per task.
+  double false_hits = 0;         ///< Total per run, averaged over seeds.
+  double false_dismissals = 0;
+  double precision = 0;
+  double recall = 0;
+  double disclosures_per_task = 0;
+  double u2e_seconds = 0;        ///< Total U2E wall-clock per run.
+  double total_seconds = 0;
+  /// Across-seed sample standard deviations of the headline metrics (0
+  /// when fewer than two seeds).
+  double assigned_tasks_stddev = 0;
+  double travel_m_stddev = 0;
+  int seeds = 0;
+};
+
+/// Means the per-run metrics (each already internally averaged where the
+/// paper averages: travel per assigned task, candidates per task, ...).
+AggregatedMetrics Aggregate(const std::vector<assign::RunMetrics>& runs);
+
+/// Runs a synthetic T-Drive day once, then evaluates matchers over
+/// `num_seeds` sampled + perturbed workload instances. All algorithms
+/// evaluated through the same runner at the same privacy level see the
+/// exact same workloads and the same noise (common random numbers), which
+/// is how the paper compares algorithm curves.
+class ExperimentRunner {
+ public:
+  /// Generates the trip log (hotspots seeded from base_seed so the city
+  /// itself is fixed across the whole experiment suite).
+  static Result<ExperimentRunner> Create(const ExperimentConfig& config);
+
+  /// Builds the seed-th workload instance, perturbed at the given privacy
+  /// levels. Deterministic in (config, seed, params).
+  Result<assign::Workload> MakeWorkload(
+      int seed, const privacy::PrivacyParams& worker_params,
+      const privacy::PrivacyParams& task_params) const;
+
+  /// Runs the matcher over all seeds and aggregates.
+  Result<AggregatedMetrics> Run(assign::MatcherHandle& handle,
+                                const privacy::PrivacyParams& worker_params,
+                                const privacy::PrivacyParams& task_params) const;
+
+  /// As Run, but a fresh matcher per seed from `factory` (needed when the
+  /// matcher itself is stochastic state-free but model construction
+  /// depends on the privacy level).
+  Result<AggregatedMetrics> RunFactory(
+      const std::function<assign::MatcherHandle()>& factory,
+      const privacy::PrivacyParams& worker_params,
+      const privacy::PrivacyParams& task_params) const;
+
+  const ExperimentConfig& config() const { return config_; }
+  const std::vector<data::Trip>& trips() const { return trips_; }
+  const geo::BoundingBox& region() const { return region_; }
+
+ private:
+  ExperimentRunner(const ExperimentConfig& config, std::vector<data::Trip> trips,
+                   const geo::BoundingBox& region);
+
+  ExperimentConfig config_;
+  std::vector<data::Trip> trips_;
+  geo::BoundingBox region_;
+};
+
+}  // namespace scguard::sim
+
+#endif  // SCGUARD_SIM_EXPERIMENT_H_

@@ -1,0 +1,55 @@
+#include "sim/table_printer.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/str_format.h"
+
+namespace scguard::sim {
+
+TablePrinter::TablePrinter(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  SCGUARD_CHECK(!columns_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  SCGUARD_CHECK(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddRow(const std::string& label,
+                          const std::vector<double>& values, int digits) {
+  SCGUARD_CHECK(values.size() + 1 == columns_.size());
+  std::vector<std::string> cells;
+  cells.reserve(columns_.size());
+  cells.push_back(label);
+  for (double v : values) cells.push_back(FormatDouble(v, digits));
+  AddRow(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << cells[c];
+      os << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  size_t total = 1;
+  for (size_t w : widths) total += w + 3;
+  os << "\n== " << title_ << " ==\n";
+  print_row(columns_);
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace scguard::sim

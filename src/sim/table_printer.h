@@ -1,0 +1,36 @@
+#ifndef SCGUARD_SIM_TABLE_PRINTER_H_
+#define SCGUARD_SIM_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace scguard::sim {
+
+/// Fixed-width text tables for experiment output — one table per paper
+/// figure/series, so bench output reads like the paper's plots.
+class TablePrinter {
+ public:
+  /// `title` is printed above the table; `columns` are the header cells.
+  TablePrinter(std::string title, std::vector<std::string> columns);
+
+  /// Adds a row of preformatted cells; must match the column count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: first cell is a label, the rest are numbers formatted
+  /// with `digits` fraction digits.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int digits = 2);
+
+  /// Renders the table with column-wise alignment.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace scguard::sim
+
+#endif  // SCGUARD_SIM_TABLE_PRINTER_H_

@@ -1,0 +1,104 @@
+#include "stats/bessel.h"
+
+#include <cmath>
+
+namespace scguard::stats {
+namespace {
+
+// Abramowitz & Stegun 9.8.1 / 9.8.2 rational approximations (|error| < 2e-7
+// relative, which the power-series below improves on for |x| < 3.75; the
+// asymptotic polynomial governs beyond).
+
+double I0SeriesSmall(double ax) {
+  // Power series sum_{k} (x^2/4)^k / (k!)^2, |x| <= 3.75 converges fast.
+  const double q = ax * ax / 4.0;
+  double term = 1.0;
+  double sum = 1.0;
+  for (int k = 1; k < 40; ++k) {
+    term *= q / (static_cast<double>(k) * static_cast<double>(k));
+    sum += term;
+    if (term < 1e-18 * sum) break;
+  }
+  return sum;
+}
+
+double I1SeriesSmall(double x) {
+  // x/2 * sum_k (x^2/4)^k / (k! (k+1)!)
+  const double q = x * x / 4.0;
+  double term = 1.0;
+  double sum = 1.0;
+  for (int k = 1; k < 40; ++k) {
+    term *= q / (static_cast<double>(k) * static_cast<double>(k + 1));
+    sum += term;
+    if (term < 1e-18 * sum) break;
+  }
+  return x / 2.0 * sum;
+}
+
+// Asymptotic polynomial for e^{-x} I0(x) * sqrt(x), x >= 3.75 (A&S 9.8.2).
+double I0AsymptoticScaled(double ax) {
+  const double t = 3.75 / ax;
+  const double poly =
+      0.39894228 +
+      t * (0.01328592 +
+           t * (0.00225319 +
+                t * (-0.00157565 +
+                     t * (0.00916281 +
+                          t * (-0.02057706 +
+                               t * (0.02635537 +
+                                    t * (-0.01647633 + t * 0.00392377)))))));
+  return poly / std::sqrt(ax);
+}
+
+// Asymptotic polynomial for e^{-x} I1(x) * sqrt(x), x >= 3.75 (A&S 9.8.4).
+double I1AsymptoticScaled(double ax) {
+  const double t = 3.75 / ax;
+  const double poly =
+      0.39894228 +
+      t * (-0.03988024 +
+           t * (-0.00362018 +
+                t * (0.00163801 +
+                     t * (-0.01031555 +
+                          t * (0.02282967 +
+                               t * (-0.02895312 +
+                                    t * (0.01787654 - t * 0.00420059)))))));
+  return poly / std::sqrt(ax);
+}
+
+}  // namespace
+
+double BesselI0(double x) {
+  const double ax = std::abs(x);
+  if (ax < 3.75) return I0SeriesSmall(ax);
+  return std::exp(ax) * I0AsymptoticScaled(ax);
+}
+
+double BesselI0Scaled(double x) {
+  const double ax = std::abs(x);
+  if (ax < 3.75) return std::exp(-ax) * I0SeriesSmall(ax);
+  return I0AsymptoticScaled(ax);
+}
+
+double BesselI1(double x) {
+  const double ax = std::abs(x);
+  double value;
+  if (ax < 3.75) {
+    value = I1SeriesSmall(ax);
+  } else {
+    value = std::exp(ax) * I1AsymptoticScaled(ax);
+  }
+  return x < 0.0 ? -value : value;
+}
+
+double BesselI1Scaled(double x) {
+  const double ax = std::abs(x);
+  double value;
+  if (ax < 3.75) {
+    value = std::exp(-ax) * I1SeriesSmall(ax);
+  } else {
+    value = I1AsymptoticScaled(ax);
+  }
+  return x < 0.0 ? -value : value;
+}
+
+}  // namespace scguard::stats

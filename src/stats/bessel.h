@@ -1,0 +1,23 @@
+#ifndef SCGUARD_STATS_BESSEL_H_
+#define SCGUARD_STATS_BESSEL_H_
+
+namespace scguard::stats {
+
+/// Modified Bessel function of the first kind, order zero, I0(x).
+/// Overflows to +inf for |x| beyond ~713; prefer BesselI0Scaled for large
+/// arguments.
+double BesselI0(double x);
+
+/// Exponentially scaled I0: e^{-|x|} * I0(x). Stable for all x; this is the
+/// form used inside the Rice pdf where the exponential factors cancel.
+double BesselI0Scaled(double x);
+
+/// Modified Bessel function of the first kind, order one, I1(x).
+double BesselI1(double x);
+
+/// Exponentially scaled I1: e^{-|x|} * I1(x).
+double BesselI1Scaled(double x);
+
+}  // namespace scguard::stats
+
+#endif  // SCGUARD_STATS_BESSEL_H_

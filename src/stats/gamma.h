@@ -1,0 +1,16 @@
+#ifndef SCGUARD_STATS_GAMMA_H_
+#define SCGUARD_STATS_GAMMA_H_
+
+namespace scguard::stats {
+
+/// Regularized lower incomplete gamma P(s, x) = gamma(s, x) / Gamma(s),
+/// s > 0, x >= 0. P(s, x) is the CDF at x of a Gamma(shape=s, scale=1)
+/// variable; P(k/2, x/2) is the chi-squared CDF with k degrees of freedom.
+double RegularizedGammaP(double s, double x);
+
+/// Regularized upper incomplete gamma Q(s, x) = 1 - P(s, x).
+double RegularizedGammaQ(double s, double x);
+
+}  // namespace scguard::stats
+
+#endif  // SCGUARD_STATS_GAMMA_H_

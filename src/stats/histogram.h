@@ -1,0 +1,77 @@
+#ifndef SCGUARD_STATS_HISTOGRAM_H_
+#define SCGUARD_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/result.h"
+
+namespace scguard::stats {
+
+/// Fixed-width-bin histogram over [lo, hi) with an overflow bin for values
+/// >= hi and an underflow bin for values < lo.
+///
+/// The empirical reachability model stores, for every bucket of observed
+/// (noisy) distance, a Histogram of the true distance; `FractionBelow`
+/// answers Pr(d <= R_w | bucket) directly.
+class Histogram {
+ public:
+  /// Requires lo < hi and num_bins >= 1.
+  Histogram(double lo, double hi, int num_bins);
+
+  void Add(double value);
+  /// Adds `count` occurrences of `value` at once (used by deserialization).
+  void AddCount(double value, uint64_t count);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  int num_bins() const { return static_cast<int>(bins_.size()); }
+  double bin_width() const { return width_; }
+  uint64_t total_count() const { return total_; }
+  uint64_t underflow_count() const { return underflow_; }
+  uint64_t overflow_count() const { return overflow_; }
+  uint64_t bin_count(int bin) const;
+
+  /// Empirical Pr(X <= x) with linear interpolation inside the bin holding
+  /// x (values in a bin are treated as uniformly spread across it).
+  /// Returns 0 when the histogram is empty.
+  double FractionBelow(double x) const;
+
+  /// Empirical quantile (inverse of FractionBelow); p in [0, 1].
+  /// Returns lo() when the histogram is empty.
+  double Quantile(double p) const;
+
+  /// Mean of the recorded values, approximated by bin midpoints (underflow
+  /// and overflow contribute their boundary value).
+  double Mean() const;
+
+  /// Merges another histogram with identical geometry into this one.
+  Status Merge(const Histogram& other);
+
+  /// Writes a single-line text encoding: "lo hi n u o c0 c1 ... c(n-1)".
+  void Serialize(std::ostream& os) const;
+
+  /// Parses the encoding produced by Serialize.
+  static Result<Histogram> Deserialize(std::istream& is);
+
+ private:
+  // Prefix sums (underflow + bins[0..i]) rebuilt lazily on first query
+  // after a mutation, making FractionBelow O(1) — the empirical
+  // reachability tables answer millions of such queries per run.
+  const std::vector<uint64_t>& CumulativeCounts() const;
+
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> bins_;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+  uint64_t total_ = 0;
+  mutable std::vector<uint64_t> cumulative_;
+  mutable bool cumulative_valid_ = false;
+};
+
+}  // namespace scguard::stats
+
+#endif  // SCGUARD_STATS_HISTOGRAM_H_

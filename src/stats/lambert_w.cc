@@ -1,0 +1,71 @@
+#include "stats/lambert_w.h"
+
+#include <cmath>
+
+#include "common/str_format.h"
+
+namespace scguard::stats {
+namespace {
+
+constexpr double kMinusOneOverE = -0.36787944117144233;  // -1/e
+
+// Halley refinement of w*e^w = x starting from w0. Converges cubically for
+// any starting point in the basin of the requested branch.
+double Halley(double x, double w) {
+  for (int i = 0; i < 64; ++i) {
+    const double ew = std::exp(w);
+    const double f = w * ew - x;
+    if (f == 0.0) break;  // Exact solution (e.g. the branch point itself).
+    const double wp1 = w + 1.0;
+    const double denom = ew * wp1 - (w + 2.0) * f / (2.0 * wp1);
+    const double step = f / denom;
+    w -= step;
+    if (std::abs(step) <= 1e-14 * (1.0 + std::abs(w))) break;
+  }
+  return w;
+}
+
+}  // namespace
+
+Result<double> LambertW0(double x) {
+  if (!(x >= kMinusOneOverE)) {
+    return Status::InvalidArgument(
+        StrCat("LambertW0 requires x >= -1/e, got ", x));
+  }
+  if (x == 0.0) return 0.0;
+  double w;
+  if (x < -0.32) {
+    // Near the branch point: series in p = sqrt(2(1 + e*x)); the max guards
+    // against 1 + e*x rounding slightly negative at x = -1/e.
+    const double p = std::sqrt(std::max(0.0, 2.0 * (1.0 + M_E * x)));
+    w = -1.0 + p - p * p / 3.0 + 11.0 / 72.0 * p * p * p;
+  } else if (x < 3.0) {
+    w = std::log1p(x);  // Within ~35% of W0 on this range; Halley fixes it.
+  } else {
+    const double lx = std::log(x);
+    const double llx = std::log(lx);  // > 0 for x >= 3.
+    w = lx - llx + llx / lx;  // Asymptotic expansion.
+  }
+  return Halley(x, w);
+}
+
+Result<double> LambertWm1(double x) {
+  if (!(x >= kMinusOneOverE) || !(x < 0.0)) {
+    return Status::InvalidArgument(
+        StrCat("LambertWm1 requires -1/e <= x < 0, got ", x));
+  }
+  double w;
+  if (x < -0.32) {
+    // Near the branch point: series in p = -sqrt(2(1 + e*x)).
+    const double p = -std::sqrt(std::max(0.0, 2.0 * (1.0 + M_E * x)));
+    w = -1.0 + p - p * p / 3.0 + 11.0 / 72.0 * p * p * p;
+  } else {
+    // Asymptotic guess valid as x -> 0-.
+    const double l1 = std::log(-x);
+    const double l2 = std::log(-l1);
+    w = l1 - l2 + l2 / l1;
+  }
+  return Halley(x, w);
+}
+
+}  // namespace scguard::stats

@@ -1,0 +1,21 @@
+#ifndef SCGUARD_STATS_LAMBERT_W_H_
+#define SCGUARD_STATS_LAMBERT_W_H_
+
+#include "common/result.h"
+
+namespace scguard::stats {
+
+/// Principal branch W0 of the Lambert W function (solves w*e^w = x for
+/// w >= -1). Defined for x >= -1/e; returns InvalidArgument outside.
+Result<double> LambertW0(double x);
+
+/// Secondary real branch W-1 (solves w*e^w = x for w <= -1). Defined for
+/// -1/e <= x < 0; returns InvalidArgument outside.
+///
+/// This branch is the workhorse of the planar Laplace mechanism: the inverse
+/// CDF of the noise radius is C^-1(p) = -(1/eps) * (W-1((p-1)/e) + 1).
+Result<double> LambertWm1(double x);
+
+}  // namespace scguard::stats
+
+#endif  // SCGUARD_STATS_LAMBERT_W_H_

@@ -1,0 +1,87 @@
+#include "stats/marcum_q.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "stats/gamma.h"
+
+namespace scguard::stats {
+namespace {
+
+constexpr double kTermTolerance = 1e-16;
+constexpr int kMaxTerms = 100000;
+
+double Clamp01(double p) { return std::min(1.0, std::max(0.0, p)); }
+
+}  // namespace
+
+double NoncentralChiSquaredCdf(double k, double lambda, double x) {
+  SCGUARD_CHECK(k > 0.0 && lambda >= 0.0);
+  if (x <= 0.0) return 0.0;
+  if (lambda == 0.0) return RegularizedGammaP(k / 2.0, x / 2.0);
+
+  const double m = lambda / 2.0;  // Poisson intensity of the mixture index.
+  const double y = x / 2.0;       // Gamma argument.
+
+  // Start both sweeps at the Poisson mode so the largest weight is computed
+  // first (directly in log space) and recurrences only shrink terms.
+  const long j0 = static_cast<long>(m);
+  const double j0d = static_cast<double>(j0);
+
+  // w(j) = e^-m m^j / j!, the Poisson weight.
+  const double log_w0 = -m + j0d * std::log(m) - std::lgamma(j0d + 1.0);
+  // g(j) = P(Gamma(j + k/2) <= y), the central chi-squared CDF piece.
+  const double g0 = RegularizedGammaP(j0d + k / 2.0, y);
+  // t(j) = e^-y y^(j + k/2) / Gamma(j + k/2 + 1) satisfies
+  // g(j) - g(j+1) = t(j), enabling O(1) per-term updates of g.
+  const double log_t0 =
+      -y + (j0d + k / 2.0) * std::log(y) - std::lgamma(j0d + k / 2.0 + 1.0);
+
+  double sum = std::exp(log_w0) * g0;
+
+  // Upward sweep: j = j0+1, j0+2, ...
+  {
+    double w = std::exp(log_w0);
+    double g = g0;
+    double t = std::exp(log_t0);
+    for (long j = j0 + 1; j < j0 + kMaxTerms; ++j) {
+      const double jd = static_cast<double>(j);
+      w *= m / jd;
+      g -= t;
+      g = std::max(g, 0.0);
+      t *= y / (jd + k / 2.0);
+      const double term = w * g;
+      sum += term;
+      if (term < kTermTolerance && w < kTermTolerance) break;
+    }
+  }
+
+  // Downward sweep: j = j0-1, ..., 0.
+  {
+    double w = std::exp(log_w0);
+    double g = g0;
+    double t = std::exp(log_t0);
+    for (long j = j0 - 1; j >= 0; --j) {
+      const double jd = static_cast<double>(j);
+      w *= (jd + 1.0) / m;
+      t *= (jd + k / 2.0 + 1.0) / y;
+      g += t;
+      g = std::min(g, 1.0);
+      const double term = w * g;
+      sum += term;
+      if (term < kTermTolerance && w < kTermTolerance) break;
+    }
+  }
+
+  return Clamp01(sum);
+}
+
+double MarcumQ1(double a, double b) {
+  SCGUARD_CHECK(a >= 0.0 && b >= 0.0);
+  if (b == 0.0) return 1.0;
+  if (a == 0.0) return std::exp(-b * b / 2.0);  // Rayleigh tail.
+  return Clamp01(1.0 - NoncentralChiSquaredCdf(2.0, a * a, b * b));
+}
+
+}  // namespace scguard::stats

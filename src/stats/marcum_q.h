@@ -1,0 +1,22 @@
+#ifndef SCGUARD_STATS_MARCUM_Q_H_
+#define SCGUARD_STATS_MARCUM_Q_H_
+
+namespace scguard::stats {
+
+/// CDF at `x` of a noncentral chi-squared variable with `k` degrees of
+/// freedom and noncentrality `lambda` (both >= 0, k > 0).
+///
+/// Evaluated by the Poisson-weighted central-chi-squared mixture, summed
+/// outward from the Poisson mode so no term underflows prematurely; this is
+/// the backbone of the analytical reachability model (the squared distance
+/// between two bivariate-normal-approximated locations is a scaled
+/// noncentral chi-squared with k = 2).
+double NoncentralChiSquaredCdf(double k, double lambda, double x);
+
+/// Marcum Q-function of order 1: Q1(a, b) = Pr(Rice(a, 1) > b).
+/// The Rice CDF used in the U2E stage is 1 - Q1(nu/sigma, x/sigma).
+double MarcumQ1(double a, double b);
+
+}  // namespace scguard::stats
+
+#endif  // SCGUARD_STATS_MARCUM_Q_H_

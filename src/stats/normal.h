@@ -1,0 +1,25 @@
+#ifndef SCGUARD_STATS_NORMAL_H_
+#define SCGUARD_STATS_NORMAL_H_
+
+namespace scguard::stats {
+
+/// Standard normal density phi(z).
+double StandardNormalPdf(double z);
+
+/// Standard normal CDF Phi(z), accurate to ~1e-15 (erfc based).
+double StandardNormalCdf(double z);
+
+/// Inverse standard normal CDF (Acklam's rational approximation refined by
+/// one Halley step; |relative error| < 1e-9 over (0, 1)).
+/// Requires 0 < p < 1.
+double StandardNormalQuantile(double p);
+
+/// N(mean, stddev^2) CDF at x. Requires stddev > 0.
+double NormalCdf(double x, double mean, double stddev);
+
+/// N(mean, stddev^2) density at x. Requires stddev > 0.
+double NormalPdf(double x, double mean, double stddev);
+
+}  // namespace scguard::stats
+
+#endif  // SCGUARD_STATS_NORMAL_H_

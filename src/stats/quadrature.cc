@@ -1,0 +1,39 @@
+#include "stats/quadrature.h"
+
+#include <cmath>
+
+namespace scguard::stats {
+namespace {
+
+double Recurse(const std::function<double(double)>& f, double a, double b,
+               double fa, double fm, double fb, double whole, double tol,
+               int depth) {
+  const double m = (a + b) / 2.0;
+  const double lm = (a + m) / 2.0;
+  const double rm = (m + b) / 2.0;
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = (m - a) / 6.0 * (fa + 4.0 * flm + fm);
+  const double right = (b - m) / 6.0 * (fm + 4.0 * frm + fb);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::abs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;  // Richardson extrapolation.
+  }
+  return Recurse(f, a, m, fa, flm, fm, left, tol / 2.0, depth - 1) +
+         Recurse(f, m, b, fm, frm, fb, right, tol / 2.0, depth - 1);
+}
+
+}  // namespace
+
+double AdaptiveSimpson(const std::function<double(double)>& f, double a,
+                       double b, double tol) {
+  if (a == b) return 0.0;
+  const double fa = f(a);
+  const double m = (a + b) / 2.0;
+  const double fm = f(m);
+  const double fb = f(b);
+  const double whole = (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+  return Recurse(f, a, b, fa, fm, fb, whole, tol, /*depth=*/40);
+}
+
+}  // namespace scguard::stats

@@ -1,0 +1,16 @@
+#ifndef SCGUARD_STATS_QUADRATURE_H_
+#define SCGUARD_STATS_QUADRATURE_H_
+
+#include <functional>
+
+namespace scguard::stats {
+
+/// Adaptive Simpson integration of `f` over [a, b] to absolute tolerance
+/// `tol`. Used to cross-check closed-form CDFs (tests) and to integrate
+/// reachability densities that have no closed form.
+double AdaptiveSimpson(const std::function<double(double)>& f, double a,
+                       double b, double tol = 1e-10);
+
+}  // namespace scguard::stats
+
+#endif  // SCGUARD_STATS_QUADRATURE_H_

@@ -1,0 +1,47 @@
+#include "stats/rice.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "stats/bessel.h"
+#include "stats/marcum_q.h"
+
+namespace scguard::stats {
+
+RiceDistribution::RiceDistribution(double nu, double sigma)
+    : nu_(nu), sigma_(sigma) {
+  SCGUARD_CHECK(nu >= 0.0 && sigma > 0.0);
+}
+
+double RiceDistribution::Pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  const double s2 = sigma_ * sigma_;
+  const double z = x * nu_ / s2;
+  // x/s2 * exp(-(x^2+nu^2)/(2 s2)) * I0(z)
+  //   = x/s2 * exp(-(x-nu)^2/(2 s2)) * [e^-z I0(z)], avoiding overflow of
+  // both the exponential and the Bessel factor.
+  const double dx = x - nu_;
+  return x / s2 * std::exp(-dx * dx / (2.0 * s2)) * BesselI0Scaled(z);
+}
+
+double RiceDistribution::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return 1.0 - MarcumQ1(nu_ / sigma_, x / sigma_);
+}
+
+double RiceDistribution::Mean() const {
+  // Laguerre L_{1/2}(-t) = e^{-t/2} [(1 + t) I0(t/2) + t I1(t/2)] with
+  // t = nu^2 / (2 sigma^2); use scaled Bessels so the e^{-t/2} cancels.
+  const double t = nu_ * nu_ / (2.0 * sigma_ * sigma_);
+  const double half = t / 2.0;
+  const double laguerre =
+      (1.0 + t) * BesselI0Scaled(half) + t * BesselI1Scaled(half);
+  return sigma_ * std::sqrt(M_PI / 2.0) * laguerre;
+}
+
+double RiceDistribution::Variance() const {
+  const double mean = Mean();
+  return 2.0 * sigma_ * sigma_ + nu_ * nu_ - mean * mean;
+}
+
+}  // namespace scguard::stats

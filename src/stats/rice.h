@@ -1,0 +1,44 @@
+#ifndef SCGUARD_STATS_RICE_H_
+#define SCGUARD_STATS_RICE_H_
+
+namespace scguard::stats {
+
+/// The Rice (Rician) distribution with noncentrality `nu` and scale `sigma`:
+/// the norm of a 2-D Gaussian with per-coordinate stddev `sigma` centered at
+/// distance `nu` from the origin.
+///
+/// This is exactly the distribution of the true worker-task distance in the
+/// U2E stage of SCGuard (paper Sec. IV-B1): the task location is exact, the
+/// worker location is a bivariate normal approximation of the planar
+/// Laplace noise around the observed point, so `d(w, t) ~ Rice(d(w', t),
+/// sqrt(2) r / eps)`.
+class RiceDistribution {
+ public:
+  /// Requires nu >= 0 and sigma > 0.
+  RiceDistribution(double nu, double sigma);
+
+  double nu() const { return nu_; }
+  double sigma() const { return sigma_; }
+
+  /// Density at x (0 for x < 0). Numerically stable for large nu/sigma via
+  /// the exponentially scaled Bessel I0.
+  double Pdf(double x) const;
+
+  /// Pr(X <= x) = 1 - MarcumQ1(nu/sigma, x/sigma).
+  double Cdf(double x) const;
+
+  /// E[X] = sigma * sqrt(pi/2) * L_{1/2}(-nu^2 / (2 sigma^2)), where L is the
+  /// Laguerre function expressed through Bessel I0/I1.
+  double Mean() const;
+
+  /// Var[X] = 2 sigma^2 + nu^2 - Mean()^2.
+  double Variance() const;
+
+ private:
+  double nu_;
+  double sigma_;
+};
+
+}  // namespace scguard::stats
+
+#endif  // SCGUARD_STATS_RICE_H_

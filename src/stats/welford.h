@@ -1,0 +1,61 @@
+#ifndef SCGUARD_STATS_WELFORD_H_
+#define SCGUARD_STATS_WELFORD_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace scguard::stats {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+/// Used wherever the library accumulates statistics over many samples
+/// (empirical-model diagnostics, experiment aggregation, tests).
+class OnlineMeanVar {
+ public:
+  void Add(double value) {
+    ++count_;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+    if (value < min_ || count_ == 1) min_ = value;
+    if (value > max_ || count_ == 1) max_ = value;
+  }
+
+  /// Merges another accumulator (Chan's parallel formula).
+  void Merge(const OnlineMeanVar& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto n1 = static_cast<double>(count_);
+    const auto n2 = static_cast<double>(other.count_);
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    count_ += other.count_;
+    min_ = std::fmin(min_, other.min_);
+    max_ = std::fmax(max_, other.max_);
+  }
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const {
+    return count_ >= 2 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace scguard::stats
+
+#endif  // SCGUARD_STATS_WELFORD_H_

@@ -1,0 +1,217 @@
+// Tests for the cloaking baseline and the Bayesian inference adversary.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "assign/cloaked.h"
+#include "data/workload.h"
+#include "privacy/cloaking.h"
+#include "privacy/inference.h"
+#include "privacy/planar_laplace.h"
+#include "stats/rng.h"
+
+namespace scguard::privacy {
+namespace {
+
+TEST(CloakingTest, CloakAlwaysContainsTrueLocation) {
+  const CloakingMechanism mech(2000.0, 1500.0);
+  stats::Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const geo::Point p{rng.UniformDouble(-1e4, 1e4), rng.UniformDouble(-1e4, 1e4)};
+    const geo::BoundingBox cloak = mech.Cloak(p, rng);
+    EXPECT_TRUE(cloak.Contains(p));
+    EXPECT_NEAR(cloak.Width(), 2000.0, 1e-9);
+    EXPECT_NEAR(cloak.Height(), 1500.0, 1e-9);
+  }
+}
+
+TEST(CloakingTest, LocationIsUniformWithinCloak) {
+  // The relative position of the true point inside its cloak must be
+  // uniform: mean relative offset = 0.5 on each axis.
+  const CloakingMechanism mech = CloakingMechanism::WithArea(4e6);
+  stats::Rng rng(2);
+  const geo::Point p{100, 100};
+  double mean_rx = 0, mean_ry = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const geo::BoundingBox cloak = mech.Cloak(p, rng);
+    mean_rx += (p.x - cloak.min_x) / cloak.Width();
+    mean_ry += (p.y - cloak.min_y) / cloak.Height();
+  }
+  EXPECT_NEAR(mean_rx / n, 0.5, 0.01);
+  EXPECT_NEAR(mean_ry / n, 0.5, 0.01);
+}
+
+TEST(CloakingTest, ReachProbabilityLimits) {
+  const geo::BoundingBox cloak = geo::BoundingBox::FromCorners({0, 0}, {1000, 1000});
+  // Disk covering the whole cloak.
+  EXPECT_DOUBLE_EQ(CloakReachProbability(cloak, {500, 500}, 5000.0), 1.0);
+  // Disk missing the cloak entirely.
+  EXPECT_DOUBLE_EQ(CloakReachProbability(cloak, {10000, 10000}, 1000.0), 0.0);
+  // Half-plane-ish cut: task far to the right, radius reaching mid-cloak.
+  const double half = CloakReachProbability(cloak, {1500, 500}, 1000.0);
+  EXPECT_GT(half, 0.3);
+  EXPECT_LT(half, 0.7);
+  EXPECT_DOUBLE_EQ(CloakReachProbability(cloak, {500, 500}, 0.0), 0.0);
+}
+
+TEST(CloakingTest, ReachProbabilityMatchesMonteCarlo) {
+  const geo::BoundingBox cloak = geo::BoundingBox::FromCorners({0, 0}, {2000, 2000});
+  const geo::Point task{2500, 1000};
+  const double radius = 1500.0;
+  stats::Rng rng(3);
+  int inside = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const geo::Point p{rng.UniformDouble(0, 2000), rng.UniformDouble(0, 2000)};
+    inside += geo::Distance(p, task) <= radius ? 1 : 0;
+  }
+  EXPECT_NEAR(CloakReachProbability(cloak, task, radius),
+              static_cast<double>(inside) / n, 0.02);
+}
+
+// --------------------------------------------------------------- Adversary
+
+TEST(BayesianAdversaryTest, PosteriorsAreDistributions) {
+  const geo::BoundingBox region = geo::BoundingBox::FromCorners({0, 0},
+                                                                {10000, 10000});
+  const BayesianAdversary adversary(region, 40);
+  const auto laplace = adversary.PosteriorLaplace({5000, 5000}, 0.7 / 800.0);
+  const auto cloak = adversary.PosteriorCloak(
+      geo::BoundingBox::FromCorners({4000, 4000}, {6000, 6000}));
+  for (const auto& posterior : {laplace, cloak}) {
+    const double total = std::accumulate(posterior.begin(), posterior.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    for (double p : posterior) EXPECT_GE(p, 0.0);
+  }
+}
+
+TEST(BayesianAdversaryTest, LaplacePosteriorPeaksAtReport) {
+  const geo::BoundingBox region = geo::BoundingBox::FromCorners({0, 0},
+                                                                {10000, 10000});
+  const BayesianAdversary adversary(region, 50);
+  const geo::Point report{3000, 7000};
+  const auto posterior = adversary.PosteriorLaplace(report, 1.0 / 200.0);
+  size_t best = 0;
+  for (size_t i = 1; i < posterior.size(); ++i) {
+    if (posterior[i] > posterior[best]) best = i;
+  }
+  EXPECT_LT(geo::Distance(adversary.CellCenter(static_cast<int>(best)), report),
+            300.0);
+}
+
+TEST(BayesianAdversaryTest, StricterEpsilonRaisesInferenceError) {
+  const geo::BoundingBox region = geo::BoundingBox::FromCorners({0, 0},
+                                                                {20000, 20000});
+  const BayesianAdversary adversary(region, 40);
+  stats::Rng rng(4);
+  double strict_error = 0, loose_error = 0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    const geo::Point truth{rng.UniformDouble(4000, 16000),
+                           rng.UniformDouble(4000, 16000)};
+    for (auto [eps, acc] : {std::pair{0.1 / 800.0, &strict_error},
+                            std::pair{1.0 / 200.0, &loose_error}}) {
+      const PlanarLaplace laplace(eps);
+      const geo::Point report = truth + laplace.Sample(rng);
+      const auto posterior = adversary.PosteriorLaplace(report, eps);
+      *acc += adversary.Evaluate(posterior, truth, 800.0).expected_error_m;
+    }
+  }
+  EXPECT_GT(strict_error, 2.0 * loose_error);
+}
+
+TEST(BayesianAdversaryTest, GeoIBoundsPosteriorOddsCloakingDoesNot) {
+  // The semantic difference the paper leans on: observing a Geo-I report
+  // shifts the posterior odds between any two locations at distance d by
+  // at most e^{eps d / r} — independent of the prior — while observing a
+  // cloak shifts the odds between an inside and an outside location to
+  // infinity (the outside one is fully excluded).
+  const geo::BoundingBox region = geo::BoundingBox::FromCorners({0, 0},
+                                                                {10000, 10000});
+  const geo::Point hotspot{4000, 4000};
+  const BayesianAdversary informed(region, 50, [hotspot](geo::Point p) {
+    const double d = geo::Distance(p, hotspot);
+    return std::exp(-d * d / (2.0 * 2000.0 * 2000.0)) + 1e-6;
+  });
+  stats::Rng rng(5);
+  const PrivacyParams params{0.7, 800.0};
+  const PlanarLaplace laplace(params.unit_epsilon());
+  const geo::Point truth{4300, 4100};
+  const geo::Point report = truth + laplace.Sample(rng);
+  const auto geoi_posterior =
+      informed.PosteriorLaplace(report, params.unit_epsilon());
+
+  // Geo-I: posterior-to-prior odds shift between nearby cells is bounded.
+  stats::Rng pick(6);
+  const auto uniform = BayesianAdversary(region, 50);
+  const auto flat_posterior =
+      uniform.PosteriorLaplace(report, params.unit_epsilon());
+  for (int trial = 0; trial < 200; ++trial) {
+    const int i = static_cast<int>(pick.UniformInt(50 * 50));
+    const int j = static_cast<int>(pick.UniformInt(50 * 50));
+    const double d =
+        geo::Distance(uniform.CellCenter(i), uniform.CellCenter(j));
+    if (d > params.radius_m) continue;
+    // With a uniform prior the posterior IS the normalized likelihood, so
+    // the odds ratio is the likelihood ratio, bounded by e^{eps d / r}.
+    const double odds = flat_posterior[static_cast<size_t>(i)] /
+                        flat_posterior[static_cast<size_t>(j)];
+    const double bound = std::exp(params.unit_epsilon() * d);
+    EXPECT_LE(odds, bound * (1.0 + 1e-9));
+    EXPECT_GE(odds, 1.0 / bound * (1.0 - 1e-9));
+  }
+  // And the informed posterior never zeroes out plausible locations.
+  int zero_cells = 0;
+  for (double p : geoi_posterior) zero_cells += p == 0.0 ? 1 : 0;
+  EXPECT_EQ(zero_cells, 0);
+
+  // Cloaking: everything outside the reported rectangle is excluded, so
+  // some pair of locations at distance << r has infinite odds shift.
+  const CloakingMechanism cloaking = CloakingMechanism::WithArea(4e6);
+  const auto cloak_posterior =
+      informed.PosteriorCloak(cloaking.Cloak(truth, rng));
+  int excluded = 0;
+  for (double p : cloak_posterior) excluded += p == 0.0 ? 1 : 0;
+  EXPECT_GT(excluded, 50 * 50 / 2);  // Most of the city certainly ruled out.
+}
+
+// ---------------------------------------------------------- CloakedMatcher
+
+TEST(CloakedMatcherTest, AssignmentsValidAndAccounted) {
+  const geo::BoundingBox region = geo::BoundingBox::FromCorners({0, 0},
+                                                                {20000, 20000});
+  data::WorkloadConfig config;
+  config.num_workers = 80;
+  config.num_tasks = 80;
+  stats::Rng rng(6);
+  const assign::Workload w = data::MakeUniformWorkload(region, config, rng);
+  assign::CloakedMatcher matcher(CloakingMechanism::WithArea(4e6), 0.1, 0.25);
+  const auto result = matcher.Run(w, rng);
+  EXPECT_GT(result.metrics.assigned_tasks, 0);
+  for (const auto& a : result.assignments) {
+    EXPECT_TRUE(w.workers[static_cast<size_t>(a.worker_id)].CanReach(
+        w.tasks[static_cast<size_t>(a.task_id)].location));
+  }
+  EXPECT_EQ(result.metrics.requester_to_worker_msgs,
+            result.metrics.accepted_assignments + result.metrics.false_hits);
+}
+
+TEST(CloakedMatcherTest, SmallerCloaksAssignMore) {
+  const geo::BoundingBox region = geo::BoundingBox::FromCorners({0, 0},
+                                                                {20000, 20000});
+  data::WorkloadConfig config;
+  config.num_workers = 100;
+  config.num_tasks = 100;
+  stats::Rng rng(7);
+  const assign::Workload w = data::MakeUniformWorkload(region, config, rng);
+  assign::CloakedMatcher tight(CloakingMechanism::WithArea(1e6), 0.1, 0.25);
+  assign::CloakedMatcher huge(CloakingMechanism::WithArea(64e6), 0.1, 0.25);
+  stats::Rng rng_a(8), rng_b(8);
+  EXPECT_GE(tight.Run(w, rng_a).metrics.assigned_tasks,
+            huge.Run(w, rng_b).metrics.assigned_tasks);
+}
+
+}  // namespace
+}  // namespace scguard::privacy

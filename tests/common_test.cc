@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/str_format.h"
+
+namespace scguard {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  const Status s = Status::InvalidArgument("bad epsilon");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "bad epsilon");
+  EXPECT_EQ(s.ToString(), "invalid-argument: bad epsilon");
+}
+
+TEST(StatusTest, CopyAndMovePreserveState) {
+  Status s = Status::NotFound("missing");
+  Status copy = s;
+  EXPECT_EQ(copy, s);
+  Status moved = std::move(s);
+  EXPECT_TRUE(moved.IsNotFound());
+  EXPECT_EQ(moved.message(), "missing");
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  const Status s = Status::IOError("disk gone").WithContext("loading table");
+  EXPECT_EQ(s.message(), "loading table: disk gone");
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_TRUE(Status::OK().WithContext("ignored").ok());
+}
+
+TEST(StatusTest, StreamOperatorMatchesToString) {
+  std::ostringstream os;
+  os << Status::Internal("boom");
+  EXPECT_EQ(os.str(), "internal: boom");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "ok");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kIOError), "io-error");
+}
+
+Status FailsThenReturns(bool fail) {
+  SCGUARD_RETURN_NOT_OK(fail ? Status::Internal("inner") : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacro) {
+  EXPECT_TRUE(FailsThenReturns(false).ok());
+  EXPECT_TRUE(FailsThenReturns(true).IsInternal());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(7), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 5);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  SCGUARD_ASSIGN_OR_RETURN(const int h, Half(x));
+  return Half(h);
+}
+
+TEST(ResultTest, AssignOrReturnMacroChains) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_TRUE(Quarter(6).status().IsInvalidArgument());  // 6/2=3 is odd.
+  EXPECT_TRUE(Quarter(5).status().IsInvalidArgument());
+}
+
+TEST(StrFormatTest, StrCatConcatenatesMixedTypes) {
+  EXPECT_EQ(StrCat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StrFormatTest, StrJoin) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"only"}, ", "), "only");
+}
+
+TEST(StrFormatTest, StrSplitKeepsEmptyFields) {
+  EXPECT_EQ(StrSplit("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("x", ','), (std::vector<std::string>{"x"}));
+  EXPECT_EQ(StrSplit("a,b,", ','), (std::vector<std::string>{"a", "b", ""}));
+}
+
+TEST(StrFormatTest, StripAsciiWhitespace) {
+  EXPECT_EQ(StripAsciiWhitespace("  x y\t\n"), "x y");
+  EXPECT_EQ(StripAsciiWhitespace("\t \n"), "");
+  EXPECT_EQ(StripAsciiWhitespace("abc"), "abc");
+}
+
+TEST(StrFormatTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(12.5, 2), "12.50");
+  EXPECT_EQ(FormatDouble(-0.125, 3), "-0.125");
+  EXPECT_EQ(FormatDouble(3.0, 0), "3");
+}
+
+}  // namespace
+}  // namespace scguard

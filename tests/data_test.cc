@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "data/beijing.h"
+#include "data/csv_loader.h"
+#include "data/tdrive_synth.h"
+#include "data/trip_model.h"
+#include "data/workload.h"
+#include "stats/rng.h"
+
+namespace scguard::data {
+namespace {
+
+TEST(BeijingTest, RegionIsMetroScale) {
+  const geo::BoundingBox region = BeijingRegion();
+  EXPECT_FALSE(region.empty());
+  EXPECT_NEAR(region.Width(), 51000.0, 5000.0);
+  EXPECT_NEAR(region.Height(), 56000.0, 5000.0);
+  EXPECT_TRUE(region.Contains(BeijingProjection().Forward(kBeijingCenter)));
+}
+
+TEST(HotspotMixtureTest, SamplesStayInRegion) {
+  stats::Rng rng(1);
+  const geo::BoundingBox region = geo::BoundingBox::FromCorners({0, 0},
+                                                                {10000, 10000});
+  const HotspotMixture mix = HotspotMixture::MakeBeijingLike(region, 10, rng);
+  EXPECT_EQ(mix.hotspots().size(), 10u);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_TRUE(region.Contains(mix.Sample(rng)));
+  }
+}
+
+TEST(HotspotMixtureTest, DemandIsClustered) {
+  stats::Rng rng(2);
+  const geo::BoundingBox region = geo::BoundingBox::FromCorners({0, 0},
+                                                                {30000, 30000});
+  const HotspotMixture mix = HotspotMixture::MakeBeijingLike(region, 12, rng);
+  // A clustered surface puts much more mass near the top hotspot than a
+  // uniform one would.
+  const auto& top = mix.hotspots().front();
+  int near_top = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (geo::Distance(mix.Sample(rng), top.center) < 2.0 * top.sigma_m) {
+      ++near_top;
+    }
+  }
+  const double disk_area = M_PI * 4.0 * top.sigma_m * top.sigma_m;
+  const double uniform_expectation = n * disk_area / region.Area();
+  EXPECT_GT(near_top, 2.0 * uniform_expectation);
+}
+
+TEST(HotspotMixtureTest, PureBackgroundIsUniform) {
+  stats::Rng rng(3);
+  const geo::BoundingBox region = geo::BoundingBox::FromCorners({0, 0},
+                                                                {1000, 1000});
+  const HotspotMixture mix(region, {}, 1.0);
+  double sum_x = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum_x += mix.Sample(rng).x;
+  EXPECT_NEAR(sum_x / n, 500.0, 10.0);
+}
+
+TEST(TDriveSynthTest, CreateValidatesConfig) {
+  stats::Rng rng(4);
+  const geo::BoundingBox region = BeijingRegion();
+  TDriveSynthConfig config;
+  config.num_taxis = 0;
+  EXPECT_FALSE(TDriveSynthesizer::Create(config, region, rng).ok());
+  config = TDriveSynthConfig();
+  EXPECT_FALSE(TDriveSynthesizer::Create(config, geo::BoundingBox(), rng).ok());
+}
+
+TDriveSynthConfig SmallSynth() {
+  TDriveSynthConfig config;
+  config.num_taxis = 200;
+  config.mean_trips_per_taxi = 8.0;
+  return config;
+}
+
+TEST(TDriveSynthTest, TripsAreWellFormed) {
+  stats::Rng rng(5);
+  const geo::BoundingBox region = BeijingRegion();
+  const auto synth = TDriveSynthesizer::Create(SmallSynth(), region, rng);
+  ASSERT_TRUE(synth.ok());
+  const std::vector<Trip> trips = synth->GenerateTrips(rng);
+  ASSERT_GT(trips.size(), 500u);
+  double prev_pickup = -1.0;
+  for (const auto& t : trips) {
+    EXPECT_GE(t.pickup_time_s, prev_pickup);  // Sorted by pickup time.
+    prev_pickup = t.pickup_time_s;
+    EXPECT_GE(t.dropoff_time_s, t.pickup_time_s);
+    EXPECT_TRUE(region.Contains(t.pickup));
+    EXPECT_TRUE(region.Contains(t.dropoff));
+    EXPECT_GE(t.taxi_id, 0);
+    EXPECT_LT(t.taxi_id, 200);
+  }
+}
+
+TEST(TDriveSynthTest, DeterministicForEqualSeeds) {
+  const geo::BoundingBox region = BeijingRegion();
+  stats::Rng rng_a(6), rng_b(6);
+  const auto synth_a = TDriveSynthesizer::Create(SmallSynth(), region, rng_a);
+  const auto synth_b = TDriveSynthesizer::Create(SmallSynth(), region, rng_b);
+  const auto trips_a = synth_a->GenerateTrips(rng_a);
+  const auto trips_b = synth_b->GenerateTrips(rng_b);
+  ASSERT_EQ(trips_a.size(), trips_b.size());
+  for (size_t i = 0; i < trips_a.size(); i += 97) {
+    EXPECT_EQ(trips_a[i].pickup, trips_b[i].pickup);
+    EXPECT_DOUBLE_EQ(trips_a[i].pickup_time_s, trips_b[i].pickup_time_s);
+  }
+}
+
+std::vector<Trip> MakeTrips(int taxis, int per_taxi) {
+  std::vector<Trip> trips;
+  stats::Rng rng(7);
+  for (int taxi = 0; taxi < taxis; ++taxi) {
+    double clock = rng.UniformDouble(0, 1000);
+    for (int k = 0; k < per_taxi; ++k) {
+      Trip t;
+      t.taxi_id = taxi;
+      t.pickup = {rng.UniformDouble(0, 10000), rng.UniformDouble(0, 10000)};
+      t.dropoff = {rng.UniformDouble(0, 10000), rng.UniformDouble(0, 10000)};
+      t.pickup_time_s = clock;
+      clock += rng.UniformDouble(60, 600);
+      t.dropoff_time_s = clock;
+      trips.push_back(t);
+    }
+  }
+  std::sort(trips.begin(), trips.end(),
+            [](const Trip& a, const Trip& b) { return a.pickup_time_s < b.pickup_time_s; });
+  return trips;
+}
+
+TEST(WorkloadTest, BuildFromTripsShapes) {
+  const std::vector<Trip> trips = MakeTrips(50, 6);
+  WorkloadConfig config;
+  config.num_workers = 30;
+  config.num_tasks = 40;
+  stats::Rng rng(8);
+  const auto workload = BuildWorkloadFromTrips(trips, config, rng);
+  ASSERT_TRUE(workload.ok());
+  EXPECT_EQ(workload->workers.size(), 30u);
+  EXPECT_EQ(workload->tasks.size(), 40u);
+  for (const auto& w : workload->workers) {
+    EXPECT_GE(w.reach_radius_m, config.reach_min_m);
+    EXPECT_LE(w.reach_radius_m, config.reach_max_m);
+  }
+  // Tasks arrive in time order with dense arrival sequence.
+  for (size_t i = 0; i < workload->tasks.size(); ++i) {
+    EXPECT_EQ(workload->tasks[i].arrival_seq, static_cast<int64_t>(i));
+  }
+}
+
+TEST(WorkloadTest, WorkersAreAtFinalDropoffs) {
+  // Single taxi with three trips: its worker location must be the last
+  // trip's dropoff.
+  std::vector<Trip> trips = MakeTrips(1, 3);
+  WorkloadConfig config;
+  config.num_workers = 1;
+  config.num_tasks = 1;
+  stats::Rng rng(9);
+  const auto workload = BuildWorkloadFromTrips(trips, config, rng);
+  ASSERT_TRUE(workload.ok());
+  const Trip* last = &trips[0];
+  for (const auto& t : trips) {
+    if (t.dropoff_time_s > last->dropoff_time_s) last = &t;
+  }
+  EXPECT_EQ(workload->workers[0].location, last->dropoff);
+}
+
+TEST(WorkloadTest, FailsWhenTooFewTaxisOrTrips) {
+  const std::vector<Trip> trips = MakeTrips(5, 2);
+  stats::Rng rng(10);
+  WorkloadConfig config;
+  config.num_workers = 10;  // Only 5 taxis.
+  config.num_tasks = 5;
+  EXPECT_TRUE(BuildWorkloadFromTrips(trips, config, rng).status().IsInvalidArgument());
+  config.num_workers = 3;
+  config.num_tasks = 100;  // Only 10 trips.
+  EXPECT_TRUE(BuildWorkloadFromTrips(trips, config, rng).status().IsInvalidArgument());
+}
+
+TEST(WorkloadTest, PerturbFillsNoisyLocations) {
+  const std::vector<Trip> trips = MakeTrips(20, 4);
+  WorkloadConfig config;
+  config.num_workers = 10;
+  config.num_tasks = 10;
+  stats::Rng rng(11);
+  auto workload = BuildWorkloadFromTrips(trips, config, rng);
+  ASSERT_TRUE(workload.ok());
+  const privacy::PrivacyParams params{0.7, 800.0};
+  PerturbWorkload(params, params, rng, *workload);
+  int moved = 0;
+  for (const auto& w : workload->workers) {
+    moved += (w.noisy_location == w.location) ? 0 : 1;
+  }
+  EXPECT_EQ(moved, 10);  // Perturbation almost surely moves every point.
+}
+
+TEST(WorkloadTest, UniformWorkloadInRegion) {
+  const geo::BoundingBox region = geo::BoundingBox::FromCorners({0, 0}, {100, 100});
+  WorkloadConfig config;
+  config.num_workers = 50;
+  config.num_tasks = 60;
+  stats::Rng rng(12);
+  const assign::Workload w = MakeUniformWorkload(region, config, rng);
+  EXPECT_EQ(w.workers.size(), 50u);
+  EXPECT_EQ(w.tasks.size(), 60u);
+  for (const auto& worker : w.workers) EXPECT_TRUE(region.Contains(worker.location));
+  for (const auto& task : w.tasks) EXPECT_TRUE(region.Contains(task.location));
+}
+
+TEST(CsvLoaderTest, RoundTrip) {
+  const std::vector<Trip> trips = MakeTrips(5, 3);
+  std::stringstream ss;
+  WriteTripsCsv(trips, ss);
+  const auto loaded = LoadTripsCsv(ss);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), trips.size());
+  for (size_t i = 0; i < trips.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].taxi_id, trips[i].taxi_id);
+    EXPECT_NEAR((*loaded)[i].pickup.x, trips[i].pickup.x, 1e-3);
+    EXPECT_NEAR((*loaded)[i].dropoff.y, trips[i].dropoff.y, 1e-3);
+  }
+}
+
+TEST(CsvLoaderTest, SkipsHeaderAndBlankLines) {
+  std::stringstream ss(
+      "taxi_id,pickup_time_s,pickup_x,pickup_y,dropoff_time_s,dropoff_x,dropoff_y\n"
+      "\n"
+      "1,10,0,0,20,5,5\n"
+      "\n");
+  const auto loaded = LoadTripsCsv(ss);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 1u);
+}
+
+TEST(CsvLoaderTest, RejectsMalformedRows) {
+  {
+    std::stringstream ss("1,10,0,0,20,5\n");  // 6 fields.
+    EXPECT_TRUE(LoadTripsCsv(ss).status().IsInvalidArgument());
+  }
+  {
+    std::stringstream ss("1,10,zero,0,20,5,5\n");  // Bad number.
+    EXPECT_TRUE(LoadTripsCsv(ss).status().IsInvalidArgument());
+  }
+  {
+    std::stringstream ss("1,30,0,0,20,5,5\n");  // Dropoff before pickup.
+    EXPECT_TRUE(LoadTripsCsv(ss).status().IsInvalidArgument());
+  }
+}
+
+TEST(CsvLoaderTest, LatLonVariantProjects) {
+  const geo::LocalProjection proj({39.9, 116.4});
+  std::stringstream ss("7,100,116.41,39.91,200,116.42,39.92\n");
+  const auto loaded = LoadTripsCsvLatLon(ss, proj);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 1u);
+  const geo::Point expected = proj.Forward({39.91, 116.41});
+  EXPECT_NEAR((*loaded)[0].pickup.x, expected.x, 1e-9);
+  EXPECT_NEAR((*loaded)[0].pickup.y, expected.y, 1e-9);
+}
+
+TEST(CsvLoaderTest, MissingFileIsIOError) {
+  EXPECT_TRUE(LoadTripsCsvFile("/nonexistent/trips.csv").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace scguard::data

@@ -1,0 +1,267 @@
+// Tests for the paper's Sec. VII extensions and rejected design variants:
+// privacy budget composition, location-set Geo-I, the parallel/server-ranked
+// U2E alternatives, and the reputation countermeasure.
+
+#include <gtest/gtest.h>
+
+#include "core/protocol.h"
+#include "core/reputation.h"
+#include "core/variants.h"
+#include "privacy/budget.h"
+#include "privacy/location_set.h"
+#include "privacy/planar_laplace.h"
+#include "reachability/analytical_model.h"
+#include "stats/rng.h"
+
+namespace scguard {
+namespace {
+
+using privacy::PrivacyParams;
+
+constexpr PrivacyParams kDefault{0.7, 800.0};
+
+// ----------------------------------------------------------- BudgetLedger
+
+TEST(BudgetLedgerTest, TracksSpend) {
+  privacy::BudgetLedger ledger(1.0);
+  EXPECT_DOUBLE_EQ(ledger.remaining_epsilon(), 1.0);
+  EXPECT_TRUE(ledger.Spend(0.3).ok());
+  EXPECT_TRUE(ledger.Spend(0.3).ok());
+  EXPECT_DOUBLE_EQ(ledger.spent_epsilon(), 0.6);
+  EXPECT_NEAR(ledger.remaining_epsilon(), 0.4, 1e-12);
+}
+
+TEST(BudgetLedgerTest, RefusesOverspend) {
+  privacy::BudgetLedger ledger(1.0);
+  EXPECT_TRUE(ledger.Spend(0.9).ok());
+  const Status overspend = ledger.Spend(0.2);
+  EXPECT_TRUE(overspend.IsFailedPrecondition());
+  // Failed spends consume nothing.
+  EXPECT_DOUBLE_EQ(ledger.spent_epsilon(), 0.9);
+  // Exact remaining spend succeeds despite floating point.
+  EXPECT_TRUE(ledger.Spend(0.1).ok());
+  EXPECT_FALSE(ledger.CanSpend(1e-6));
+}
+
+TEST(BudgetLedgerTest, RejectsNonPositive) {
+  privacy::BudgetLedger ledger(1.0);
+  EXPECT_TRUE(ledger.Spend(0.0).IsInvalidArgument());
+  EXPECT_TRUE(ledger.Spend(-0.1).IsInvalidArgument());
+}
+
+TEST(BudgetLedgerTest, UniformSplit) {
+  privacy::BudgetLedger ledger(1.0);
+  EXPECT_DOUBLE_EQ(ledger.UniformEpsilonFor(4), 0.25);
+  ASSERT_TRUE(ledger.Spend(0.5).ok());
+  EXPECT_DOUBLE_EQ(ledger.UniformEpsilonFor(5), 0.1);
+}
+
+// ----------------------------------------------------- LocationSetMechanism
+
+TEST(LocationSetTest, SplitsBudgetLinearly) {
+  const auto mech = privacy::LocationSetMechanism::Create(kDefault, 4);
+  ASSERT_TRUE(mech.ok());
+  EXPECT_DOUBLE_EQ(mech->per_location_params().epsilon, 0.7 / 4.0);
+  EXPECT_DOUBLE_EQ(mech->per_location_params().radius_m, 800.0);
+}
+
+TEST(LocationSetTest, RejectsBadArguments) {
+  EXPECT_FALSE(privacy::LocationSetMechanism::Create(kDefault, 0).ok());
+  EXPECT_FALSE(
+      privacy::LocationSetMechanism::Create(PrivacyParams{0, 800}, 2).ok());
+}
+
+TEST(LocationSetTest, RefusesOversizedSets) {
+  const auto mech = privacy::LocationSetMechanism::Create(kDefault, 2);
+  ASSERT_TRUE(mech.ok());
+  stats::Rng rng(1);
+  const std::vector<geo::Point> three = {{0, 0}, {1, 1}, {2, 2}};
+  EXPECT_TRUE(mech->PerturbSet(three, rng).status().IsInvalidArgument());
+  const std::vector<geo::Point> two = {{0, 0}, {1, 1}};
+  const auto out = mech->PerturbSet(two, rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2u);
+}
+
+TEST(LocationSetTest, NoiseGrowsWithSetSize) {
+  // Mean noise radius is 2 / unit_eps = 2 n r / eps: linear in n.
+  stats::Rng rng(2);
+  const int trials = 4000;
+  auto mean_noise = [&rng, trials](int set_size) {
+    const auto mech =
+        privacy::LocationSetMechanism::Create(kDefault, set_size);
+    double total = 0;
+    for (int i = 0; i < trials; ++i) {
+      total += geo::Distance(mech->PerturbOne({0, 0}, rng), {0, 0});
+    }
+    return total / trials;
+  };
+  const double single = mean_noise(1);
+  const double set_of_four = mean_noise(4);
+  EXPECT_NEAR(set_of_four / single, 4.0, 0.4);
+}
+
+// ------------------------------------------------------------ U2E variants
+
+struct VariantFixtureResult {
+  std::vector<core::WorkerDevice> devices;
+  std::vector<core::CandidateWorker> candidates;
+  core::TaskingServer server;
+};
+
+TEST(U2eVariantsTest, AllVariantsCanAssign) {
+  stats::Rng rng(3);
+  const reachability::AnalyticalModel model(kDefault);
+  std::vector<core::WorkerDevice> devices;
+  core::TaskingServer server(&model, 0.1);
+  for (int i = 0; i < 30; ++i) {
+    devices.emplace_back(i, geo::Point{i * 300.0, 0.0}, 2500.0, kDefault);
+    server.RegisterWorker(devices.back().Register(rng));
+  }
+  core::RequesterDevice requester(0, {1500, 0}, kDefault);
+  const core::TaskRequest request = requester.Submit(rng);
+  const auto candidates = server.FindCandidates(request);
+  ASSERT_FALSE(candidates.empty());
+
+  for (auto variant :
+       {core::U2eVariant::kSequential, core::U2eVariant::kParallelBroadcast,
+        core::U2eVariant::kServerRanked}) {
+    const core::VariantOutcome outcome = core::RunU2eVariant(
+        variant, requester, request, candidates, devices, model, 0.1, rng);
+    ASSERT_TRUE(outcome.assigned_worker.has_value())
+        << core::U2eVariantName(variant);
+    EXPECT_TRUE(devices[static_cast<size_t>(*outcome.assigned_worker)]
+                    .HandleTaskOffer(requester.exact_task_location()))
+        << core::U2eVariantName(variant);
+  }
+}
+
+TEST(U2eVariantsTest, DisclosureProfilesDifferAsThePaperArgues) {
+  stats::Rng rng(4);
+  const reachability::AnalyticalModel model(kDefault);
+  std::vector<core::WorkerDevice> devices;
+  core::TaskingServer server(&model, 0.1);
+  stats::Rng place(5);
+  for (int i = 0; i < 100; ++i) {
+    devices.emplace_back(i,
+                         geo::Point{place.UniformDouble(0, 10000),
+                                    place.UniformDouble(0, 10000)},
+                         2000.0, kDefault);
+    server.RegisterWorker(devices.back().Register(rng));
+  }
+
+  int64_t seq_task_disclosures = 0, seq_worker_disclosures = 0;
+  int64_t par_worker_disclosures = 0;
+  int64_t ranked_server_responses = 0;
+  for (int t = 0; t < 30; ++t) {
+    core::RequesterDevice requester(t,
+                                    {place.UniformDouble(0, 10000),
+                                     place.UniformDouble(0, 10000)},
+                                    kDefault);
+    const core::TaskRequest request = requester.Submit(rng);
+    const auto candidates = server.FindCandidates(request);
+    const auto seq = core::RunU2eVariant(core::U2eVariant::kSequential,
+                                         requester, request, candidates,
+                                         devices, model, 0.25, rng);
+    const auto par = core::RunU2eVariant(core::U2eVariant::kParallelBroadcast,
+                                         requester, request, candidates,
+                                         devices, model, 0.25, rng);
+    const auto ranked = core::RunU2eVariant(core::U2eVariant::kServerRanked,
+                                            requester, request, candidates,
+                                            devices, model, 0.25, rng);
+    seq_task_disclosures += seq.task_location_disclosures;
+    seq_worker_disclosures += seq.worker_location_disclosures;
+    par_worker_disclosures += par.worker_location_disclosures;
+    ranked_server_responses += ranked.server_learned_responses;
+  }
+  // The sequential protocol never reveals a worker location.
+  EXPECT_EQ(seq_worker_disclosures, 0);
+  // The broadcast variant leaks worker locations (the paper's reason for
+  // rejecting it).
+  EXPECT_GT(par_worker_disclosures, 0);
+  // The server-ranked variant feeds the server one correlated response per
+  // candidate (the paper's reason for rejecting it).
+  EXPECT_GT(ranked_server_responses, 0);
+  EXPECT_GT(seq_task_disclosures, 0);
+}
+
+TEST(LocationSetTest, EmptySetIsFine) {
+  const auto mech = privacy::LocationSetMechanism::Create(kDefault, 3);
+  ASSERT_TRUE(mech.ok());
+  stats::Rng rng(9);
+  const auto out = mech->PerturbSet({}, rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+}
+
+// Precondition violations abort via SCGUARD_CHECK rather than corrupting
+// state; pin that contract for the most safety-critical entry points.
+TEST(CheckContractDeathTest, InvalidConstructionsAbort) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(privacy::BudgetLedger ledger(0.0), "SCGUARD_CHECK");
+  EXPECT_DEATH(
+      {
+        stats::Rng rng(1);
+        (void)rng.UniformInt(0);
+      },
+      "SCGUARD_CHECK");
+  EXPECT_DEATH(privacy::PlanarLaplace laplace(0.0), "SCGUARD_CHECK");
+}
+
+// ------------------------------------------------------------- Reputation
+
+TEST(ReputationTest, CleanRequesterStaysClean) {
+  core::ReputationTracker tracker;
+  stats::Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    tracker.RecordTask(1, {rng.UniformDouble(0, 20000), rng.UniformDouble(0, 20000)});
+    tracker.RecordOutcome(1, /*completed=*/true);
+  }
+  EXPECT_DOUBLE_EQ(tracker.Score(1), 1.0);
+  EXPECT_FALSE(tracker.IsSuspicious(1));
+}
+
+TEST(ReputationTest, UnknownRequesterIsClean) {
+  core::ReputationTracker tracker;
+  EXPECT_DOUBLE_EQ(tracker.Score(99), 1.0);
+}
+
+TEST(ReputationTest, ProbingAttackIsFlagged) {
+  // Attack: many tasks tightly clustered around a victim, never completed.
+  core::ReputationTracker tracker;
+  stats::Rng rng(7);
+  const geo::Point victim{5000, 5000};
+  for (int i = 0; i < 40; ++i) {
+    tracker.RecordTask(
+        666, victim + geo::Point{rng.UniformDouble(-100, 100),
+                                 rng.UniformDouble(-100, 100)});
+    tracker.RecordOutcome(666, /*completed=*/false);
+  }
+  EXPECT_LT(tracker.Score(666), 0.2);
+  EXPECT_TRUE(tracker.IsSuspicious(666));
+}
+
+TEST(ReputationTest, VolumeSignalTripsAndResets) {
+  core::ReputationTracker::Config config;
+  config.max_tasks_per_window = 20;
+  core::ReputationTracker tracker(config);
+  stats::Rng rng(8);
+  for (int i = 0; i < 60; ++i) {
+    tracker.RecordTask(7, {rng.UniformDouble(0, 20000), rng.UniformDouble(0, 20000)});
+    tracker.RecordOutcome(7, true);
+  }
+  EXPECT_LT(tracker.Score(7), 0.5);
+  tracker.AdvanceWindow();
+  EXPECT_DOUBLE_EQ(tracker.Score(7), 1.0);  // Volume was the only signal.
+}
+
+TEST(ReputationTest, TooLittleHistoryNeverFlags) {
+  core::ReputationTracker tracker;
+  tracker.RecordTask(5, {0, 0});
+  tracker.RecordTask(5, {1, 1});  // Extremely concentrated, but only 2 tasks.
+  tracker.RecordOutcome(5, false);
+  EXPECT_DOUBLE_EQ(tracker.Score(5), 1.0);
+}
+
+}  // namespace
+}  // namespace scguard

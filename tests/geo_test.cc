@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/bbox.h"
+#include "geo/circle.h"
+#include "geo/latlon.h"
+#include "geo/point.h"
+#include "geo/projection.h"
+
+namespace scguard::geo {
+namespace {
+
+TEST(PointTest, Arithmetic) {
+  const Point a{1, 2};
+  const Point b{3, -1};
+  EXPECT_EQ(a + b, (Point{4, 1}));
+  EXPECT_EQ(a - b, (Point{-2, 3}));
+  EXPECT_EQ(a * 2.0, (Point{2, 4}));
+  EXPECT_EQ(2.0 * a, (Point{2, 4}));
+}
+
+TEST(PointTest, DistanceIsEuclidean) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(PointTest, NormMatchesDistanceFromOrigin) {
+  const Point p{-3, 4};
+  EXPECT_DOUBLE_EQ(p.Norm(), 5.0);
+}
+
+TEST(LatLonTest, HaversineKnownDistance) {
+  // Beijing Tiananmen to Beijing Capital Airport: ~25 km.
+  const LatLon tiananmen{39.9055, 116.3976};
+  const LatLon airport{40.0799, 116.6031};
+  const double d = HaversineMeters(tiananmen, airport);
+  EXPECT_NEAR(d, 26000, 1500);
+  EXPECT_DOUBLE_EQ(HaversineMeters(tiananmen, tiananmen), 0.0);
+}
+
+TEST(ProjectionTest, RoundTrip) {
+  const LocalProjection proj({39.9, 116.4});
+  const LatLon original{39.93, 116.47};
+  const LatLon back = proj.Backward(proj.Forward(original));
+  EXPECT_NEAR(back.lat, original.lat, 1e-12);
+  EXPECT_NEAR(back.lon, original.lon, 1e-12);
+}
+
+TEST(ProjectionTest, OriginMapsToZero) {
+  const LocalProjection proj({39.9, 116.4});
+  const Point p = proj.Forward({39.9, 116.4});
+  EXPECT_DOUBLE_EQ(p.x, 0.0);
+  EXPECT_DOUBLE_EQ(p.y, 0.0);
+}
+
+TEST(ProjectionTest, DistancePreservedAtCityScale) {
+  const LocalProjection proj({39.9, 116.4});
+  const LatLon a{39.92, 116.42};
+  const LatLon b{39.97, 116.51};
+  const double planar = Distance(proj.Forward(a), proj.Forward(b));
+  const double geodesic = HaversineMeters(a, b);
+  // Within 0.5% at ~10 km scale.
+  EXPECT_NEAR(planar / geodesic, 1.0, 0.005);
+}
+
+TEST(BoundingBoxTest, DefaultIsEmpty) {
+  BoundingBox box;
+  EXPECT_TRUE(box.empty());
+  EXPECT_DOUBLE_EQ(box.Area(), 0.0);
+  EXPECT_FALSE(box.Contains({0, 0}));
+}
+
+TEST(BoundingBoxTest, ExtendPointAndBox) {
+  BoundingBox box;
+  box.Extend(Point{1, 2});
+  EXPECT_FALSE(box.empty());
+  EXPECT_TRUE(box.Contains({1, 2}));
+  box.Extend(Point{-1, 5});
+  EXPECT_DOUBLE_EQ(box.Width(), 2.0);
+  EXPECT_DOUBLE_EQ(box.Height(), 3.0);
+  BoundingBox other = BoundingBox::FromCorners({10, 10}, {11, 11});
+  box.Extend(other);
+  EXPECT_TRUE(box.Contains({10.5, 10.5}));
+}
+
+TEST(BoundingBoxTest, IntersectsIsSymmetricAndEdgeInclusive) {
+  const BoundingBox a = BoundingBox::FromCorners({0, 0}, {2, 2});
+  const BoundingBox b = BoundingBox::FromCorners({2, 2}, {3, 3});  // Touches.
+  const BoundingBox c = BoundingBox::FromCorners({2.1, 2.1}, {3, 3});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_FALSE(a.Intersects(BoundingBox()));  // Empty never intersects.
+}
+
+TEST(BoundingBoxTest, FromCircleCoversDisk) {
+  const BoundingBox box = BoundingBox::FromCircle({5, 5}, 2);
+  EXPECT_TRUE(box.Contains({3, 5}));
+  EXPECT_TRUE(box.Contains({7, 7}));
+  EXPECT_FALSE(box.Contains({7.5, 5}));
+}
+
+TEST(BoundingBoxTest, DistanceToPoint) {
+  const BoundingBox box = BoundingBox::FromCorners({0, 0}, {2, 2});
+  EXPECT_DOUBLE_EQ(box.DistanceTo({1, 1}), 0.0);       // Inside.
+  EXPECT_DOUBLE_EQ(box.DistanceTo({5, 1}), 3.0);       // Right side.
+  EXPECT_DOUBLE_EQ(box.DistanceTo({5, 6}), 5.0);       // Corner (3-4-5).
+}
+
+TEST(BoundingBoxTest, UnionCoversBoth) {
+  const BoundingBox a = BoundingBox::FromCorners({0, 0}, {1, 1});
+  const BoundingBox b = BoundingBox::FromCorners({5, 5}, {6, 6});
+  const BoundingBox u = a.Union(b);
+  EXPECT_TRUE(u.Contains({0.5, 0.5}));
+  EXPECT_TRUE(u.Contains({5.5, 5.5}));
+  EXPECT_TRUE(u.Contains({3, 3}));  // MBRs fill the gap.
+}
+
+TEST(BoundingBoxTest, CenterOfBox) {
+  const BoundingBox box = BoundingBox::FromCorners({2, 4}, {6, 10});
+  EXPECT_EQ(box.Center(), (Point{4, 7}));
+}
+
+TEST(CircleTest, ContainsIsRadiusInclusive) {
+  const Circle c{{0, 0}, 5};
+  EXPECT_TRUE(c.Contains({3, 4}));   // Exactly on the boundary.
+  EXPECT_TRUE(c.Contains({0, 0}));
+  EXPECT_FALSE(c.Contains({3.01, 4}));
+}
+
+TEST(CircleTest, IntersectsByCenterDistance) {
+  const Circle a{{0, 0}, 2};
+  const Circle b{{5, 0}, 3};   // Touching.
+  const Circle c{{5, 0}, 2.9};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+}
+
+TEST(CircleTest, MbrIsTight) {
+  const Circle c{{1, 1}, 2};
+  const BoundingBox box = c.Mbr();
+  EXPECT_DOUBLE_EQ(box.min_x, -1.0);
+  EXPECT_DOUBLE_EQ(box.max_y, 3.0);
+}
+
+}  // namespace
+}  // namespace scguard::geo

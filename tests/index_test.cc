@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "index/grid_index.h"
+#include "index/pruning.h"
+#include "index/rtree.h"
+#include "stats/rng.h"
+
+namespace scguard::index {
+namespace {
+
+geo::BoundingBox RandomBox(stats::Rng& rng, double extent, double max_size) {
+  const geo::Point c{rng.UniformDouble(0, extent), rng.UniformDouble(0, extent)};
+  return geo::BoundingBox::FromCircle(c, rng.UniformDouble(1.0, max_size));
+}
+
+std::vector<int64_t> BruteForce(const std::vector<RTree::Entry>& entries,
+                                const geo::BoundingBox& query) {
+  std::vector<int64_t> out;
+  for (const auto& e : entries) {
+    if (e.box.Intersects(query)) out.push_back(e.id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.Height(), 0);
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_TRUE(tree.QueryIds(geo::BoundingBox::FromCorners({0, 0}, {1, 1})).empty());
+}
+
+TEST(RTreeTest, SingleEntry) {
+  RTree tree;
+  tree.Insert(geo::BoundingBox::FromCorners({0, 0}, {1, 1}), 7);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.Height(), 1);
+  const auto hits = tree.QueryIds(geo::BoundingBox::FromCorners({0.5, 0.5}, {2, 2}));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 7);
+  EXPECT_TRUE(tree.QueryIds(geo::BoundingBox::FromCorners({5, 5}, {6, 6})).empty());
+}
+
+TEST(RTreeTest, InsertMatchesBruteForce) {
+  stats::Rng rng(1);
+  RTree tree(8);
+  std::vector<RTree::Entry> entries;
+  for (int64_t i = 0; i < 500; ++i) {
+    const geo::BoundingBox box = RandomBox(rng, 1000.0, 30.0);
+    entries.push_back({box, i});
+    tree.Insert(box, i);
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.size(), 500u);
+  EXPECT_GT(tree.Height(), 1);
+  for (int q = 0; q < 50; ++q) {
+    const geo::BoundingBox query = RandomBox(rng, 1000.0, 100.0);
+    auto got = tree.QueryIds(query);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, BruteForce(entries, query)) << "query " << q;
+  }
+}
+
+TEST(RTreeTest, BulkLoadMatchesBruteForce) {
+  stats::Rng rng(2);
+  std::vector<RTree::Entry> entries;
+  for (int64_t i = 0; i < 2000; ++i) {
+    entries.push_back({RandomBox(rng, 5000.0, 40.0), i});
+  }
+  RTree tree(16);
+  tree.BulkLoad(entries);
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.size(), 2000u);
+  for (int q = 0; q < 50; ++q) {
+    const geo::BoundingBox query = RandomBox(rng, 5000.0, 200.0);
+    auto got = tree.QueryIds(query);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, BruteForce(entries, query)) << "query " << q;
+  }
+}
+
+TEST(RTreeTest, BulkLoadEmptyAndTiny) {
+  RTree tree;
+  tree.BulkLoad({});
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+  tree.BulkLoad({{geo::BoundingBox::FromCorners({0, 0}, {1, 1}), 1}});
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTreeTest, DuplicateBoxesAllReported) {
+  RTree tree(4);
+  const geo::BoundingBox box = geo::BoundingBox::FromCorners({0, 0}, {1, 1});
+  for (int64_t i = 0; i < 20; ++i) tree.Insert(box, i);
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.QueryIds(box).size(), 20u);
+}
+
+TEST(RTreeTest, QueryCallbackReceivesEntries) {
+  RTree tree;
+  tree.Insert(geo::BoundingBox::FromCorners({0, 0}, {1, 1}), 3);
+  int64_t seen_id = -1;
+  tree.Query(geo::BoundingBox::FromCorners({0, 0}, {2, 2}),
+             [&seen_id](const RTree::Entry& e) { seen_id = e.id; });
+  EXPECT_EQ(seen_id, 3);
+}
+
+TEST(GridIndexTest, MatchesBruteForce) {
+  stats::Rng rng(3);
+  const geo::BoundingBox region = geo::BoundingBox::FromCorners({0, 0}, {1000, 1000});
+  GridIndex grid(region, 16);
+  std::vector<RTree::Entry> entries;
+  for (int64_t i = 0; i < 500; ++i) {
+    const geo::BoundingBox box = RandomBox(rng, 1000.0, 50.0);
+    entries.push_back({box, i});
+    grid.Insert(box, i);
+  }
+  for (int q = 0; q < 50; ++q) {
+    const geo::BoundingBox query = RandomBox(rng, 1000.0, 120.0);
+    auto got = grid.QueryIds(query);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, BruteForce(entries, query)) << "query " << q;
+  }
+}
+
+TEST(GridIndexTest, EntriesOutsideRegionClampToBorderCells) {
+  const geo::BoundingBox region = geo::BoundingBox::FromCorners({0, 0}, {100, 100});
+  GridIndex grid(region, 4);
+  grid.Insert(geo::BoundingBox::FromCorners({-50, -50}, {-40, -40}), 1);
+  grid.Insert(geo::BoundingBox::FromCorners({200, 200}, {210, 210}), 2);
+  // Queries beyond the region still find them through the border cells.
+  EXPECT_EQ(grid.QueryIds(geo::BoundingBox::FromCorners({-60, -60}, {-45, -45})).size(),
+            1u);
+  EXPECT_EQ(grid.QueryIds(geo::BoundingBox::FromCorners({205, 205}, {220, 220})).size(),
+            1u);
+}
+
+TEST(GridIndexTest, MultiCellEntryReportedOnce) {
+  const geo::BoundingBox region = geo::BoundingBox::FromCorners({0, 0}, {100, 100});
+  GridIndex grid(region, 10);
+  grid.Insert(geo::BoundingBox::FromCorners({5, 5}, {95, 95}), 42);  // Many cells.
+  const auto hits = grid.QueryIds(geo::BoundingBox::FromCorners({0, 0}, {100, 100}));
+  EXPECT_EQ(hits.size(), 1u);
+}
+
+// ---------------------------------------------------------------- Pruner
+
+std::vector<UncertainRegionPruner::WorkerRegion> MakeRegions(int n,
+                                                             stats::Rng& rng,
+                                                             double extent) {
+  std::vector<UncertainRegionPruner::WorkerRegion> regions;
+  for (int i = 0; i < n; ++i) {
+    regions.push_back({i,
+                       {rng.UniformDouble(0, extent), rng.UniformDouble(0, extent)},
+                       rng.UniformDouble(1000.0, 3000.0)});
+  }
+  return regions;
+}
+
+TEST(PrunerTest, BackendsAgree) {
+  stats::Rng rng(4);
+  const double extent = 30000.0;
+  const auto regions = MakeRegions(300, rng, extent);
+  const geo::BoundingBox region = geo::BoundingBox::FromCorners({0, 0},
+                                                                {extent, extent});
+  const privacy::PrivacyParams params{0.7, 800.0};
+  const UncertainRegionPruner linear(regions, params, params, 0.9,
+                                     PrunerBackend::kLinearScan, region);
+  const UncertainRegionPruner grid(regions, params, params, 0.9,
+                                   PrunerBackend::kGrid, region);
+  const UncertainRegionPruner rtree(regions, params, params, 0.9,
+                                    PrunerBackend::kRTree, region);
+  for (int q = 0; q < 30; ++q) {
+    const geo::Point task{rng.UniformDouble(0, extent), rng.UniformDouble(0, extent)};
+    auto a = linear.Candidates(task);
+    auto b = grid.Candidates(task);
+    auto c = rtree.Candidates(task);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    std::sort(c.begin(), c.end());
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a, c);
+  }
+}
+
+TEST(PrunerTest, NeverDropsOverlappingDiskPairs) {
+  // Conservativeness: if disk(w', rR + Rw) and disk(t', rR) intersect, the
+  // worker must be returned (MBRs enclose the disks).
+  stats::Rng rng(5);
+  const double extent = 20000.0;
+  const auto regions = MakeRegions(200, rng, extent);
+  const geo::BoundingBox region = geo::BoundingBox::FromCorners({0, 0},
+                                                                {extent, extent});
+  const privacy::PrivacyParams params{0.7, 800.0};
+  const UncertainRegionPruner pruner(regions, params, params, 0.9,
+                                     PrunerBackend::kGrid, region);
+  for (int q = 0; q < 50; ++q) {
+    const geo::Point task{rng.UniformDouble(0, extent), rng.UniformDouble(0, extent)};
+    auto candidates = pruner.Candidates(task);
+    std::sort(candidates.begin(), candidates.end());
+    for (const auto& w : regions) {
+      const double gap = geo::Distance(w.noisy_location, task);
+      const double disk_sum = pruner.worker_confidence_radius_m() +
+                              w.reach_radius_m +
+                              pruner.task_confidence_radius_m();
+      if (gap <= disk_sum) {
+        EXPECT_TRUE(std::binary_search(candidates.begin(), candidates.end(),
+                                       w.worker_id))
+            << "worker " << w.worker_id << " at disk distance " << gap;
+      }
+    }
+  }
+}
+
+TEST(PrunerTest, ConfidenceRadiusGrowsWithGamma) {
+  stats::Rng rng(6);
+  const auto regions = MakeRegions(10, rng, 1000.0);
+  const geo::BoundingBox region = geo::BoundingBox::FromCorners({0, 0},
+                                                                {1000, 1000});
+  const privacy::PrivacyParams params{0.7, 800.0};
+  const UncertainRegionPruner p50(regions, params, params, 0.5,
+                                  PrunerBackend::kLinearScan, region);
+  const UncertainRegionPruner p99(regions, params, params, 0.99,
+                                  PrunerBackend::kLinearScan, region);
+  EXPECT_LT(p50.worker_confidence_radius_m(), p99.worker_confidence_radius_m());
+}
+
+TEST(PrunerTest, FarTaskPrunesMostWorkers) {
+  stats::Rng rng(7);
+  const double extent = 50000.0;
+  const auto regions = MakeRegions(500, rng, extent);
+  const geo::BoundingBox region = geo::BoundingBox::FromCorners({0, 0},
+                                                                {extent, extent});
+  const privacy::PrivacyParams params{1.0, 200.0};  // Little noise.
+  const UncertainRegionPruner pruner(regions, params, params, 0.9,
+                                     PrunerBackend::kRTree, region);
+  // A task far outside the deployment region keeps almost nothing.
+  const auto candidates = pruner.Candidates({extent * 3, extent * 3});
+  EXPECT_LT(candidates.size(), 5u);
+}
+
+}  // namespace
+}  // namespace scguard::index

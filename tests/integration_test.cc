@@ -1,0 +1,221 @@
+// Cross-module integration tests: the batch engine against the party-level
+// protocol, and the paper's qualitative results on the synthetic T-Drive
+// workload.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "assign/algorithms.h"
+#include "core/protocol.h"
+#include "core/scguard.h"
+#include "data/workload.h"
+#include "reachability/analytical_model.h"
+#include "sim/defaults.h"
+#include "sim/experiment.h"
+
+namespace scguard {
+namespace {
+
+using privacy::PrivacyParams;
+
+constexpr PrivacyParams kDefault{0.7, 800.0};
+
+sim::ExperimentConfig SmallExperiment() {
+  sim::ExperimentConfig config;
+  config.synth.num_taxis = 600;
+  config.synth.mean_trips_per_taxi = 8.0;
+  config.workload.num_workers = 120;
+  config.workload.num_tasks = 120;
+  config.num_seeds = 4;
+  return config;
+}
+
+// The batch engine (assign::ScGuardEngine) and the message-level protocol
+// (core::ProtocolCoordinator) implement the same algorithm; with identical
+// inputs they must produce identical assignments.
+TEST(EngineProtocolEquivalenceTest, IdenticalAssignments) {
+  const geo::BoundingBox region = geo::BoundingBox::FromCorners({0, 0},
+                                                                {20000, 20000});
+  data::WorkloadConfig wconfig;
+  wconfig.num_workers = 60;
+  wconfig.num_tasks = 60;
+  stats::Rng rng(7);
+  assign::Workload workload = data::MakeUniformWorkload(region, wconfig, rng);
+  data::PerturbWorkload(kDefault, kDefault, rng, workload);
+
+  const double alpha = 0.1, beta = 0.25;
+  const reachability::AnalyticalModel model(kDefault);
+
+  // Batch engine run.
+  assign::EnginePolicy policy;
+  policy.u2u_model = &model;
+  policy.u2e_model = &model;
+  policy.alpha = alpha;
+  policy.beta = beta;
+  policy.rank = assign::RankStrategy::kProbability;
+  policy.worker_params = kDefault;
+  policy.task_params = kDefault;
+  assign::ScGuardEngine engine(policy);
+  stats::Rng engine_rng(8);
+  const assign::MatchResult engine_result = engine.Run(workload, engine_rng);
+
+  // Party-level protocol run over the same noisy data: wrap each worker in
+  // a device whose registration reuses the already-perturbed location.
+  core::TaskingServer server(&model, alpha);
+  std::vector<core::WorkerDevice> devices;
+  for (const auto& w : workload.workers) {
+    devices.emplace_back(w.id, w.location, w.reach_radius_m, kDefault);
+    server.RegisterWorker({w.id, w.noisy_location, w.reach_radius_m});
+  }
+  core::ProtocolCoordinator coordinator(&server, &model, beta);
+  std::set<std::pair<int64_t, int64_t>> protocol_pairs;
+  int64_t protocol_disclosures = 0;
+  for (const auto& t : workload.tasks) {
+    core::RequesterDevice requester(t.id, t.location, kDefault);
+    const core::TaskRequest request{t.id, t.noisy_location};
+    const core::TaskOutcome outcome =
+        coordinator.AssignTask(requester, request, devices);
+    protocol_disclosures += outcome.disclosures;
+    if (outcome.assigned_worker.has_value()) {
+      protocol_pairs.insert({t.id, *outcome.assigned_worker});
+    }
+  }
+
+  std::set<std::pair<int64_t, int64_t>> engine_pairs;
+  for (const auto& a : engine_result.assignments) {
+    engine_pairs.insert({a.task_id, a.worker_id});
+  }
+  EXPECT_EQ(engine_pairs, protocol_pairs);
+  EXPECT_EQ(engine_result.metrics.requester_to_worker_msgs, protocol_disclosures);
+}
+
+// Paper Sec. V-B1, first result: the analytical model performs as well as
+// the empirical one.
+TEST(PaperShapeTest, AnalyticalTracksEmpirical) {
+  const auto runner = sim::ExperimentRunner::Create(SmallExperiment());
+  ASSERT_TRUE(runner.ok());
+
+  assign::AlgorithmParams params;
+  params.worker_params = kDefault;
+  params.task_params = kDefault;
+  assign::MatcherHandle model_based = assign::MakeProbabilisticModel(params);
+
+  reachability::EmpiricalModelConfig empirical_config;
+  empirical_config.region = runner->region();
+  empirical_config.num_samples = 100000;
+  stats::Rng build_rng(9);
+  auto empirical = reachability::EmpiricalModel::Build(empirical_config,
+                                                       kDefault, build_rng);
+  ASSERT_TRUE(empirical.ok());
+  assign::MatcherHandle data_based = assign::MakeProbabilisticData(
+      params, std::make_shared<const reachability::EmpiricalModel>(
+                  std::move(*empirical)));
+
+  const auto model_agg = runner->Run(model_based, kDefault, kDefault);
+  const auto data_agg = runner->Run(data_based, kDefault, kDefault);
+  ASSERT_TRUE(model_agg.ok() && data_agg.ok());
+  // Within 15% utility of each other.
+  EXPECT_NEAR(model_agg->assigned_tasks, data_agg->assigned_tasks,
+              0.15 * data_agg->assigned_tasks + 3.0);
+}
+
+// Paper Sec. V-B1, second result: Probabilistic-Model beats Oblivious-RN on
+// utility and privacy leak under meaningful noise.
+TEST(PaperShapeTest, ProbabilisticBeatsOblivious) {
+  const auto runner = sim::ExperimentRunner::Create(SmallExperiment());
+  ASSERT_TRUE(runner.ok());
+  // The paper's default point: noisy enough that the oblivious baseline
+  // suffers, but not so strict that the beta threshold cancels every task
+  // (at (0.4, 1400) even the best candidate's U2E probability sits below
+  // the default beta = 0.25 — a real property of the paper's thresholding,
+  // exercised elsewhere).
+  const PrivacyParams strict{0.7, 800.0};
+
+  assign::AlgorithmParams params;
+  params.worker_params = strict;
+  params.task_params = strict;
+  assign::MatcherHandle probabilistic = assign::MakeProbabilisticModel(params);
+  assign::MatcherHandle oblivious =
+      assign::MakeOblivious(assign::RankStrategy::kNearest, params);
+
+  const auto prob = runner->Run(probabilistic, strict, strict);
+  const auto obl = runner->Run(oblivious, strict, strict);
+  ASSERT_TRUE(prob.ok() && obl.ok());
+  EXPECT_GT(prob->assigned_tasks, obl->assigned_tasks);
+  EXPECT_LT(prob->false_hits, obl->false_hits);
+  // Probability ranking favors large-R_w workers over the nearest noisy
+  // one, so travel is roughly a wash rather than the paper's 2/3 factor
+  // (see EXPERIMENTS.md); assert it does not degrade materially.
+  EXPECT_LE(prob->travel_m, obl->travel_m * 1.15);
+}
+
+// Paper Sec. V-B1, third result: privacy does not destroy utility — the
+// probabilistic algorithm stays within a moderate factor of ground truth.
+TEST(PaperShapeTest, PrivacyCostIsBounded) {
+  const auto runner = sim::ExperimentRunner::Create(SmallExperiment());
+  ASSERT_TRUE(runner.ok());
+  assign::AlgorithmParams params;
+  params.worker_params = kDefault;
+  params.task_params = kDefault;
+  assign::MatcherHandle probabilistic = assign::MakeProbabilisticModel(params);
+  assign::MatcherHandle exact =
+      assign::MakeGroundTruth(assign::RankStrategy::kNearest);
+  const auto prob = runner->Run(probabilistic, kDefault, kDefault);
+  const auto truth = runner->Run(exact, kDefault, kDefault);
+  ASSERT_TRUE(prob.ok() && truth.ok());
+  EXPECT_GE(prob->assigned_tasks, 0.6 * truth->assigned_tasks);
+  EXPECT_LE(prob->assigned_tasks, truth->assigned_tasks + 2.0);
+}
+
+// Less privacy -> utility approaches ground truth monotonically (Fig. 9a's
+// trend, coarse-grained to avoid seed noise).
+TEST(PaperShapeTest, UtilityImprovesWithEpsilon) {
+  const auto runner = sim::ExperimentRunner::Create(SmallExperiment());
+  ASSERT_TRUE(runner.ok());
+  double utility_strict, utility_loose;
+  {
+    const PrivacyParams p{0.1, 800.0};
+    assign::AlgorithmParams params;
+    params.worker_params = p;
+    params.task_params = p;
+    assign::MatcherHandle handle = assign::MakeProbabilisticModel(params);
+    utility_strict = runner->Run(handle, p, p)->assigned_tasks;
+  }
+  {
+    const PrivacyParams p{1.0, 800.0};
+    assign::AlgorithmParams params;
+    params.worker_params = p;
+    params.task_params = p;
+    assign::MatcherHandle handle = assign::MakeProbabilisticModel(params);
+    utility_loose = runner->Run(handle, p, p)->assigned_tasks;
+  }
+  EXPECT_GT(utility_loose, utility_strict);
+}
+
+// End-to-end facade on the synthetic T-Drive pipeline.
+TEST(FacadeIntegrationTest, FullPipelineThroughScGuard) {
+  const auto runner = sim::ExperimentRunner::Create(SmallExperiment());
+  ASSERT_TRUE(runner.ok());
+  const auto workload = runner->MakeWorkload(0, kDefault, kDefault);
+  ASSERT_TRUE(workload.ok());
+
+  core::ScGuardOptions options;
+  options.algorithm = core::AlgorithmKind::kProbabilisticModel;
+  options.worker_params = kDefault;
+  options.task_params = kDefault;
+  auto guard = core::ScGuard::Create(options);
+  ASSERT_TRUE(guard.ok());
+  stats::Rng rng(10);
+  const assign::MatchResult result = guard->Assign(*workload, rng);
+  EXPECT_GT(result.metrics.assigned_tasks, 0);
+  // Every accepted assignment is valid.
+  for (const auto& a : result.assignments) {
+    const auto& w = workload->workers[static_cast<size_t>(a.worker_id)];
+    const auto& t = workload->tasks[static_cast<size_t>(a.task_id)];
+    EXPECT_TRUE(w.CanReach(t.location));
+  }
+}
+
+}  // namespace
+}  // namespace scguard

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "index/kdtree.h"
+#include "stats/rng.h"
+
+namespace scguard::index {
+namespace {
+
+std::vector<KdTree::Entry> RandomEntries(int n, stats::Rng& rng, double extent) {
+  std::vector<KdTree::Entry> entries;
+  entries.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    entries.push_back(
+        {{rng.UniformDouble(0, extent), rng.UniformDouble(0, extent)}, i});
+  }
+  return entries;
+}
+
+int64_t BruteForceNearest(const std::vector<KdTree::Entry>& entries,
+                          geo::Point query,
+                          const std::function<bool(int64_t)>& skip = nullptr) {
+  int64_t best = -1;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (const auto& e : entries) {
+    if (skip && skip(e.id)) continue;
+    const double d = geo::Distance(e.point, query);
+    if (d < best_d) {
+      best_d = d;
+      best = e.id;
+    }
+  }
+  return best;
+}
+
+TEST(KdTreeTest, EmptyTree) {
+  KdTree tree({});
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.Nearest({0, 0}).id, -1);
+  EXPECT_TRUE(tree.KNearest({0, 0}, 3).empty());
+  EXPECT_TRUE(tree.WithinRadius({0, 0}, 100).empty());
+}
+
+TEST(KdTreeTest, SingleEntry) {
+  KdTree tree({{{5, 5}, 42}});
+  const auto n = tree.Nearest({0, 0});
+  EXPECT_EQ(n.id, 42);
+  EXPECT_NEAR(n.distance, std::hypot(5, 5), 1e-12);
+}
+
+TEST(KdTreeTest, NearestMatchesBruteForce) {
+  stats::Rng rng(1);
+  const auto entries = RandomEntries(500, rng, 10000);
+  KdTree tree(entries);
+  for (int q = 0; q < 200; ++q) {
+    const geo::Point query{rng.UniformDouble(-1000, 11000),
+                           rng.UniformDouble(-1000, 11000)};
+    EXPECT_EQ(tree.Nearest(query).id, BruteForceNearest(entries, query))
+        << "query " << q;
+  }
+}
+
+TEST(KdTreeTest, NearestWithSkipPredicate) {
+  stats::Rng rng(2);
+  const auto entries = RandomEntries(200, rng, 5000);
+  KdTree tree(entries);
+  // Skip even ids.
+  const auto skip = [](int64_t id) { return id % 2 == 0; };
+  for (int q = 0; q < 100; ++q) {
+    const geo::Point query{rng.UniformDouble(0, 5000), rng.UniformDouble(0, 5000)};
+    const auto got = tree.Nearest(query, skip);
+    EXPECT_EQ(got.id, BruteForceNearest(entries, query, skip));
+    EXPECT_NE(got.id % 2, 0);
+  }
+}
+
+TEST(KdTreeTest, SkipEverythingReturnsNone) {
+  stats::Rng rng(3);
+  KdTree tree(RandomEntries(50, rng, 1000));
+  EXPECT_EQ(tree.Nearest({0, 0}, [](int64_t) { return true; }).id, -1);
+}
+
+TEST(KdTreeTest, KNearestMatchesBruteForce) {
+  stats::Rng rng(4);
+  const auto entries = RandomEntries(300, rng, 8000);
+  KdTree tree(entries);
+  for (int q = 0; q < 50; ++q) {
+    const geo::Point query{rng.UniformDouble(0, 8000), rng.UniformDouble(0, 8000)};
+    const int k = 1 + static_cast<int>(rng.UniformInt(10));
+    const auto got = tree.KNearest(query, k);
+    ASSERT_EQ(got.size(), static_cast<size_t>(k));
+    // Sorted ascending.
+    for (size_t i = 1; i < got.size(); ++i) {
+      EXPECT_GE(got[i].distance, got[i - 1].distance);
+    }
+    // Matches brute-force distances (ids may tie).
+    std::vector<double> brute;
+    for (const auto& e : entries) brute.push_back(geo::Distance(e.point, query));
+    std::sort(brute.begin(), brute.end());
+    for (int i = 0; i < k; ++i) {
+      EXPECT_NEAR(got[static_cast<size_t>(i)].distance, brute[static_cast<size_t>(i)],
+                  1e-9);
+    }
+  }
+}
+
+TEST(KdTreeTest, KLargerThanSizeReturnsAll) {
+  stats::Rng rng(5);
+  KdTree tree(RandomEntries(7, rng, 100));
+  EXPECT_EQ(tree.KNearest({50, 50}, 20).size(), 7u);
+}
+
+TEST(KdTreeTest, WithinRadiusMatchesBruteForce) {
+  stats::Rng rng(6);
+  const auto entries = RandomEntries(400, rng, 10000);
+  KdTree tree(entries);
+  for (int q = 0; q < 50; ++q) {
+    const geo::Point query{rng.UniformDouble(0, 10000), rng.UniformDouble(0, 10000)};
+    const double radius = rng.UniformDouble(100, 3000);
+    auto got = tree.WithinRadius(query, radius);
+    std::set<int64_t> got_ids;
+    for (const auto& n : got) {
+      got_ids.insert(n.id);
+      EXPECT_LE(n.distance, radius);
+    }
+    std::set<int64_t> expected;
+    for (const auto& e : entries) {
+      if (geo::Distance(e.point, query) <= radius) expected.insert(e.id);
+    }
+    EXPECT_EQ(got_ids, expected) << "query " << q;
+  }
+}
+
+TEST(KdTreeTest, DuplicatePointsAllFound) {
+  std::vector<KdTree::Entry> entries;
+  for (int i = 0; i < 10; ++i) entries.push_back({{3, 3}, i});
+  KdTree tree(entries);
+  EXPECT_EQ(tree.WithinRadius({3, 3}, 0.1).size(), 10u);
+}
+
+}  // namespace
+}  // namespace scguard::index

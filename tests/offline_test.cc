@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "assign/algorithms.h"
+#include "assign/offline.h"
+#include "data/workload.h"
+#include "stats/rng.h"
+
+namespace scguard::assign {
+namespace {
+
+// Independent reference: Kuhn's augmenting-path matching, O(V * E).
+int KuhnMatching(const std::vector<std::vector<int>>& adjacency, int num_workers) {
+  std::vector<int> match_worker(static_cast<size_t>(num_workers), -1);
+  std::vector<bool> visited;
+  std::function<bool(int)> augment = [&](int task) -> bool {
+    for (int w : adjacency[static_cast<size_t>(task)]) {
+      if (visited[static_cast<size_t>(w)]) continue;
+      visited[static_cast<size_t>(w)] = true;
+      if (match_worker[static_cast<size_t>(w)] < 0 ||
+          augment(match_worker[static_cast<size_t>(w)])) {
+        match_worker[static_cast<size_t>(w)] = task;
+        return true;
+      }
+    }
+    return false;
+  };
+  int matched = 0;
+  for (int t = 0; t < static_cast<int>(adjacency.size()); ++t) {
+    visited.assign(static_cast<size_t>(num_workers), false);
+    matched += augment(t) ? 1 : 0;
+  }
+  return matched;
+}
+
+int Cardinality(const std::vector<int>& match) {
+  int n = 0;
+  for (int m : match) n += m >= 0 ? 1 : 0;
+  return n;
+}
+
+void ExpectValidMatching(const std::vector<int>& match,
+                         const std::vector<std::vector<int>>& adjacency) {
+  std::set<int> used;
+  for (size_t t = 0; t < match.size(); ++t) {
+    if (match[t] < 0) continue;
+    EXPECT_TRUE(used.insert(match[t]).second) << "worker matched twice";
+    const auto& adj = adjacency[t];
+    EXPECT_NE(std::find(adj.begin(), adj.end(), match[t]), adj.end())
+        << "matched along a non-edge";
+  }
+}
+
+TEST(HopcroftKarpTest, SmallKnownInstance) {
+  // Tasks {0,1,2}; edges: 0-{0,1}, 1-{0}, 2-{1}: max matching = 2... no:
+  // 0->? ; 1 takes 0, 2 takes 1, 0 has nothing left => matching 2. But
+  // 0-{0,1} can yield 0->0, 2->1, 1 unmatched: still 2.
+  const std::vector<std::vector<int>> adjacency = {{0, 1}, {0}, {1}};
+  const auto match = MaxCardinalityMatching(adjacency, 2);
+  ExpectValidMatching(match, adjacency);
+  EXPECT_EQ(Cardinality(match), 2);
+}
+
+TEST(HopcroftKarpTest, PerfectMatchingExists) {
+  const std::vector<std::vector<int>> adjacency = {{0, 1}, {1, 2}, {2, 0}};
+  const auto match = MaxCardinalityMatching(adjacency, 3);
+  ExpectValidMatching(match, adjacency);
+  EXPECT_EQ(Cardinality(match), 3);
+}
+
+TEST(HopcroftKarpTest, EmptyGraph) {
+  EXPECT_TRUE(MaxCardinalityMatching({}, 5).empty());
+  const auto match = MaxCardinalityMatching({{}, {}}, 3);
+  EXPECT_EQ(Cardinality(match), 0);
+}
+
+TEST(HopcroftKarpTest, AgreesWithKuhnOnRandomGraphs) {
+  stats::Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int tasks = 30 + static_cast<int>(rng.UniformInt(40));
+    const int workers = 30 + static_cast<int>(rng.UniformInt(40));
+    std::vector<std::vector<int>> adjacency(static_cast<size_t>(tasks));
+    for (auto& adj : adjacency) {
+      for (int w = 0; w < workers; ++w) {
+        if (rng.UniformDouble() < 0.08) adj.push_back(w);
+      }
+    }
+    const auto match = MaxCardinalityMatching(adjacency, workers);
+    ExpectValidMatching(match, adjacency);
+    EXPECT_EQ(Cardinality(match), KuhnMatching(adjacency, workers))
+        << "trial " << trial;
+  }
+}
+
+TEST(HungarianTest, PicksCheapestPerfectMatching) {
+  // 2x2: diagonal costs 1+1=2, anti-diagonal 10+10=20.
+  const std::vector<std::vector<double>> cost = {{1.0, 10.0}, {10.0, 1.0}};
+  const auto match = MinCostMaxMatching(cost);
+  EXPECT_EQ(match[0], 0);
+  EXPECT_EQ(match[1], 1);
+}
+
+TEST(HungarianTest, MaximizesCardinalityBeforeCost) {
+  // Task 0 can take worker 0 (cost 1) or worker 1 (cost 100);
+  // task 1 can only take worker 0 (cost 1).
+  // Greedy-min-cost would give 0->0 and leave 1 unmatched; maximum
+  // cardinality requires 0->1 (expensive) and 1->0.
+  const std::vector<std::vector<double>> cost = {{1.0, 100.0},
+                                                 {1.0, kInfeasible}};
+  const auto match = MinCostMaxMatching(cost);
+  EXPECT_EQ(match[0], 1);
+  EXPECT_EQ(match[1], 0);
+}
+
+TEST(HungarianTest, InfeasiblePairsStayUnmatched) {
+  const std::vector<std::vector<double>> cost = {{kInfeasible, kInfeasible}};
+  const auto match = MinCostMaxMatching(cost);
+  EXPECT_EQ(match[0], -1);
+}
+
+TEST(HungarianTest, RectangularMoreWorkers) {
+  const std::vector<std::vector<double>> cost = {{5.0, 2.0, 9.0}};
+  const auto match = MinCostMaxMatching(cost);
+  EXPECT_EQ(match[0], 1);
+}
+
+TEST(HungarianTest, RectangularMoreTasks) {
+  const std::vector<std::vector<double>> cost = {{5.0}, {2.0}, {9.0}};
+  const auto match = MinCostMaxMatching(cost);
+  // Only one worker: the cheapest task takes it.
+  int assigned = -1;
+  for (size_t t = 0; t < match.size(); ++t) {
+    if (match[t] == 0) {
+      EXPECT_EQ(assigned, -1);
+      assigned = static_cast<int>(t);
+    }
+  }
+  EXPECT_EQ(assigned, 1);
+}
+
+TEST(HungarianTest, MatchesBruteForceOnSmallRandomInstances) {
+  stats::Rng rng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 2 + static_cast<int>(rng.UniformInt(4));  // 2..5.
+    std::vector<std::vector<double>> cost(
+        static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(n)));
+    for (auto& row : cost) {
+      for (auto& c : row) {
+        c = rng.UniformDouble() < 0.2 ? kInfeasible
+                                      : std::floor(rng.UniformDouble(1.0, 100.0));
+      }
+    }
+    // Brute force over permutations: maximize cardinality, then min cost.
+    std::vector<int> perm(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = i;
+    int best_card = -1;
+    double best_cost = 0;
+    do {
+      int card = 0;
+      double total = 0;
+      for (int t = 0; t < n; ++t) {
+        const double c =
+            cost[static_cast<size_t>(t)][static_cast<size_t>(perm[static_cast<size_t>(t)])];
+        if (c < kInfeasible) {
+          ++card;
+          total += c;
+        }
+      }
+      if (card > best_card || (card == best_card && total < best_cost)) {
+        best_card = card;
+        best_cost = total;
+      }
+    } while (std::next_permutation(perm.begin(), perm.end()));
+
+    const auto match = MinCostMaxMatching(cost);
+    int card = 0;
+    double total = 0;
+    for (int t = 0; t < n; ++t) {
+      const int w = match[static_cast<size_t>(t)];
+      if (w >= 0) {
+        ++card;
+        total += cost[static_cast<size_t>(t)][static_cast<size_t>(w)];
+      }
+    }
+    EXPECT_EQ(card, best_card) << "trial " << trial;
+    EXPECT_DOUBLE_EQ(total, best_cost) << "trial " << trial;
+  }
+}
+
+TEST(OfflineMatcherTest, DominatesEveryOnlineAlgorithm) {
+  const geo::BoundingBox region = geo::BoundingBox::FromCorners({0, 0},
+                                                                {20000, 20000});
+  data::WorkloadConfig config;
+  config.num_workers = 80;
+  config.num_tasks = 80;
+  stats::Rng rng(3);
+  const Workload w = data::MakeUniformWorkload(region, config, rng);
+
+  OfflineOptimalMatcher offline(OfflineObjective::kMaxTasks);
+  stats::Rng rng_a(4), rng_b(4);
+  const auto optimal = offline.Run(w, rng_a);
+  MatcherHandle ranking = MakeGroundTruth(RankStrategy::kRandom);
+  const auto online = ranking.Run(w, rng_b);
+  EXPECT_GE(optimal.metrics.assigned_tasks, online.metrics.assigned_tasks);
+  // Greedy maximality still guarantees half the optimum.
+  EXPECT_GE(2 * online.metrics.assigned_tasks, optimal.metrics.assigned_tasks);
+}
+
+TEST(OfflineMatcherTest, MinCostVariantNeverAssignsMoreButTravelsLess) {
+  const geo::BoundingBox region = geo::BoundingBox::FromCorners({0, 0},
+                                                                {20000, 20000});
+  data::WorkloadConfig config;
+  config.num_workers = 60;
+  config.num_tasks = 60;
+  stats::Rng rng(5);
+  const Workload w = data::MakeUniformWorkload(region, config, rng);
+
+  OfflineOptimalMatcher max_tasks(OfflineObjective::kMaxTasks);
+  OfflineOptimalMatcher min_cost(OfflineObjective::kMinTravelCost);
+  stats::Rng rng_a(6), rng_b(6);
+  const auto by_count = max_tasks.Run(w, rng_a);
+  const auto by_cost = min_cost.Run(w, rng_b);
+  // Both maximize cardinality.
+  EXPECT_EQ(by_cost.metrics.assigned_tasks, by_count.metrics.assigned_tasks);
+  // The min-cost variant cannot travel more in total.
+  EXPECT_LE(by_cost.metrics.travel_sum_m, by_count.metrics.travel_sum_m + 1e-6);
+  // All assignments valid.
+  for (const auto& a : by_cost.assignments) {
+    EXPECT_TRUE(w.workers[static_cast<size_t>(a.worker_id)].CanReach(
+        w.tasks[static_cast<size_t>(a.task_id)].location));
+  }
+}
+
+TEST(OfflineMatcherTest, Names) {
+  EXPECT_EQ(OfflineOptimalMatcher(OfflineObjective::kMaxTasks).name(),
+            "Offline-MaxTasks");
+  EXPECT_EQ(OfflineOptimalMatcher(OfflineObjective::kMinTravelCost).name(),
+            "Offline-MinCost");
+}
+
+}  // namespace
+}  // namespace scguard::assign

@@ -1,0 +1,282 @@
+// Parameterized property tests: invariants that must hold across the whole
+// (eps, r, alpha, beta, seed) grid, not just at hand-picked points.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include <sstream>
+
+#include "assign/algorithms.h"
+#include "data/csv_loader.h"
+#include "data/trace.h"
+#include "data/workload.h"
+#include "privacy/planar_laplace.h"
+#include "reachability/analytical_model.h"
+#include "stats/marcum_q.h"
+#include "stats/rice.h"
+#include "stats/rng.h"
+
+namespace scguard {
+namespace {
+
+using privacy::PrivacyParams;
+
+// ---------------------------------------------------- Planar Laplace grid
+
+class PlanarLaplaceProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(PlanarLaplaceProperty, SampledRadiusMatchesAnalyticCdf) {
+  const auto [eps, r] = GetParam();
+  const privacy::PlanarLaplace pl(eps / r);
+  stats::Rng rng(static_cast<uint64_t>(eps * 1000 + r));
+  const int n = 20000;
+  const double median = pl.InverseRadialCdf(0.5);
+  int below = 0;
+  for (int i = 0; i < n; ++i) below += pl.Sample(rng).Norm() <= median ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(below) / n, 0.5, 0.015)
+      << "eps=" << eps << " r=" << r;
+}
+
+TEST_P(PlanarLaplaceProperty, InverseCdfIsIncreasing) {
+  const auto [eps, r] = GetParam();
+  const privacy::PlanarLaplace pl(eps / r);
+  double prev = -1.0;
+  for (double p = 0.0; p < 1.0; p += 0.05) {
+    const double value = pl.InverseRadialCdf(p);
+    EXPECT_GT(value, prev);
+    prev = value;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PrivacyGrid, PlanarLaplaceProperty,
+    ::testing::Combine(::testing::Values(0.1, 0.4, 0.7, 1.0),
+                       ::testing::Values(200.0, 800.0, 1400.0, 2000.0)));
+
+// -------------------------------------------------- Rice CDF vs sampling
+
+class RiceProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(RiceProperty, CdfMatchesGaussianSimulation) {
+  const auto [nu, sigma] = GetParam();
+  const stats::RiceDistribution rice(nu, sigma);
+  stats::Rng rng(static_cast<uint64_t>(nu * 13 + sigma * 7 + 1));
+  const int n = 40000;
+  const double at = nu + 0.5 * sigma;
+  int below = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = nu + sigma * rng.Gaussian();
+    const double y = sigma * rng.Gaussian();
+    below += std::hypot(x, y) <= at ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(below) / n, rice.Cdf(at), 0.012)
+      << "nu=" << nu << " sigma=" << sigma;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RiceGrid, RiceProperty,
+    ::testing::Combine(::testing::Values(0.0, 200.0, 1500.0, 5000.0),
+                       ::testing::Values(300.0, 1600.0, 4000.0)));
+
+// ----------------------------------------- Noncentral chi-squared sanity
+
+class MarcumProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(MarcumProperty, CdfIsAProperDistribution) {
+  const double lambda = GetParam();
+  double prev = 0.0;
+  for (double x = 0.0; x <= 50.0 * (1.0 + lambda); x += (1.0 + lambda) / 4.0) {
+    const double p = stats::NoncentralChiSquaredCdf(2.0, lambda, x);
+    EXPECT_GE(p, prev - 1e-12);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(LambdaGrid, MarcumProperty,
+                         ::testing::Values(0.0, 0.5, 2.0, 10.0, 100.0, 2000.0));
+
+// ----------------------------------------- Analytical model, whole grid
+
+class AnalyticalModelProperty
+    : public ::testing::TestWithParam<std::tuple<double, double, int>> {};
+
+TEST_P(AnalyticalModelProperty, ProbabilitiesAreMonotoneAndBounded) {
+  const auto [eps, r, mode_idx] = GetParam();
+  const auto mode = static_cast<reachability::AnalyticalMode>(mode_idx);
+  const reachability::AnalyticalModel model(PrivacyParams{eps, r}, mode);
+  for (auto stage : {reachability::Stage::kU2U, reachability::Stage::kU2E}) {
+    double prev = 1.0 + 1e-9;
+    for (double d = 0.0; d <= 15000.0; d += 500.0) {
+      const double p = model.ProbReachable(stage, d, 1400.0);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+      EXPECT_LE(p, prev + 1e-9) << "eps=" << eps << " r=" << r << " d=" << d;
+      prev = p;
+    }
+    // Radius monotonicity at a fixed distance.
+    EXPECT_LE(model.ProbReachable(stage, 2000.0, 1000.0),
+              model.ProbReachable(stage, 2000.0, 3000.0) + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelGrid, AnalyticalModelProperty,
+    ::testing::Combine(::testing::Values(0.1, 0.4, 0.7, 1.0),
+                       ::testing::Values(200.0, 800.0, 2000.0),
+                       ::testing::Values(0, 1, 2, 3)));  // All four modes.
+
+// ------------------------------------------------ Matching competitiveness
+
+// Maximum bipartite matching via augmenting paths (Kuhn), used as the
+// offline optimum the online algorithms are compared against.
+int MaxBipartiteMatching(const std::vector<std::vector<int>>& adjacency,
+                         int num_workers) {
+  std::vector<int> match_worker(static_cast<size_t>(num_workers), -1);
+  std::vector<bool> visited;
+  std::function<bool(int)> augment = [&](int task) -> bool {
+    for (int w : adjacency[static_cast<size_t>(task)]) {
+      if (visited[static_cast<size_t>(w)]) continue;
+      visited[static_cast<size_t>(w)] = true;
+      if (match_worker[static_cast<size_t>(w)] < 0 ||
+          augment(match_worker[static_cast<size_t>(w)])) {
+        match_worker[static_cast<size_t>(w)] = task;
+        return true;
+      }
+    }
+    return false;
+  };
+  int matched = 0;
+  for (int t = 0; t < static_cast<int>(adjacency.size()); ++t) {
+    visited.assign(static_cast<size_t>(num_workers), false);
+    matched += augment(t) ? 1 : 0;
+  }
+  return matched;
+}
+
+class MatchingProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MatchingProperty, RankingIsHalfCompetitive) {
+  // Any greedy maximal matching (which Ranking produces) matches at least
+  // half of the offline optimum; with random ranks the guarantee is
+  // (1 - 1/e), but 1/2 is the hard floor we can assert per instance.
+  const uint64_t seed = GetParam();
+  const geo::BoundingBox region = geo::BoundingBox::FromCorners({0, 0},
+                                                                {15000, 15000});
+  data::WorkloadConfig config;
+  config.num_workers = 80;
+  config.num_tasks = 80;
+  stats::Rng rng(seed);
+  const assign::Workload w = data::MakeUniformWorkload(region, config, rng);
+
+  std::vector<std::vector<int>> adjacency(w.tasks.size());
+  for (size_t t = 0; t < w.tasks.size(); ++t) {
+    for (size_t i = 0; i < w.workers.size(); ++i) {
+      if (w.workers[i].CanReach(w.tasks[t].location)) {
+        adjacency[t].push_back(static_cast<int>(i));
+      }
+    }
+  }
+  const int optimal =
+      MaxBipartiteMatching(adjacency, static_cast<int>(w.workers.size()));
+
+  assign::MatcherHandle ranking =
+      assign::MakeGroundTruth(assign::RankStrategy::kRandom);
+  stats::Rng match_rng(seed + 1);
+  const auto result = ranking.Run(w, match_rng);
+  EXPECT_GE(2 * result.metrics.assigned_tasks, optimal) << "seed " << seed;
+  EXPECT_LE(result.metrics.assigned_tasks, optimal);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchingProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+// ------------------------------------------------ Engine invariant sweep
+
+class EngineInvariantProperty
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(EngineInvariantProperty, AccountingHoldsAcrossThresholds) {
+  const auto [eps, alpha, beta] = GetParam();
+  const PrivacyParams params{eps, 800.0};
+  const geo::BoundingBox region = geo::BoundingBox::FromCorners({0, 0},
+                                                                {20000, 20000});
+  data::WorkloadConfig wconfig;
+  wconfig.num_workers = 60;
+  wconfig.num_tasks = 60;
+  stats::Rng rng(static_cast<uint64_t>(eps * 100 + alpha * 1000 + beta * 10));
+  assign::Workload w = data::MakeUniformWorkload(region, wconfig, rng);
+  data::PerturbWorkload(params, params, rng, w);
+
+  assign::AlgorithmParams aparams;
+  aparams.worker_params = params;
+  aparams.task_params = params;
+  aparams.alpha = alpha;
+  aparams.beta = beta;
+  assign::MatcherHandle handle = assign::MakeProbabilisticModel(aparams);
+  const auto result = handle.Run(w, rng);
+  const auto& m = result.metrics;
+
+  EXPECT_EQ(m.requester_to_worker_msgs, m.accepted_assignments + m.false_hits);
+  EXPECT_LE(m.assigned_tasks, m.num_tasks);
+  EXPECT_LE(m.accepted_assignments, m.num_workers);
+  EXPECT_LE(m.requester_to_worker_msgs, m.candidates_sum);
+  EXPECT_GE(m.MeanPrecision(), 0.0);
+  EXPECT_LE(m.MeanPrecision(), 1.0);
+  EXPECT_GE(m.MeanRecall(), 0.0);
+  EXPECT_LE(m.MeanRecall(), 1.0);
+  // Every accepted pair is valid.
+  for (const auto& a : result.assignments) {
+    EXPECT_TRUE(
+        w.workers[static_cast<size_t>(a.worker_id)].CanReach(
+            w.tasks[static_cast<size_t>(a.task_id)].location));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThresholdGrid, EngineInvariantProperty,
+    ::testing::Combine(::testing::Values(0.1, 0.7),
+                       ::testing::Values(0.05, 0.2, 0.4),
+                       ::testing::Values(0.0, 0.25, 0.4)));
+
+// -------------------------------------------------- Loader fuzz property
+
+class LoaderFuzzProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LoaderFuzzProperty, GarbageNeverCrashesLoaders) {
+  // Random byte soup (printable-ish, with plenty of commas and newlines)
+  // must always produce a Status or a parsed result — never a crash.
+  stats::Rng rng(GetParam());
+  static constexpr char kAlphabet[] = "0123456789.,-+eE ,\nabcxyz,\n";
+  std::string blob;
+  const size_t len = 200 + rng.UniformInt(2000);
+  for (size_t i = 0; i < len; ++i) {
+    blob += kAlphabet[rng.UniformInt(sizeof(kAlphabet) - 1)];
+  }
+  {
+    std::stringstream ss(blob);
+    const auto result = data::LoadTripsCsv(ss);
+    if (result.ok()) {
+      for (const auto& t : *result) {
+        EXPECT_GE(t.dropoff_time_s, t.pickup_time_s);
+      }
+    }
+  }
+  {
+    std::stringstream ss(blob);
+    (void)data::LoadFixesCsv(ss);  // Must not crash; any Status is fine.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LoaderFuzzProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+}  // namespace
+}  // namespace scguard

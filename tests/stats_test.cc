@@ -1,0 +1,468 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "stats/bessel.h"
+#include "stats/gamma.h"
+#include "stats/histogram.h"
+#include "stats/lambert_w.h"
+#include "stats/marcum_q.h"
+#include "stats/normal.h"
+#include "stats/quadrature.h"
+#include "stats/rice.h"
+#include "stats/rng.h"
+
+namespace scguard::stats {
+namespace {
+
+// ------------------------------------------------------------------ Rng
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b()) ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformDoubleInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleMomentsMatch) {
+  Rng rng(11);
+  double sum = 0, sum2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.UniformDouble();
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(RngTest, UniformIntBoundsAndCoverage) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.UniformInt(10);
+    ASSERT_LT(v, 10u);
+    ++counts[static_cast<size_t>(v)];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 1000, 200);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0, sum2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(RngTest, ForkedStreamsAreDecorrelated) {
+  Rng root(99);
+  Rng a = root.Fork(1);
+  Rng b = root.Fork(2);
+  double corr = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    corr += (a.UniformDouble() - 0.5) * (b.UniformDouble() - 0.5);
+  }
+  EXPECT_NEAR(corr / n, 0.0, 0.005);  // Covariance of independent U(0,1).
+}
+
+TEST(RngTest, UniformDoublePositiveNeverZero) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(rng.UniformDoublePositive(), 0.0);
+}
+
+// ------------------------------------------------------------ Lambert W
+
+TEST(LambertWTest, W0SatisfiesDefiningEquation) {
+  for (double x : {-0.36, -0.2, -0.05, 0.0, 0.1, 1.0, 5.0, 100.0, 1e6}) {
+    const double w = *LambertW0(x);
+    EXPECT_NEAR(w * std::exp(w), x, 1e-9 * (1.0 + std::abs(x))) << "x=" << x;
+    EXPECT_GE(w, -1.0 - 1e-12);
+  }
+}
+
+TEST(LambertWTest, Wm1SatisfiesDefiningEquation) {
+  for (double x : {-0.3678, -0.36, -0.3, -0.2, -0.1, -0.01, -1e-4, -1e-8}) {
+    const double w = *LambertWm1(x);
+    EXPECT_NEAR(w * std::exp(w), x, 1e-9) << "x=" << x;
+    EXPECT_LE(w, -1.0 + 1e-9);
+  }
+}
+
+TEST(LambertWTest, KnownValues) {
+  EXPECT_NEAR(*LambertW0(M_E), 1.0, 1e-12);       // W0(e) = 1.
+  EXPECT_NEAR(*LambertW0(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(*LambertWm1(-1.0 / M_E), -1.0, 1e-5);  // Branch point.
+}
+
+TEST(LambertWTest, DomainErrors) {
+  EXPECT_FALSE(LambertW0(-0.4).ok());
+  EXPECT_FALSE(LambertWm1(-0.4).ok());
+  EXPECT_FALSE(LambertWm1(0.0).ok());
+  EXPECT_FALSE(LambertWm1(0.5).ok());
+}
+
+// --------------------------------------------------------------- Bessel
+
+TEST(BesselTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(BesselI0(0.0), 1.0);
+  EXPECT_NEAR(BesselI0(1.0), 1.2660658777520084, 1e-9);
+  EXPECT_NEAR(BesselI0(5.0), 27.239871823604442, 1e-5 * 27.24);
+  EXPECT_DOUBLE_EQ(BesselI1(0.0), 0.0);
+  EXPECT_NEAR(BesselI1(1.0), 0.5651591039924851, 1e-9);
+  EXPECT_NEAR(BesselI1(5.0), 24.335642142450524, 1e-5 * 24.3);
+}
+
+TEST(BesselTest, ScaledConsistentWithUnscaled) {
+  for (double x : {0.1, 1.0, 3.0, 10.0, 50.0}) {
+    EXPECT_NEAR(BesselI0Scaled(x), std::exp(-x) * BesselI0(x), 1e-10)
+        << "x=" << x;
+    EXPECT_NEAR(BesselI1Scaled(x), std::exp(-x) * BesselI1(x),
+                1e-10 * BesselI1Scaled(x) + 1e-12)
+        << "x=" << x;
+  }
+}
+
+TEST(BesselTest, ScaledStableForHugeArguments) {
+  // Unscaled overflows near 713; scaled must stay finite and ~1/sqrt(2 pi x).
+  const double x = 1e6;
+  const double v = BesselI0Scaled(x);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_NEAR(v, 1.0 / std::sqrt(2.0 * M_PI * x), 1e-9);
+}
+
+TEST(BesselTest, I1IsOdd) {
+  EXPECT_DOUBLE_EQ(BesselI1(-2.0), -BesselI1(2.0));
+  EXPECT_DOUBLE_EQ(BesselI0(-2.0), BesselI0(2.0));  // I0 is even.
+}
+
+// ---------------------------------------------------------------- Gamma
+
+TEST(GammaTest, ShapeOneIsExponential) {
+  for (double x : {0.0, 0.1, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(GammaTest, HalfShapeIsErf) {
+  // P(1/2, x) = erf(sqrt(x)).
+  for (double x : {0.01, 0.25, 1.0, 4.0}) {
+    EXPECT_NEAR(RegularizedGammaP(0.5, x), std::erf(std::sqrt(x)), 1e-10);
+  }
+}
+
+TEST(GammaTest, PPlusQIsOne) {
+  for (double s : {0.5, 1.0, 2.5, 10.0, 100.0}) {
+    for (double x : {0.1, 1.0, 5.0, 50.0, 200.0}) {
+      EXPECT_NEAR(RegularizedGammaP(s, x) + RegularizedGammaQ(s, x), 1.0, 1e-12)
+          << "s=" << s << " x=" << x;
+    }
+  }
+}
+
+TEST(GammaTest, MonotoneInX) {
+  double prev = -1.0;
+  for (double x = 0.0; x < 20.0; x += 0.5) {
+    const double p = RegularizedGammaP(3.0, x);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-4);
+}
+
+// --------------------------------------------------------------- Normal
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_DOUBLE_EQ(StandardNormalCdf(0.0), 0.5);
+  EXPECT_NEAR(StandardNormalCdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(StandardNormalCdf(-1.96), 0.024997895148220435, 1e-12);
+}
+
+TEST(NormalTest, CdfSymmetry) {
+  for (double z : {0.3, 1.0, 2.5, 4.0}) {
+    EXPECT_NEAR(StandardNormalCdf(z) + StandardNormalCdf(-z), 1.0, 1e-14);
+  }
+}
+
+TEST(NormalTest, QuantileInvertsCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(StandardNormalCdf(StandardNormalQuantile(p)), p, 1e-9) << p;
+  }
+}
+
+TEST(NormalTest, PdfIntegratesToOne) {
+  const double integral = AdaptiveSimpson(
+      [](double z) { return StandardNormalPdf(z); }, -10.0, 10.0, 1e-12);
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(NormalTest, ShiftedScaled) {
+  EXPECT_DOUBLE_EQ(NormalCdf(3.0, 3.0, 2.0), 0.5);
+  EXPECT_NEAR(NormalCdf(5.0, 3.0, 2.0), StandardNormalCdf(1.0), 1e-15);
+  EXPECT_NEAR(NormalPdf(3.0, 3.0, 2.0), StandardNormalPdf(0.0) / 2.0, 1e-15);
+}
+
+// ------------------------------------------------------------- Marcum Q
+
+TEST(MarcumQTest, ZeroNoncentralityIsChiSquared) {
+  // chi2_2 CDF = 1 - e^{-x/2}.
+  for (double x : {0.5, 1.0, 4.0, 10.0}) {
+    EXPECT_NEAR(NoncentralChiSquaredCdf(2.0, 0.0, x), 1.0 - std::exp(-x / 2.0),
+                1e-12);
+  }
+}
+
+TEST(MarcumQTest, RayleighSpecialCase) {
+  for (double b : {0.1, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(MarcumQ1(0.0, b), std::exp(-b * b / 2.0), 1e-12);
+  }
+}
+
+TEST(MarcumQTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(MarcumQ1(2.0, 0.0), 1.0);
+  EXPECT_NEAR(MarcumQ1(0.0, 0.0), 1.0, 1e-15);
+  // Far tail: b >> a.
+  EXPECT_NEAR(MarcumQ1(1.0, 50.0), 0.0, 1e-12);
+  // b << a: essentially certain to exceed.
+  EXPECT_NEAR(MarcumQ1(50.0, 1.0), 1.0, 1e-12);
+}
+
+TEST(MarcumQTest, MonotoneDecreasingInB) {
+  double prev = 1.0 + 1e-12;
+  for (double b = 0.0; b < 12.0; b += 0.25) {
+    const double q = MarcumQ1(3.0, b);
+    EXPECT_LE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(MarcumQTest, MatchesNumericalIntegrationOfRicePdf) {
+  // Q1(a, b) = 1 - integral_0^b ricepdf(x; a, 1) dx.
+  for (double a : {0.5, 2.0, 8.0, 30.0}) {
+    for (double b : {0.5 * a, a, 1.5 * a}) {
+      const RiceDistribution rice(a, 1.0);
+      const double cdf_numeric = AdaptiveSimpson(
+          [&rice](double x) { return rice.Pdf(x); }, 0.0, b, 1e-12);
+      // Tolerance bounded by the ~2e-7 relative error of the A&S Bessel
+      // polynomial inside the numerically integrated pdf.
+      EXPECT_NEAR(MarcumQ1(a, b), 1.0 - cdf_numeric, 2e-6)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(MarcumQTest, LargeNoncentralityStaysStable) {
+  // a^2/2 ~ 1e4 Poisson terms; must neither underflow to 0 nor overflow.
+  const double q = MarcumQ1(140.0, 140.0);
+  EXPECT_GT(q, 0.3);
+  EXPECT_LT(q, 0.7);  // Median of Rice(140, 1) is ~140.
+}
+
+// ----------------------------------------------------------------- Rice
+
+TEST(RiceTest, PdfIntegratesToOne) {
+  for (double nu : {0.0, 1.0, 5.0, 20.0}) {
+    const RiceDistribution rice(nu, 2.0);
+    const double integral = AdaptiveSimpson(
+        [&rice](double x) { return rice.Pdf(x); }, 0.0, nu + 40.0, 1e-11);
+    EXPECT_NEAR(integral, 1.0, 1e-6) << "nu=" << nu;  // Bessel-poly bound.
+  }
+}
+
+TEST(RiceTest, ZeroNuIsRayleigh) {
+  const double sigma = 3.0;
+  const RiceDistribution rice(0.0, sigma);
+  EXPECT_NEAR(rice.Mean(), sigma * std::sqrt(M_PI / 2.0), 1e-9);
+  // Rayleigh CDF: 1 - exp(-x^2 / (2 sigma^2)).
+  for (double x : {1.0, 3.0, 6.0}) {
+    EXPECT_NEAR(rice.Cdf(x), 1.0 - std::exp(-x * x / (2 * sigma * sigma)), 1e-10);
+  }
+}
+
+TEST(RiceTest, MomentsMatchNumericalIntegration) {
+  const RiceDistribution rice(4.0, 1.5);
+  const double mean = AdaptiveSimpson(
+      [&rice](double x) { return x * rice.Pdf(x); }, 0.0, 40.0, 1e-11);
+  const double second = AdaptiveSimpson(
+      [&rice](double x) { return x * x * rice.Pdf(x); }, 0.0, 40.0, 1e-11);
+  EXPECT_NEAR(rice.Mean(), mean, 1e-7);
+  EXPECT_NEAR(rice.Variance(), second - mean * mean, 1e-6);
+}
+
+TEST(RiceTest, CdfMonotoneAndBounded) {
+  const RiceDistribution rice(10.0, 2.0);
+  double prev = 0.0;
+  for (double x = 0.0; x <= 25.0; x += 0.5) {
+    const double c = rice.Cdf(x);
+    EXPECT_GE(c, prev - 1e-14);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-6);
+}
+
+TEST(RiceTest, LargeNuApproachesNormal) {
+  // For nu >> sigma, Rice(nu, sigma) ~ N(nu, sigma^2).
+  const RiceDistribution rice(1000.0, 3.0);
+  EXPECT_NEAR(rice.Mean(), 1000.0, 0.01);
+  EXPECT_NEAR(rice.Cdf(1000.0), 0.5, 2e-3);
+  EXPECT_NEAR(rice.Cdf(1003.0), StandardNormalCdf(1.0), 5e-3);
+}
+
+// ------------------------------------------------------------ Histogram
+
+TEST(HistogramTest, BasicCounts) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);
+  h.Add(1.5);
+  h.Add(1.6);
+  h.Add(-1.0);   // Underflow.
+  h.Add(10.0);   // At hi -> overflow.
+  h.Add(25.0);   // Overflow.
+  EXPECT_EQ(h.total_count(), 6u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 2u);
+  EXPECT_EQ(h.underflow_count(), 1u);
+  EXPECT_EQ(h.overflow_count(), 2u);
+}
+
+TEST(HistogramTest, FractionBelowInterpolates) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.Add(5.5);  // All in bin [5, 6).
+  EXPECT_DOUBLE_EQ(h.FractionBelow(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(6.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(5.5), 0.5);  // Linear within the bin.
+  EXPECT_DOUBLE_EQ(h.FractionBelow(20.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(-3.0), 0.0);
+}
+
+TEST(HistogramTest, FractionBelowExcludesOverflowAboveHi) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(5.0);
+  h.Add(100.0);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(10.0), 0.5);
+}
+
+TEST(HistogramTest, QuantileInvertsFraction) {
+  Histogram h(0.0, 100.0, 100);
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) h.Add(rng.UniformDouble(0.0, 100.0));
+  for (double p : {0.1, 0.5, 0.9}) {
+    const double q = h.Quantile(p);
+    EXPECT_NEAR(h.FractionBelow(q), p, 0.02);
+  }
+}
+
+TEST(HistogramTest, MeanApproximatesSampleMean) {
+  Histogram h(0.0, 100.0, 200);
+  Rng rng(6);
+  double true_sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.UniformDouble(10.0, 60.0);
+    true_sum += v;
+    h.Add(v);
+  }
+  EXPECT_NEAR(h.Mean(), true_sum / n, 0.5);
+}
+
+TEST(HistogramTest, QueryCacheInvalidatesOnMutation) {
+  // FractionBelow uses a lazy prefix-sum cache; interleaved adds and
+  // queries must stay consistent.
+  Histogram h(0.0, 10.0, 10);
+  h.Add(2.5);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(5.0), 1.0);
+  h.Add(7.5);  // Mutation after a query.
+  EXPECT_DOUBLE_EQ(h.FractionBelow(5.0), 0.5);
+  Histogram other(0.0, 10.0, 10);
+  other.Add(1.5);
+  ASSERT_TRUE(h.Merge(other).ok());  // Merge after a query.
+  EXPECT_NEAR(h.FractionBelow(5.0), 2.0 / 3.0, 1e-12);
+}
+
+TEST(HistogramTest, MergeRequiresSameGeometry) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 10);
+  Histogram c(0.0, 20.0, 10);
+  a.Add(1.0);
+  b.Add(2.0);
+  EXPECT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.total_count(), 2u);
+  EXPECT_TRUE(a.Merge(c).IsInvalidArgument());
+}
+
+TEST(HistogramTest, SerializeRoundTrip) {
+  Histogram h(0.0, 50.0, 25);
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) h.Add(rng.UniformDouble(-5.0, 60.0));
+  std::stringstream ss;
+  h.Serialize(ss);
+  const auto back = Histogram::Deserialize(ss);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->total_count(), h.total_count());
+  EXPECT_EQ(back->underflow_count(), h.underflow_count());
+  EXPECT_EQ(back->overflow_count(), h.overflow_count());
+  for (int b = 0; b < 25; ++b) EXPECT_EQ(back->bin_count(b), h.bin_count(b));
+  EXPECT_DOUBLE_EQ(back->FractionBelow(30.0), h.FractionBelow(30.0));
+}
+
+TEST(HistogramTest, DeserializeRejectsGarbage) {
+  std::stringstream ss("not a histogram");
+  EXPECT_FALSE(Histogram::Deserialize(ss).ok());
+  std::stringstream bad_geom("5 1 10 0 0 1 2 3 4 5 6 7 8 9 10");  // lo > hi.
+  EXPECT_FALSE(Histogram::Deserialize(bad_geom).ok());
+}
+
+// ----------------------------------------------------------- Quadrature
+
+TEST(QuadratureTest, IntegratesSine) {
+  const double v =
+      AdaptiveSimpson([](double x) { return std::sin(x); }, 0.0, M_PI, 1e-12);
+  EXPECT_NEAR(v, 2.0, 1e-10);
+}
+
+TEST(QuadratureTest, IntegratesPolynomialExactly) {
+  const double v =
+      AdaptiveSimpson([](double x) { return 3 * x * x; }, 0.0, 2.0, 1e-12);
+  EXPECT_NEAR(v, 8.0, 1e-12);  // Simpson is exact for cubics.
+}
+
+TEST(QuadratureTest, EmptyIntervalIsZero) {
+  EXPECT_DOUBLE_EQ(
+      AdaptiveSimpson([](double x) { return x; }, 1.0, 1.0, 1e-12), 0.0);
+}
+
+TEST(QuadratureTest, SharplyPeakedIntegrand) {
+  // Narrow Gaussian inside a wide interval still integrates accurately.
+  const double v = AdaptiveSimpson(
+      [](double x) { return NormalPdf(x, 500.0, 0.5); }, 0.0, 1000.0, 1e-12);
+  EXPECT_NEAR(v, 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace scguard::stats

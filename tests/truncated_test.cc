@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "privacy/truncated.h"
+#include "stats/rng.h"
+#include "stats/welford.h"
+
+namespace scguard::privacy {
+namespace {
+
+constexpr PrivacyParams kDefault{0.7, 800.0};
+
+geo::BoundingBox Region() {
+  return geo::BoundingBox::FromCorners({0, 0}, {10000, 10000});
+}
+
+TEST(TruncatedGeoIndTest, ClampKeepsReportsInRegion) {
+  const TruncatedGeoInd mech(kDefault, Region(), TruncationMode::kClamp);
+  stats::Rng rng(1);
+  const geo::Point corner{100, 100};  // Near the border: much noise exits.
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_TRUE(Region().Contains(mech.Perturb(corner, rng)));
+  }
+}
+
+TEST(TruncatedGeoIndTest, ResampleKeepsReportsInRegion) {
+  const TruncatedGeoInd mech(kDefault, Region(), TruncationMode::kRejectionResample);
+  stats::Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_TRUE(Region().Contains(mech.Perturb({5000, 5000}, rng)));
+  }
+}
+
+TEST(TruncatedGeoIndTest, NoneCanLeaveRegion) {
+  const TruncatedGeoInd mech(kDefault, Region(), TruncationMode::kNone);
+  stats::Rng rng(3);
+  int outside = 0;
+  for (int i = 0; i < 5000; ++i) {
+    outside += Region().Contains(mech.Perturb({100, 100}, rng)) ? 0 : 1;
+  }
+  EXPECT_GT(outside, 500);  // Corner point: a lot of noise mass exits.
+}
+
+TEST(TruncatedGeoIndTest, DeepInteriorModesAgree) {
+  // Far from the border, truncation almost never triggers: all three
+  // modes should have nearly identical error statistics.
+  const geo::BoundingBox big = geo::BoundingBox::FromCorners({0, 0},
+                                                             {100000, 100000});
+  const geo::Point center{50000, 50000};
+  stats::OnlineMeanVar none_err, clamp_err, resample_err;
+  stats::Rng rng(4);
+  const int n = 20000;
+  for (auto [mode, acc] :
+       {std::pair{TruncationMode::kNone, &none_err},
+        std::pair{TruncationMode::kClamp, &clamp_err},
+        std::pair{TruncationMode::kRejectionResample, &resample_err}}) {
+    const TruncatedGeoInd mech(kDefault, big, mode);
+    for (int i = 0; i < n; ++i) {
+      acc->Add(geo::Distance(mech.Perturb(center, rng), center));
+    }
+  }
+  EXPECT_NEAR(clamp_err.mean() / none_err.mean(), 1.0, 0.03);
+  EXPECT_NEAR(resample_err.mean() / none_err.mean(), 1.0, 0.03);
+}
+
+TEST(TruncatedGeoIndTest, ClampShrinksErrorNearBorder) {
+  // Clamping pulls escaped mass back to the boundary: mean report error
+  // at a corner is smaller than untruncated.
+  const TruncatedGeoInd none(kDefault, Region(), TruncationMode::kNone);
+  const TruncatedGeoInd clamp(kDefault, Region(), TruncationMode::kClamp);
+  stats::Rng rng_a(5), rng_b(5);
+  const geo::Point corner{200, 200};
+  stats::OnlineMeanVar none_err, clamp_err;
+  for (int i = 0; i < 20000; ++i) {
+    none_err.Add(geo::Distance(none.Perturb(corner, rng_a), corner));
+    clamp_err.Add(geo::Distance(clamp.Perturb(corner, rng_b), corner));
+  }
+  EXPECT_LT(clamp_err.mean(), none_err.mean());
+}
+
+TEST(WelfordTest, MatchesDirectComputation) {
+  stats::OnlineMeanVar acc;
+  const std::vector<double> values = {1.0, 2.0, 4.0, 8.0, 16.0};
+  double sum = 0;
+  for (double v : values) {
+    acc.Add(v);
+    sum += v;
+  }
+  const double mean = sum / 5.0;
+  double var = 0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= 4.0;
+  EXPECT_DOUBLE_EQ(acc.mean(), mean);
+  EXPECT_DOUBLE_EQ(acc.variance(), var);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 16.0);
+  EXPECT_EQ(acc.count(), 5);
+}
+
+TEST(WelfordTest, MergeEqualsConcatenation) {
+  stats::Rng rng(6);
+  stats::OnlineMeanVar all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Gaussian(3.0, 2.0);
+    all.Add(v);
+    (i % 2 == 0 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(WelfordTest, EmptyAndSingle) {
+  stats::OnlineMeanVar acc;
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  acc.Add(5.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  stats::OnlineMeanVar other;
+  other.Merge(acc);  // Merge into empty.
+  EXPECT_DOUBLE_EQ(other.mean(), 5.0);
+}
+
+}  // namespace
+}  // namespace scguard::privacy
