@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_beta"
+  "../bench/bench_ablation_beta.pdb"
+  "CMakeFiles/bench_ablation_beta.dir/bench_ablation_beta.cc.o"
+  "CMakeFiles/bench_ablation_beta.dir/bench_ablation_beta.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_beta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_batch_sweep"
+  "../bench/bench_batch_sweep.pdb"
+  "CMakeFiles/bench_batch_sweep.dir/bench_batch_sweep.cc.o"
+  "CMakeFiles/bench_batch_sweep.dir/bench_batch_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batch_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

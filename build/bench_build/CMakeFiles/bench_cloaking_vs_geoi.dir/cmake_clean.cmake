@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cloaking_vs_geoi"
+  "../bench/bench_cloaking_vs_geoi.pdb"
+  "CMakeFiles/bench_cloaking_vs_geoi.dir/bench_cloaking_vs_geoi.cc.o"
+  "CMakeFiles/bench_cloaking_vs_geoi.dir/bench_cloaking_vs_geoi.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cloaking_vs_geoi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

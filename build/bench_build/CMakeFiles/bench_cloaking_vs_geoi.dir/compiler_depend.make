@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_cloaking_vs_geoi.
+# This may be replaced when dependencies are built.

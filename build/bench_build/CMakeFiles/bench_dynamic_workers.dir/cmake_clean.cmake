@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dynamic_workers"
+  "../bench/bench_dynamic_workers.pdb"
+  "CMakeFiles/bench_dynamic_workers.dir/bench_dynamic_workers.cc.o"
+  "CMakeFiles/bench_dynamic_workers.dir/bench_dynamic_workers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamic_workers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

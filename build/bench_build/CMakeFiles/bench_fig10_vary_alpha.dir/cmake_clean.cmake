@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_vary_alpha"
+  "../bench/bench_fig10_vary_alpha.pdb"
+  "CMakeFiles/bench_fig10_vary_alpha.dir/bench_fig10_vary_alpha.cc.o"
+  "CMakeFiles/bench_fig10_vary_alpha.dir/bench_fig10_vary_alpha.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_vary_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_empirical_tables"
+  "../bench/bench_fig5_empirical_tables.pdb"
+  "CMakeFiles/bench_fig5_empirical_tables.dir/bench_fig5_empirical_tables.cc.o"
+  "CMakeFiles/bench_fig5_empirical_tables.dir/bench_fig5_empirical_tables.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_empirical_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_model_vs_data"
+  "../bench/bench_fig8_model_vs_data.pdb"
+  "CMakeFiles/bench_fig8_model_vs_data.dir/bench_fig8_model_vs_data.cc.o"
+  "CMakeFiles/bench_fig8_model_vs_data.dir/bench_fig8_model_vs_data.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_model_vs_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

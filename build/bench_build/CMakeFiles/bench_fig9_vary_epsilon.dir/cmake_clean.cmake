@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_vary_epsilon"
+  "../bench/bench_fig9_vary_epsilon.pdb"
+  "CMakeFiles/bench_fig9_vary_epsilon.dir/bench_fig9_vary_epsilon.cc.o"
+  "CMakeFiles/bench_fig9_vary_epsilon.dir/bench_fig9_vary_epsilon.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_vary_epsilon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_headline_claims"
+  "../bench/bench_headline_claims.pdb"
+  "CMakeFiles/bench_headline_claims.dir/bench_headline_claims.cc.o"
+  "CMakeFiles/bench_headline_claims.dir/bench_headline_claims.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_headline_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

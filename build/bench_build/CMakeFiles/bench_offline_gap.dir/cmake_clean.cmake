@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_offline_gap"
+  "../bench/bench_offline_gap.pdb"
+  "CMakeFiles/bench_offline_gap.dir/bench_offline_gap.cc.o"
+  "CMakeFiles/bench_offline_gap.dir/bench_offline_gap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_offline_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

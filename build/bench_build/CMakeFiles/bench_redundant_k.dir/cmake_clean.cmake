@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_redundant_k"
+  "../bench/bench_redundant_k.pdb"
+  "CMakeFiles/bench_redundant_k.dir/bench_redundant_k.cc.o"
+  "CMakeFiles/bench_redundant_k.dir/bench_redundant_k.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_redundant_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_truncation.cc" "bench_build/CMakeFiles/bench_truncation.dir/bench_truncation.cc.o" "gcc" "bench_build/CMakeFiles/bench_truncation.dir/bench_truncation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/scguard_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scguard_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/scguard_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/assign/CMakeFiles/scguard_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/reachability/CMakeFiles/scguard_reachability.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/scguard_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/scguard_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/scguard_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/scguard_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scguard_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_truncation"
+  "../bench/bench_truncation.pdb"
+  "CMakeFiles/bench_truncation.dir/bench_truncation.cc.o"
+  "CMakeFiles/bench_truncation.dir/bench_truncation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_truncation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

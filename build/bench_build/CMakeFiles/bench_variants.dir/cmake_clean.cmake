@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_variants"
+  "../bench/bench_variants.pdb"
+  "CMakeFiles/bench_variants.dir/bench_variants.cc.o"
+  "CMakeFiles/bench_variants.dir/bench_variants.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

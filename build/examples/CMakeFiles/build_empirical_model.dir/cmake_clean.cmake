@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/build_empirical_model.dir/build_empirical_model.cpp.o"
+  "CMakeFiles/build_empirical_model.dir/build_empirical_model.cpp.o.d"
+  "build_empirical_model"
+  "build_empirical_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/build_empirical_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

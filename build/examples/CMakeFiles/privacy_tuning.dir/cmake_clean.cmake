@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_tuning.dir/privacy_tuning.cpp.o"
+  "CMakeFiles/privacy_tuning.dir/privacy_tuning.cpp.o.d"
+  "privacy_tuning"
+  "privacy_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

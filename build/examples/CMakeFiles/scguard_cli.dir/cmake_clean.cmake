@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scguard_cli.dir/scguard_cli.cpp.o"
+  "CMakeFiles/scguard_cli.dir/scguard_cli.cpp.o.d"
+  "scguard_cli"
+  "scguard_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scguard_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

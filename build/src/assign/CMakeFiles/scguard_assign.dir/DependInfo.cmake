@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assign/algorithms.cc" "src/assign/CMakeFiles/scguard_assign.dir/algorithms.cc.o" "gcc" "src/assign/CMakeFiles/scguard_assign.dir/algorithms.cc.o.d"
+  "/root/repo/src/assign/batch.cc" "src/assign/CMakeFiles/scguard_assign.dir/batch.cc.o" "gcc" "src/assign/CMakeFiles/scguard_assign.dir/batch.cc.o.d"
+  "/root/repo/src/assign/cloaked.cc" "src/assign/CMakeFiles/scguard_assign.dir/cloaked.cc.o" "gcc" "src/assign/CMakeFiles/scguard_assign.dir/cloaked.cc.o.d"
+  "/root/repo/src/assign/ground_truth.cc" "src/assign/CMakeFiles/scguard_assign.dir/ground_truth.cc.o" "gcc" "src/assign/CMakeFiles/scguard_assign.dir/ground_truth.cc.o.d"
+  "/root/repo/src/assign/metrics.cc" "src/assign/CMakeFiles/scguard_assign.dir/metrics.cc.o" "gcc" "src/assign/CMakeFiles/scguard_assign.dir/metrics.cc.o.d"
+  "/root/repo/src/assign/offline.cc" "src/assign/CMakeFiles/scguard_assign.dir/offline.cc.o" "gcc" "src/assign/CMakeFiles/scguard_assign.dir/offline.cc.o.d"
+  "/root/repo/src/assign/scguard_engine.cc" "src/assign/CMakeFiles/scguard_assign.dir/scguard_engine.cc.o" "gcc" "src/assign/CMakeFiles/scguard_assign.dir/scguard_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scguard_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/scguard_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/scguard_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/scguard_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/reachability/CMakeFiles/scguard_reachability.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/scguard_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

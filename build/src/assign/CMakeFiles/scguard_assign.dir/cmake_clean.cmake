@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scguard_assign.dir/algorithms.cc.o"
+  "CMakeFiles/scguard_assign.dir/algorithms.cc.o.d"
+  "CMakeFiles/scguard_assign.dir/batch.cc.o"
+  "CMakeFiles/scguard_assign.dir/batch.cc.o.d"
+  "CMakeFiles/scguard_assign.dir/cloaked.cc.o"
+  "CMakeFiles/scguard_assign.dir/cloaked.cc.o.d"
+  "CMakeFiles/scguard_assign.dir/ground_truth.cc.o"
+  "CMakeFiles/scguard_assign.dir/ground_truth.cc.o.d"
+  "CMakeFiles/scguard_assign.dir/metrics.cc.o"
+  "CMakeFiles/scguard_assign.dir/metrics.cc.o.d"
+  "CMakeFiles/scguard_assign.dir/offline.cc.o"
+  "CMakeFiles/scguard_assign.dir/offline.cc.o.d"
+  "CMakeFiles/scguard_assign.dir/scguard_engine.cc.o"
+  "CMakeFiles/scguard_assign.dir/scguard_engine.cc.o.d"
+  "libscguard_assign.a"
+  "libscguard_assign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scguard_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scguard_common.dir/status.cc.o"
+  "CMakeFiles/scguard_common.dir/status.cc.o.d"
+  "CMakeFiles/scguard_common.dir/str_format.cc.o"
+  "CMakeFiles/scguard_common.dir/str_format.cc.o.d"
+  "libscguard_common.a"
+  "libscguard_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scguard_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scguard_core.dir/protocol.cc.o"
+  "CMakeFiles/scguard_core.dir/protocol.cc.o.d"
+  "CMakeFiles/scguard_core.dir/reputation.cc.o"
+  "CMakeFiles/scguard_core.dir/reputation.cc.o.d"
+  "CMakeFiles/scguard_core.dir/scguard.cc.o"
+  "CMakeFiles/scguard_core.dir/scguard.cc.o.d"
+  "CMakeFiles/scguard_core.dir/variants.cc.o"
+  "CMakeFiles/scguard_core.dir/variants.cc.o.d"
+  "libscguard_core.a"
+  "libscguard_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scguard_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv_loader.cc" "src/data/CMakeFiles/scguard_data.dir/csv_loader.cc.o" "gcc" "src/data/CMakeFiles/scguard_data.dir/csv_loader.cc.o.d"
+  "/root/repo/src/data/tdrive_synth.cc" "src/data/CMakeFiles/scguard_data.dir/tdrive_synth.cc.o" "gcc" "src/data/CMakeFiles/scguard_data.dir/tdrive_synth.cc.o.d"
+  "/root/repo/src/data/trace.cc" "src/data/CMakeFiles/scguard_data.dir/trace.cc.o" "gcc" "src/data/CMakeFiles/scguard_data.dir/trace.cc.o.d"
+  "/root/repo/src/data/trip_model.cc" "src/data/CMakeFiles/scguard_data.dir/trip_model.cc.o" "gcc" "src/data/CMakeFiles/scguard_data.dir/trip_model.cc.o.d"
+  "/root/repo/src/data/workload.cc" "src/data/CMakeFiles/scguard_data.dir/workload.cc.o" "gcc" "src/data/CMakeFiles/scguard_data.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scguard_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/scguard_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/scguard_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/scguard_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scguard_data.dir/csv_loader.cc.o"
+  "CMakeFiles/scguard_data.dir/csv_loader.cc.o.d"
+  "CMakeFiles/scguard_data.dir/tdrive_synth.cc.o"
+  "CMakeFiles/scguard_data.dir/tdrive_synth.cc.o.d"
+  "CMakeFiles/scguard_data.dir/trace.cc.o"
+  "CMakeFiles/scguard_data.dir/trace.cc.o.d"
+  "CMakeFiles/scguard_data.dir/trip_model.cc.o"
+  "CMakeFiles/scguard_data.dir/trip_model.cc.o.d"
+  "CMakeFiles/scguard_data.dir/workload.cc.o"
+  "CMakeFiles/scguard_data.dir/workload.cc.o.d"
+  "libscguard_data.a"
+  "libscguard_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scguard_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

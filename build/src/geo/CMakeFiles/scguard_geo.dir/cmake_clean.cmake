@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scguard_geo.dir/latlon.cc.o"
+  "CMakeFiles/scguard_geo.dir/latlon.cc.o.d"
+  "CMakeFiles/scguard_geo.dir/projection.cc.o"
+  "CMakeFiles/scguard_geo.dir/projection.cc.o.d"
+  "libscguard_geo.a"
+  "libscguard_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scguard_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scguard_index.dir/grid_index.cc.o"
+  "CMakeFiles/scguard_index.dir/grid_index.cc.o.d"
+  "CMakeFiles/scguard_index.dir/kdtree.cc.o"
+  "CMakeFiles/scguard_index.dir/kdtree.cc.o.d"
+  "CMakeFiles/scguard_index.dir/pruning.cc.o"
+  "CMakeFiles/scguard_index.dir/pruning.cc.o.d"
+  "CMakeFiles/scguard_index.dir/rtree.cc.o"
+  "CMakeFiles/scguard_index.dir/rtree.cc.o.d"
+  "libscguard_index.a"
+  "libscguard_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scguard_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

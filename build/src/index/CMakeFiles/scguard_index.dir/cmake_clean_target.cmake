@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscguard_index.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/privacy/budget.cc" "src/privacy/CMakeFiles/scguard_privacy.dir/budget.cc.o" "gcc" "src/privacy/CMakeFiles/scguard_privacy.dir/budget.cc.o.d"
+  "/root/repo/src/privacy/cloaking.cc" "src/privacy/CMakeFiles/scguard_privacy.dir/cloaking.cc.o" "gcc" "src/privacy/CMakeFiles/scguard_privacy.dir/cloaking.cc.o.d"
+  "/root/repo/src/privacy/geo_ind.cc" "src/privacy/CMakeFiles/scguard_privacy.dir/geo_ind.cc.o" "gcc" "src/privacy/CMakeFiles/scguard_privacy.dir/geo_ind.cc.o.d"
+  "/root/repo/src/privacy/inference.cc" "src/privacy/CMakeFiles/scguard_privacy.dir/inference.cc.o" "gcc" "src/privacy/CMakeFiles/scguard_privacy.dir/inference.cc.o.d"
+  "/root/repo/src/privacy/location_set.cc" "src/privacy/CMakeFiles/scguard_privacy.dir/location_set.cc.o" "gcc" "src/privacy/CMakeFiles/scguard_privacy.dir/location_set.cc.o.d"
+  "/root/repo/src/privacy/planar_laplace.cc" "src/privacy/CMakeFiles/scguard_privacy.dir/planar_laplace.cc.o" "gcc" "src/privacy/CMakeFiles/scguard_privacy.dir/planar_laplace.cc.o.d"
+  "/root/repo/src/privacy/truncated.cc" "src/privacy/CMakeFiles/scguard_privacy.dir/truncated.cc.o" "gcc" "src/privacy/CMakeFiles/scguard_privacy.dir/truncated.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scguard_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/scguard_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/scguard_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

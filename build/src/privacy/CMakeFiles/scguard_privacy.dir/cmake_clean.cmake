@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scguard_privacy.dir/budget.cc.o"
+  "CMakeFiles/scguard_privacy.dir/budget.cc.o.d"
+  "CMakeFiles/scguard_privacy.dir/cloaking.cc.o"
+  "CMakeFiles/scguard_privacy.dir/cloaking.cc.o.d"
+  "CMakeFiles/scguard_privacy.dir/geo_ind.cc.o"
+  "CMakeFiles/scguard_privacy.dir/geo_ind.cc.o.d"
+  "CMakeFiles/scguard_privacy.dir/inference.cc.o"
+  "CMakeFiles/scguard_privacy.dir/inference.cc.o.d"
+  "CMakeFiles/scguard_privacy.dir/location_set.cc.o"
+  "CMakeFiles/scguard_privacy.dir/location_set.cc.o.d"
+  "CMakeFiles/scguard_privacy.dir/planar_laplace.cc.o"
+  "CMakeFiles/scguard_privacy.dir/planar_laplace.cc.o.d"
+  "CMakeFiles/scguard_privacy.dir/truncated.cc.o"
+  "CMakeFiles/scguard_privacy.dir/truncated.cc.o.d"
+  "libscguard_privacy.a"
+  "libscguard_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scguard_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

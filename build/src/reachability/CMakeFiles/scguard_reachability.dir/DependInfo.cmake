@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reachability/analytical_model.cc" "src/reachability/CMakeFiles/scguard_reachability.dir/analytical_model.cc.o" "gcc" "src/reachability/CMakeFiles/scguard_reachability.dir/analytical_model.cc.o.d"
+  "/root/repo/src/reachability/binary_model.cc" "src/reachability/CMakeFiles/scguard_reachability.dir/binary_model.cc.o" "gcc" "src/reachability/CMakeFiles/scguard_reachability.dir/binary_model.cc.o.d"
+  "/root/repo/src/reachability/empirical_model.cc" "src/reachability/CMakeFiles/scguard_reachability.dir/empirical_model.cc.o" "gcc" "src/reachability/CMakeFiles/scguard_reachability.dir/empirical_model.cc.o.d"
+  "/root/repo/src/reachability/empirical_table.cc" "src/reachability/CMakeFiles/scguard_reachability.dir/empirical_table.cc.o" "gcc" "src/reachability/CMakeFiles/scguard_reachability.dir/empirical_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scguard_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/scguard_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/scguard_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/scguard_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

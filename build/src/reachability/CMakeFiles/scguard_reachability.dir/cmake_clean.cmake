@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scguard_reachability.dir/analytical_model.cc.o"
+  "CMakeFiles/scguard_reachability.dir/analytical_model.cc.o.d"
+  "CMakeFiles/scguard_reachability.dir/binary_model.cc.o"
+  "CMakeFiles/scguard_reachability.dir/binary_model.cc.o.d"
+  "CMakeFiles/scguard_reachability.dir/empirical_model.cc.o"
+  "CMakeFiles/scguard_reachability.dir/empirical_model.cc.o.d"
+  "CMakeFiles/scguard_reachability.dir/empirical_table.cc.o"
+  "CMakeFiles/scguard_reachability.dir/empirical_table.cc.o.d"
+  "libscguard_reachability.a"
+  "libscguard_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scguard_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scguard_sim.dir/dynamic.cc.o"
+  "CMakeFiles/scguard_sim.dir/dynamic.cc.o.d"
+  "CMakeFiles/scguard_sim.dir/experiment.cc.o"
+  "CMakeFiles/scguard_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/scguard_sim.dir/table_printer.cc.o"
+  "CMakeFiles/scguard_sim.dir/table_printer.cc.o.d"
+  "libscguard_sim.a"
+  "libscguard_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scguard_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

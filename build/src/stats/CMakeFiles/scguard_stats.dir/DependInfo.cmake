@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bessel.cc" "src/stats/CMakeFiles/scguard_stats.dir/bessel.cc.o" "gcc" "src/stats/CMakeFiles/scguard_stats.dir/bessel.cc.o.d"
+  "/root/repo/src/stats/gamma.cc" "src/stats/CMakeFiles/scguard_stats.dir/gamma.cc.o" "gcc" "src/stats/CMakeFiles/scguard_stats.dir/gamma.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/scguard_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/scguard_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/lambert_w.cc" "src/stats/CMakeFiles/scguard_stats.dir/lambert_w.cc.o" "gcc" "src/stats/CMakeFiles/scguard_stats.dir/lambert_w.cc.o.d"
+  "/root/repo/src/stats/marcum_q.cc" "src/stats/CMakeFiles/scguard_stats.dir/marcum_q.cc.o" "gcc" "src/stats/CMakeFiles/scguard_stats.dir/marcum_q.cc.o.d"
+  "/root/repo/src/stats/normal.cc" "src/stats/CMakeFiles/scguard_stats.dir/normal.cc.o" "gcc" "src/stats/CMakeFiles/scguard_stats.dir/normal.cc.o.d"
+  "/root/repo/src/stats/quadrature.cc" "src/stats/CMakeFiles/scguard_stats.dir/quadrature.cc.o" "gcc" "src/stats/CMakeFiles/scguard_stats.dir/quadrature.cc.o.d"
+  "/root/repo/src/stats/rice.cc" "src/stats/CMakeFiles/scguard_stats.dir/rice.cc.o" "gcc" "src/stats/CMakeFiles/scguard_stats.dir/rice.cc.o.d"
+  "/root/repo/src/stats/rng.cc" "src/stats/CMakeFiles/scguard_stats.dir/rng.cc.o" "gcc" "src/stats/CMakeFiles/scguard_stats.dir/rng.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scguard_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scguard_stats.dir/bessel.cc.o"
+  "CMakeFiles/scguard_stats.dir/bessel.cc.o.d"
+  "CMakeFiles/scguard_stats.dir/gamma.cc.o"
+  "CMakeFiles/scguard_stats.dir/gamma.cc.o.d"
+  "CMakeFiles/scguard_stats.dir/histogram.cc.o"
+  "CMakeFiles/scguard_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/scguard_stats.dir/lambert_w.cc.o"
+  "CMakeFiles/scguard_stats.dir/lambert_w.cc.o.d"
+  "CMakeFiles/scguard_stats.dir/marcum_q.cc.o"
+  "CMakeFiles/scguard_stats.dir/marcum_q.cc.o.d"
+  "CMakeFiles/scguard_stats.dir/normal.cc.o"
+  "CMakeFiles/scguard_stats.dir/normal.cc.o.d"
+  "CMakeFiles/scguard_stats.dir/quadrature.cc.o"
+  "CMakeFiles/scguard_stats.dir/quadrature.cc.o.d"
+  "CMakeFiles/scguard_stats.dir/rice.cc.o"
+  "CMakeFiles/scguard_stats.dir/rice.cc.o.d"
+  "CMakeFiles/scguard_stats.dir/rng.cc.o"
+  "CMakeFiles/scguard_stats.dir/rng.cc.o.d"
+  "libscguard_stats.a"
+  "libscguard_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scguard_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/truncated_test.dir/truncated_test.cc.o"
+  "CMakeFiles/truncated_test.dir/truncated_test.cc.o.d"
+  "truncated_test"
+  "truncated_test.pdb"
+  "truncated_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/truncated_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
