@@ -6,11 +6,19 @@
 // series are comparable across binaries.
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "assign/algorithms.h"
 #include "common/str_format.h"
+#include "reachability/model_cache.h"
+#include "runtime/thread_pool.h"
 #include "sim/defaults.h"
 #include "sim/experiment.h"
 #include "sim/table_printer.h"
@@ -22,7 +30,9 @@ using scguard::StrCat;
 
 /// The paper's experimental setup (Sec. V-A): 500 workers, 500 tasks,
 /// R_w ~ U[1000, 3000] m, averaged over 10 seeds, on one synthetic T-Drive
-/// day of 9,019 taxis.
+/// day of 9,019 taxis. Seeds fan out across all hardware threads
+/// (config.runtime defaults to num_threads = 0); the reported numbers are
+/// bit-identical to the serial path — set num_threads = 1 to verify.
 inline sim::ExperimentConfig PaperConfig() {
   sim::ExperimentConfig config;
   config.synth.num_taxis = 9019;
@@ -56,23 +66,49 @@ inline assign::AlgorithmParams MakeParams(const privacy::PrivacyParams& p,
   return params;
 }
 
+/// The process-wide pool bench binaries share for sharded empirical-table
+/// builds (seed fan-out uses ExperimentConfig::runtime instead).
+inline runtime::ThreadPool* BenchPool() {
+  static runtime::ThreadPool* pool =
+      new runtime::ThreadPool(runtime::ThreadPool::HardwareThreads());
+  return pool;
+}
+
+/// Fixed shard count for every bench empirical build. A machine-independent
+/// constant (NOT the core count): the shard count picks the Monte-Carlo
+/// streams, so it must be pinned for tables to be reproducible everywhere;
+/// the thread count only decides how many shards run at once.
+inline constexpr int kBenchBuildShards = 16;
+
+/// Seed of every bench empirical build (part of the model-cache key).
+inline constexpr uint64_t kBenchBuildSeed = 20177;
+
 /// Builds (or reuses) an empirical model for the runner's region at the
 /// given privacy level; the expensive Monte-Carlo precomputation that
-/// Probabilistic-Data amortizes.
+/// Probabilistic-Data amortizes. Served from reachability::ModelCache, so
+/// repeated calls at one privacy level cost a lookup; set
+/// SCGUARD_MODEL_CACHE_DIR to also persist tables across bench processes.
 inline std::shared_ptr<const reachability::EmpiricalModel> BuildEmpirical(
     const sim::ExperimentRunner& runner, const privacy::PrivacyParams& p,
     uint64_t samples = 200000) {
+  static const bool configured = [] {
+    if (const char* dir = std::getenv("SCGUARD_MODEL_CACHE_DIR")) {
+      reachability::ModelCache::Global().set_cache_dir(dir);
+    }
+    return true;
+  }();
+  (void)configured;
   reachability::EmpiricalModelConfig config;
   config.region = runner.region();
   config.num_samples = samples;
-  stats::Rng rng(20177);
-  auto model = reachability::EmpiricalModel::Build(config, p, rng);
+  config.num_shards = kBenchBuildShards;
+  auto model = reachability::ModelCache::Global().GetOrBuild(
+      config, p, p, kBenchBuildSeed, BenchPool());
   if (!model.ok()) {
     std::cerr << "empirical build failed: " << model.status() << "\n";
     std::exit(1);
   }
-  return std::make_shared<const reachability::EmpiricalModel>(
-      std::move(*model));
+  return *model;
 }
 
 /// Unwraps a Result or aborts with its status (bench binaries have no
@@ -85,6 +121,63 @@ T OrDie(Result<T> result) {
   }
   return std::move(result).ValueOrDie();
 }
+
+/// Collects (series, x, metrics) points and writes them as
+/// `BENCH_<name>.json` next to the printed tables, so the perf/utility
+/// trajectory is machine-trackable across PRs. Flushes on destruction.
+class JsonSeriesWriter {
+ public:
+  explicit JsonSeriesWriter(std::string name) : name_(std::move(name)) {}
+
+  JsonSeriesWriter(const JsonSeriesWriter&) = delete;
+  JsonSeriesWriter& operator=(const JsonSeriesWriter&) = delete;
+
+  ~JsonSeriesWriter() { Flush(); }
+
+  void Add(const std::string& series, double x,
+           const sim::AggregatedMetrics& m) {
+    points_.push_back({series, x, m});
+  }
+
+  void Flush() {
+    if (flushed_) return;
+    flushed_ = true;
+    std::ofstream out(StrCat("BENCH_", name_, ".json"));
+    if (!out) return;  // Read-only cwd: tables were printed, JSON is bonus.
+    out.precision(std::numeric_limits<double>::max_digits10);
+    out << "{\"bench\":\"" << name_ << "\",\"points\":[";
+    for (size_t i = 0; i < points_.size(); ++i) {
+      const auto& p = points_[i];
+      if (i > 0) out << ',';
+      out << "{\"series\":\"" << p.series << "\",\"x\":" << p.x
+          << ",\"seeds\":" << p.m.seeds
+          << ",\"assigned_tasks\":" << p.m.assigned_tasks
+          << ",\"assigned_tasks_stddev\":" << p.m.assigned_tasks_stddev
+          << ",\"travel_m\":" << p.m.travel_m
+          << ",\"travel_m_stddev\":" << p.m.travel_m_stddev
+          << ",\"candidates\":" << p.m.candidates
+          << ",\"false_hits\":" << p.m.false_hits
+          << ",\"false_dismissals\":" << p.m.false_dismissals
+          << ",\"precision\":" << p.m.precision
+          << ",\"recall\":" << p.m.recall
+          << ",\"disclosures_per_task\":" << p.m.disclosures_per_task
+          << ",\"u2e_seconds\":" << p.m.u2e_seconds
+          << ",\"total_seconds\":" << p.m.total_seconds << '}';
+    }
+    out << "]}\n";
+  }
+
+ private:
+  struct Point {
+    std::string series;
+    double x;
+    sim::AggregatedMetrics m;
+  };
+
+  std::string name_;
+  std::vector<Point> points_;
+  bool flushed_ = false;
+};
 
 }  // namespace scguard::bench
 

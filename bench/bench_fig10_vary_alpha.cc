@@ -16,6 +16,7 @@ std::vector<std::string> AlphaColumns() {
 
 void Main() {
   const auto runner = OrDie(sim::ExperimentRunner::Create(PaperConfig()));
+  JsonSeriesWriter json("fig10_vary_alpha");
 
   sim::TablePrinter countable("Fig 10a — Utility & overhead vs alpha (eps=0.7)",
                               AlphaColumns());
@@ -35,6 +36,7 @@ void Main() {
       assign::MatcherHandle handle = assign::MakeProbabilisticModel(
           MakeParams(p, alpha, sim::kDefaultBeta));
       const auto agg = OrDie(runner.Run(handle, p, p));
+      json.Add(StrCat("Probabilistic-Model eps=", eps), alpha, agg);
       util_row.push_back(agg.assigned_tasks);
       over_row.push_back(agg.candidates);
       travel_row.push_back(agg.travel_m);

@@ -16,6 +16,7 @@ std::vector<std::string> BetaColumns() {
 
 void Main() {
   const auto runner = OrDie(sim::ExperimentRunner::Create(PaperConfig()));
+  JsonSeriesWriter json("fig11_vary_beta");
 
   sim::TablePrinter countable("Fig 11a — Utility & overhead vs beta (eps=0.7)",
                               BetaColumns());
@@ -30,6 +31,7 @@ void Main() {
       assign::MatcherHandle handle = assign::MakeProbabilisticModel(
           MakeParams(p, sim::kDefaultAlpha, beta));
       const auto agg = OrDie(runner.Run(handle, p, p));
+      json.Add(StrCat("Probabilistic-Model eps=", eps), beta, agg);
       util_row.push_back(agg.assigned_tasks);
       over_row.push_back(agg.candidates);
       hit_row.push_back(agg.false_hits);

@@ -15,7 +15,8 @@
 namespace scguard::bench {
 namespace {
 
-void RunSweep(const sim::ExperimentRunner& runner, double radius_m) {
+void RunSweep(const sim::ExperimentRunner& runner, double radius_m,
+              JsonSeriesWriter& json) {
   sim::TablePrinter utility(
       StrCat("Fig 9a — Utility (#assigned of 500) vs eps, r=", radius_m),
       {"algorithm", "eps=0.1", "eps=0.4", "eps=0.7", "eps=1.0"});
@@ -60,6 +61,7 @@ void RunSweep(const sim::ExperimentRunner& runner, double radius_m) {
       const privacy::PrivacyParams p{eps, radius_m};
       assign::MatcherHandle handle = algo.make(p);
       const sim::AggregatedMetrics agg = OrDie(runner.Run(handle, p, p));
+      json.Add(StrCat(algo.name, " r=", radius_m), eps, agg);
       utility_row.push_back(agg.assigned_tasks);
       travel_row.push_back(agg.travel_m);
       leak_row.push_back(agg.false_hits);
@@ -82,8 +84,9 @@ void RunSweep(const sim::ExperimentRunner& runner, double radius_m) {
 
 void Main() {
   const auto runner = OrDie(sim::ExperimentRunner::Create(PaperConfig()));
-  RunSweep(runner, 200.0);
-  RunSweep(runner, 800.0);
+  JsonSeriesWriter json("fig9_vary_epsilon");
+  RunSweep(runner, 200.0, json);
+  RunSweep(runner, 800.0, json);
 }
 
 }  // namespace

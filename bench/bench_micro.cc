@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "assign/algorithms.h"
+#include "bench/bench_common.h"
 #include "data/beijing.h"
 #include "data/workload.h"
 #include "index/kdtree.h"
@@ -12,6 +13,10 @@
 #include "privacy/planar_laplace.h"
 #include "reachability/analytical_model.h"
 #include "reachability/empirical_model.h"
+#include "reachability/model_cache.h"
+#include "runtime/parallel_for.h"
+#include "runtime/thread_pool.h"
+#include "sim/experiment.h"
 #include "stats/lambert_w.h"
 #include "stats/rice.h"
 #include "stats/rng.h"
@@ -151,6 +156,112 @@ void BM_EndToEndAssignment(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_EndToEndAssignment)->Arg(100)->Arg(500)->Arg(1000);
+
+// ---- Runtime subsystem: seed fan-out, sharded builds, model cache ----
+
+// The 10-seed paper config end to end, serial vs pooled. The aggregated
+// metrics are bit-identical across the two arms (see runtime_test); only
+// wall-clock changes. Arg = num_threads, 0 = all hardware threads.
+void BM_ExperimentSeedFanout(benchmark::State& state) {
+  sim::ExperimentConfig config = bench::PaperConfig();
+  config.runtime.num_threads = static_cast<int>(state.range(0));
+  const auto runner = sim::ExperimentRunner::Create(config);
+  const privacy::PrivacyParams p{0.7, 800.0};
+  for (auto _ : state) {
+    assign::MatcherHandle handle =
+        assign::MakeProbabilisticModel(bench::MakeParams(p));
+    benchmark::DoNotOptimize(runner->Run(handle, p, p));
+  }
+  state.SetLabel(StrCat("threads=", config.runtime.ResolvedThreads()));
+}
+BENCHMARK(BM_ExperimentSeedFanout)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// One 200k-sample empirical build at a fixed 16-shard split. The shard
+// count pins the Monte-Carlo streams, so every arm produces the same
+// tables; the thread count only spreads the shards.
+void BM_EmpiricalBuildSharded(benchmark::State& state) {
+  reachability::EmpiricalModelConfig config;
+  config.region = data::BeijingRegion();
+  config.num_samples = 200000;
+  config.num_shards = bench::kBenchBuildShards;
+  runtime::RuntimeOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  const auto pool = runtime::MakePool(options);
+  for (auto _ : state) {
+    stats::Rng rng(2027);
+    benchmark::DoNotOptimize(
+        reachability::EmpiricalModel::Build(config, kParams, rng, pool.get()));
+  }
+  state.SetLabel(StrCat("threads=", options.ResolvedThreads()));
+}
+BENCHMARK(BM_EmpiricalBuildSharded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Cold build through the cache (every iteration pays the Monte-Carlo
+// cost) vs a warm hit — the amortization every bench binary now gets via
+// bench::BuildEmpirical. Expect >= 100x between the two.
+void BM_ModelCacheColdBuild(benchmark::State& state) {
+  reachability::EmpiricalModelConfig config;
+  config.region = data::BeijingRegion();
+  config.num_samples = 200000;
+  config.num_shards = bench::kBenchBuildShards;
+  for (auto _ : state) {
+    reachability::ModelCache cache;
+    benchmark::DoNotOptimize(cache.GetOrBuild(config, kParams, kParams,
+                                              bench::kBenchBuildSeed,
+                                              bench::BenchPool()));
+  }
+}
+BENCHMARK(BM_ModelCacheColdBuild)->Unit(benchmark::kMillisecond);
+
+void BM_ModelCacheHit(benchmark::State& state) {
+  reachability::EmpiricalModelConfig config;
+  config.region = data::BeijingRegion();
+  config.num_samples = 200000;
+  config.num_shards = bench::kBenchBuildShards;
+  reachability::ModelCache cache;
+  benchmark::DoNotOptimize(cache.GetOrBuild(
+      config, kParams, kParams, bench::kBenchBuildSeed, bench::BenchPool()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.GetOrBuild(config, kParams, kParams, bench::kBenchBuildSeed));
+  }
+}
+BENCHMARK(BM_ModelCacheHit);
+
+// Cost of the observer-only U2U ground-truth accuracy scan
+// (EnginePolicy::compute_accuracy_metrics): on (1) vs off (0).
+void BM_ScGuardAccuracyScan(benchmark::State& state) {
+  data::WorkloadConfig config;
+  config.num_workers = 500;
+  config.num_tasks = 500;
+  stats::Rng rng(5);
+  assign::Workload workload =
+      data::MakeUniformWorkload(data::BeijingRegion(), config, rng);
+  data::PerturbWorkload(kParams, kParams, rng, workload);
+  const reachability::AnalyticalModel model(kParams);
+  assign::EnginePolicy policy;
+  policy.u2u_model = &model;
+  policy.u2e_model = &model;
+  policy.worker_params = kParams;
+  policy.task_params = kParams;
+  policy.compute_accuracy_metrics = state.range(0) != 0;
+  assign::ScGuardEngine engine(policy);
+  for (auto _ : state) {
+    stats::Rng run_rng(6);
+    benchmark::DoNotOptimize(engine.Run(workload, run_rng));
+  }
+}
+BENCHMARK(BM_ScGuardAccuracyScan)->Arg(1)->Arg(0);
 
 }  // namespace
 }  // namespace scguard

@@ -65,14 +65,19 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
         *policy_.pruning_gamma, policy_.pruning_backend, workload.region);
   }
 
-  // Reused scratch between tasks.
+  // Reused scratch between tasks (allocating these per task shows up on
+  // pruned runs, where the real work per task is small).
   std::vector<size_t> scan_order(n);
   for (size_t i = 0; i < n; ++i) scan_order[i] = i;
+  std::vector<size_t> candidates;
+  candidates.reserve(n);
+  std::vector<std::pair<double, size_t>> ranked;
+  ranked.reserve(n);
 
   for (const Task& task : workload.tasks) {
     // ---- Stage 1: U2U (server) -------------------------------------
     // Server sees only noisy locations and the workers' reach radii.
-    std::vector<size_t> candidates;
+    candidates.clear();
     auto consider = [&](size_t i) {
       if (matched[i]) return;
       const Worker& w = workload.workers[i];
@@ -94,8 +99,9 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
     m.server_to_requester_msgs += 1;
 
     // U2U accuracy metrics, scored against ground truth (observer-only:
-    // no protocol party computes this).
-    {
+    // no protocol party computes this). The availability scan is
+    // O(workers) per task, so it is gated for throughput runs.
+    if (policy_.compute_accuracy_metrics) {
       int64_t truly_reachable_available = 0;
       int64_t candidates_reachable = 0;
       for (size_t i = 0; i < n; ++i) {
@@ -124,8 +130,7 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
     // Requester knows the exact task location and the candidates' noisy
     // locations; ranks and contacts them best-first.
     const auto u2e_start = Clock::now();
-    std::vector<std::pair<double, size_t>> ranked;
-    ranked.reserve(candidates.size());
+    ranked.clear();
     for (size_t i : candidates) {
       const Worker& w = workload.workers[i];
       double score = 0.0;

@@ -60,6 +60,13 @@ struct EnginePolicy {
   /// the candidate set is exhausted.
   int redundancy_k = 1;
 
+  /// Score the candidate sets against ground truth (U2U precision/recall
+  /// and false-dismissal attribution). Observer-only bookkeeping — no
+  /// protocol party could compute it — and the per-task O(workers) scan
+  /// it needs dominates pruned runs, so throughput-oriented callers turn
+  /// it off. Default on: tests and the figure benches report it.
+  bool compute_accuracy_metrics = true;
+
   /// When set, the server prunes U2U with uncertainty-rectangle indexing
   /// (paper Sec. IV-C1) at this confidence gamma before evaluating
   /// probabilities.

@@ -1,40 +1,29 @@
 #include "reachability/empirical_model.h"
 
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <utility>
+#include <vector>
 
 #include "privacy/geo_ind.h"
+#include "runtime/parallel_for.h"
 
 namespace scguard::reachability {
+namespace {
 
-EmpiricalModel::EmpiricalModel(EmpiricalTable u2u, EmpiricalTable u2e)
-    : u2u_(std::make_unique<EmpiricalTable>(std::move(u2u))),
-      u2e_(std::make_unique<EmpiricalTable>(std::move(u2e))) {}
+// Stream-id base for the per-shard Rng forks; offset so shard streams
+// cannot collide with the small fork ids (1, 2, 3, ...) callers commonly
+// use on the same seed.
+constexpr uint64_t kShardStreamBase = 0x5ca1ab1e00000000ULL;
 
-Result<EmpiricalModel> EmpiricalModel::Build(
-    const EmpiricalModelConfig& config,
-    const privacy::PrivacyParams& worker_params,
-    const privacy::PrivacyParams& task_params, stats::Rng& rng) {
-  if (config.region.empty()) {
-    return Status::InvalidArgument("empirical model needs a non-empty region");
-  }
-  if (config.num_samples == 0) {
-    return Status::InvalidArgument("num_samples must be > 0");
-  }
-  SCGUARD_RETURN_NOT_OK(worker_params.Validate());
-  SCGUARD_RETURN_NOT_OK(task_params.Validate());
-
-  const privacy::GeoIndMechanism worker_mech(worker_params);
-  const privacy::GeoIndMechanism task_mech(task_params);
-
-  EmpiricalTable u2u(config.bucket_width_m, config.num_buckets,
-                     config.true_max_m, config.true_bins);
-  EmpiricalTable u2e(config.bucket_width_m, config.num_buckets,
-                     config.true_max_m, config.true_bins);
-
+// One serial Monte-Carlo pass of `num_samples` pairs into (u2u, u2e).
+void SampleInto(const EmpiricalModelConfig& config,
+                const privacy::GeoIndMechanism& worker_mech,
+                const privacy::GeoIndMechanism& task_mech, uint64_t num_samples,
+                stats::Rng& rng, EmpiricalTable& u2u, EmpiricalTable& u2e) {
   const auto& region = config.region;
-  for (uint64_t i = 0; i < config.num_samples; ++i) {
+  for (uint64_t i = 0; i < num_samples; ++i) {
     const geo::Point worker{rng.UniformDouble(region.min_x, region.max_x),
                             rng.UniformDouble(region.min_y, region.max_y)};
     const geo::Point task{rng.UniformDouble(region.min_x, region.max_x),
@@ -47,6 +36,85 @@ Result<EmpiricalModel> EmpiricalModel::Build(
     // U2E: exact task location, noisy worker location.
     u2e.Add(d_true, geo::Distance(worker_noisy, task));
   }
+}
+
+}  // namespace
+
+EmpiricalModel::EmpiricalModel(EmpiricalTable u2u, EmpiricalTable u2e)
+    : u2u_(std::make_unique<EmpiricalTable>(std::move(u2u))),
+      u2e_(std::make_unique<EmpiricalTable>(std::move(u2e))) {}
+
+Result<EmpiricalModel> EmpiricalModel::Build(
+    const EmpiricalModelConfig& config,
+    const privacy::PrivacyParams& worker_params,
+    const privacy::PrivacyParams& task_params, stats::Rng& rng,
+    runtime::ThreadPool* pool) {
+  if (config.region.empty()) {
+    return Status::InvalidArgument("empirical model needs a non-empty region");
+  }
+  if (config.num_samples == 0) {
+    return Status::InvalidArgument("num_samples must be > 0");
+  }
+  if (config.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  SCGUARD_RETURN_NOT_OK(worker_params.Validate());
+  SCGUARD_RETURN_NOT_OK(task_params.Validate());
+
+  const privacy::GeoIndMechanism worker_mech(worker_params);
+  const privacy::GeoIndMechanism task_mech(task_params);
+
+  EmpiricalTable u2u(config.bucket_width_m, config.num_buckets,
+                     config.true_max_m, config.true_bins);
+  EmpiricalTable u2e(config.bucket_width_m, config.num_buckets,
+                     config.true_max_m, config.true_bins);
+
+  if (config.num_shards == 1) {
+    // Legacy exact path: one pass consuming the caller's rng in place.
+    SampleInto(config, worker_mech, task_mech, config.num_samples, rng, u2u,
+               u2e);
+  } else {
+    // Sharded path: shard s draws from the independent stream
+    // rng.Fork(base + s); Fork derives from the rng's seed (not its
+    // position), so the shard streams — and hence the merged tables —
+    // are fixed by (seed, num_shards) alone.
+    const auto shards = static_cast<uint64_t>(config.num_shards);
+    const uint64_t base = config.num_samples / shards;
+    const uint64_t remainder = config.num_samples % shards;
+    struct Partial {
+      EmpiricalTable u2u;
+      EmpiricalTable u2e;
+    };
+    std::vector<std::unique_ptr<Partial>> partials(shards);
+    const Status st = runtime::ParallelFor(
+        pool, 0, config.num_shards, 1,
+        [&](int64_t lo, int64_t hi) -> Status {
+          for (int64_t s = lo; s < hi; ++s) {
+            const auto shard = static_cast<uint64_t>(s);
+            stats::Rng shard_rng = rng.Fork(kShardStreamBase + shard);
+            auto partial = std::make_unique<Partial>(Partial{
+                EmpiricalTable(config.bucket_width_m, config.num_buckets,
+                               config.true_max_m, config.true_bins),
+                EmpiricalTable(config.bucket_width_m, config.num_buckets,
+                               config.true_max_m, config.true_bins)});
+            const uint64_t samples = base + (shard < remainder ? 1 : 0);
+            SampleInto(config, worker_mech, task_mech, samples, shard_rng,
+                       partial->u2u, partial->u2e);
+            partials[shard] = std::move(partial);
+          }
+          return Status::OK();
+        });
+    SCGUARD_RETURN_NOT_OK(st);
+    for (const auto& partial : partials) {
+      SCGUARD_RETURN_NOT_OK(u2u.Merge(partial->u2u));
+      SCGUARD_RETURN_NOT_OK(u2e.Merge(partial->u2e));
+    }
+  }
+
+  // Finished tables are immutable from here on; pre-build the lazy query
+  // caches so concurrent ProbReachable calls are read-only.
+  u2u.WarmQueryCache();
+  u2e.WarmQueryCache();
   return EmpiricalModel(std::move(u2u), std::move(u2e));
 }
 
@@ -69,6 +137,8 @@ Result<EmpiricalModel> EmpiricalModel::Deserialize(std::istream& is) {
   }
   SCGUARD_ASSIGN_OR_RETURN(EmpiricalTable u2u, EmpiricalTable::Deserialize(is));
   SCGUARD_ASSIGN_OR_RETURN(EmpiricalTable u2e, EmpiricalTable::Deserialize(is));
+  u2u.WarmQueryCache();
+  u2e.WarmQueryCache();
   return EmpiricalModel(std::move(u2u), std::move(u2e));
 }
 

@@ -9,6 +9,7 @@
 #include "privacy/privacy_params.h"
 #include "reachability/empirical_table.h"
 #include "reachability/model.h"
+#include "runtime/thread_pool.h"
 #include "stats/rng.h"
 
 namespace scguard::reachability {
@@ -29,6 +30,13 @@ struct EmpiricalModelConfig {
   /// Geometry of the per-bucket true-distance histograms.
   double true_max_m = 40000.0;
   int true_bins = 400;
+  /// Monte-Carlo shards. 1 = the exact legacy serial loop consuming the
+  /// caller's rng. For k > 1 the samples are split across k SplitMix64
+  /// streams forked off the caller's rng seed and the per-shard partial
+  /// tables are merged in shard order — the result depends on the shard
+  /// count but NOT on how many threads (if any) build the shards, so a
+  /// fixed shard count gives bit-identical tables on every machine.
+  int num_shards = 1;
 };
 
 /// The empirical reachability model (*Probabilistic-Data* in the paper's
@@ -41,17 +49,22 @@ struct EmpiricalModelConfig {
 class EmpiricalModel final : public ReachabilityModel {
  public:
   /// Runs the Monte-Carlo precomputation for the given privacy levels.
-  /// Requires a non-empty region and num_samples > 0.
+  /// Requires a non-empty region, num_samples > 0 and num_shards >= 1.
+  /// With config.num_shards > 1 the shards are built across `pool` (or
+  /// serially when pool is null) — see EmpiricalModelConfig::num_shards
+  /// for the determinism contract.
   static Result<EmpiricalModel> Build(const EmpiricalModelConfig& config,
                                       const privacy::PrivacyParams& worker_params,
                                       const privacy::PrivacyParams& task_params,
-                                      stats::Rng& rng);
+                                      stats::Rng& rng,
+                                      runtime::ThreadPool* pool = nullptr);
 
   /// Convenience: both parties at the same privacy level.
   static Result<EmpiricalModel> Build(const EmpiricalModelConfig& config,
                                       const privacy::PrivacyParams& params,
-                                      stats::Rng& rng) {
-    return Build(config, params, params, rng);
+                                      stats::Rng& rng,
+                                      runtime::ThreadPool* pool = nullptr) {
+    return Build(config, params, params, rng, pool);
   }
 
   double ProbReachable(Stage stage, double observed_distance_m,

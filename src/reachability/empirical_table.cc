@@ -53,6 +53,27 @@ double EmpiricalTable::ProbBelow(double d_obs, double threshold) const {
   return 0.0;  // Entirely empty table.
 }
 
+Status EmpiricalTable::Merge(const EmpiricalTable& other) {
+  if (other.bucket_width_ != bucket_width_ ||
+      other.buckets_.size() != buckets_.size() ||
+      other.true_max_ != true_max_ || other.true_bins_ != true_bins_) {
+    return Status::InvalidArgument("empirical table geometries differ");
+  }
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    SCGUARD_RETURN_NOT_OK(buckets_[i].Merge(other.buckets_[i]));
+  }
+  total_samples_ += other.total_samples_;
+  return Status::OK();
+}
+
+void EmpiricalTable::WarmQueryCache() const {
+  for (const auto& b : buckets_) {
+    // FractionBelow(lo) builds the prefix sums; empty buckets never build
+    // them (every query path early-returns), so skip those.
+    if (b.total_count() > 0) (void)b.FractionBelow(b.lo());
+  }
+}
+
 const stats::Histogram& EmpiricalTable::bucket(int index) const {
   SCGUARD_CHECK(index >= 0 && index < num_buckets());
   return buckets_[static_cast<size_t>(index)];

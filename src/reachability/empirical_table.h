@@ -42,6 +42,18 @@ class EmpiricalTable {
   /// Direct access to a bucket's true-distance histogram.
   const stats::Histogram& bucket(int index) const;
 
+  /// Adds every sample of `other` into this table. Requires identical
+  /// geometry (bucket width/count and histogram shape). Count addition is
+  /// exact, so merging per-shard partials in any order yields the same
+  /// table as one serial pass over the union of their samples.
+  Status Merge(const EmpiricalTable& other);
+
+  /// Pre-builds every bucket histogram's cumulative-count cache. The
+  /// cache is otherwise built lazily on the first ProbBelow query, which
+  /// would be a data race when a finished table is queried from several
+  /// threads; builders call this once so later queries are read-only.
+  void WarmQueryCache() const;
+
   /// Text serialization (header + one histogram line per bucket).
   void Serialize(std::ostream& os) const;
   static Result<EmpiricalTable> Deserialize(std::istream& is);

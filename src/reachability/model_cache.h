@@ -1,0 +1,84 @@
+#ifndef SCGUARD_REACHABILITY_MODEL_CACHE_H_
+#define SCGUARD_REACHABILITY_MODEL_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "privacy/privacy_params.h"
+#include "reachability/empirical_model.h"
+
+namespace scguard::reachability {
+
+/// Process-wide memoization of built empirical models, keyed by everything
+/// the Monte-Carlo output depends on: both privacy levels, the region, the
+/// full table/build geometry (samples, bucket and histogram shape, shard
+/// count) and the build seed. A second BuildEmpirical at the same privacy
+/// level costs a map lookup instead of a 200k-sample simulation — the
+/// amortization the paper's precomputation argument is about, which the
+/// per-process bench binaries previously threw away.
+///
+/// Optionally backed by a cache directory: models are serialized on first
+/// build and deserialized on later runs (including later processes). Each
+/// cache file records its full key, so a hash collision can never serve
+/// the wrong model.
+///
+/// Thread-safe; lookups and inserts are mutex-protected. Concurrent
+/// misses on the *same* key may build twice (last insert is dropped in
+/// favor of the first) — wasteful but correct, and irrelevant for the
+/// bench usage pattern.
+class ModelCache {
+ public:
+  struct CacheStats {
+    int64_t hits = 0;
+    int64_t misses = 0;       ///< Fresh Monte-Carlo builds.
+    int64_t disk_loads = 0;   ///< Misses served by the cache directory.
+  };
+
+  ModelCache() = default;
+
+  /// The shared per-process instance bench binaries use.
+  static ModelCache& Global();
+
+  /// Enables (non-empty) or disables (empty) the on-disk layer. The
+  /// directory is created on first write.
+  void set_cache_dir(std::string dir);
+
+  /// Returns the cached model for this exact build request, loading it
+  /// from the cache directory or running the Monte-Carlo build (seeded
+  /// with `build_seed`, sharded across `pool`) on a miss.
+  Result<std::shared_ptr<const EmpiricalModel>> GetOrBuild(
+      const EmpiricalModelConfig& config,
+      const privacy::PrivacyParams& worker_params,
+      const privacy::PrivacyParams& task_params, uint64_t build_seed,
+      runtime::ThreadPool* pool = nullptr);
+
+  /// Drops every in-memory entry (the disk layer is untouched).
+  void Clear();
+
+  size_t size() const;
+  CacheStats stats() const;
+
+  /// The exact cache key of a build request (exposed for tests; doubles
+  /// are rendered as hex floats so distinct parameters never collide).
+  static std::string KeyFor(const EmpiricalModelConfig& config,
+                            const privacy::PrivacyParams& worker_params,
+                            const privacy::PrivacyParams& task_params,
+                            uint64_t build_seed);
+
+ private:
+  std::string PathFor(const std::string& key) const;
+
+  mutable std::mutex mu_;
+  std::string cache_dir_;
+  std::unordered_map<std::string, std::shared_ptr<const EmpiricalModel>>
+      models_;
+  CacheStats stats_;
+};
+
+}  // namespace scguard::reachability
+
+#endif  // SCGUARD_REACHABILITY_MODEL_CACHE_H_

@@ -1,0 +1,35 @@
+#ifndef SCGUARD_RUNTIME_PARALLEL_FOR_H_
+#define SCGUARD_RUNTIME_PARALLEL_FOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+#include "runtime/thread_pool.h"
+
+namespace scguard::runtime {
+
+/// Partitions [begin, end) into contiguous chunks of at most `grain`
+/// items and runs `fn(chunk_begin, chunk_end)` for every chunk, spread
+/// across `pool` (plus the calling thread, which participates).
+///
+/// Deterministic by construction:
+///  * Chunking depends only on (begin, end, grain) — never on the thread
+///    count — so callers that write results into index-addressed slots
+///    get bit-identical output for any pool size, including none.
+///  * The returned Status is OK iff every chunk returned OK, otherwise
+///    the error of the lowest-indexed failing chunk (the same one the
+///    serial path would report).
+///
+/// Runs serially, in chunk order, when `pool` is null, has one thread, or
+/// when called from inside a pool worker (nested ParallelFor must not
+/// block on its own saturated pool). `fn` must be safe to invoke
+/// concurrently from multiple threads on disjoint chunks. Requires
+/// grain > 0.
+Status ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
+                   int64_t grain,
+                   const std::function<Status(int64_t, int64_t)>& fn);
+
+}  // namespace scguard::runtime
+
+#endif  // SCGUARD_RUNTIME_PARALLEL_FOR_H_

@@ -1,0 +1,25 @@
+#ifndef SCGUARD_RUNTIME_RUNTIME_OPTIONS_H_
+#define SCGUARD_RUNTIME_RUNTIME_OPTIONS_H_
+
+namespace scguard::runtime {
+
+/// Parallelism knob threaded through the hot paths (experiment seed
+/// fan-out, empirical-table builds, bench harnesses).
+///
+/// The determinism contract (see DESIGN.md §6): for any fixed workload
+/// configuration, results are bit-identical for every value of
+/// `num_threads`. Parallelism only changes wall-clock, never numbers.
+struct RuntimeOptions {
+  /// Worker threads to use. 0 = one per hardware thread
+  /// (std::thread::hardware_concurrency); 1 = the exact legacy serial
+  /// path (no pool is created at all).
+  int num_threads = 0;
+
+  /// `num_threads` with 0 resolved to the hardware thread count (always
+  /// >= 1). Defined in thread_pool.cc.
+  int ResolvedThreads() const;
+};
+
+}  // namespace scguard::runtime
+
+#endif  // SCGUARD_RUNTIME_RUNTIME_OPTIONS_H_

@@ -1,0 +1,36 @@
+#include "runtime/task_group.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace scguard::runtime {
+
+void TaskGroup::Run(std::function<Status()> fn) {
+  SCGUARD_CHECK(fn != nullptr);
+  int index;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    index = next_index_++;
+    ++pending_;
+  }
+  pool_.Submit([this, index, fn = std::move(fn)] {
+    Status st = fn();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!st.ok() && (error_index_ < 0 || index < error_index_)) {
+      error_index_ = index;
+      error_ = std::move(st);
+    }
+    // Notify while still holding the lock: the owner cannot wake, return
+    // from Wait() and destroy this group before the broadcast completes.
+    if (--pending_ == 0) cv_.notify_all();
+  });
+}
+
+Status TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+  return error_index_ < 0 ? Status::OK() : error_;
+}
+
+}  // namespace scguard::runtime

@@ -1,0 +1,49 @@
+#ifndef SCGUARD_RUNTIME_TASK_GROUP_H_
+#define SCGUARD_RUNTIME_TASK_GROUP_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+
+#include "common/status.h"
+#include "runtime/thread_pool.h"
+
+namespace scguard::runtime {
+
+/// Fork/join helper over a ThreadPool: `Run` submits Status-returning
+/// tasks, `Wait` blocks until all of them finished and reports the error
+/// of the *earliest-submitted* failing task — a deterministic choice that
+/// does not depend on which task happened to fail first in wall-clock.
+///
+/// Not reusable across Wait cycles and not thread-safe itself: one owner
+/// thread calls Run/Wait.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+
+  /// Blocks until every submitted task completed.
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Submits a task to the pool.
+  void Run(std::function<Status()> fn);
+
+  /// Blocks until all tasks completed; OK iff every task returned OK,
+  /// otherwise the Status of the lowest submission index that failed.
+  Status Wait();
+
+ private:
+  ThreadPool& pool_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int pending_ = 0;
+  int next_index_ = 0;
+  int error_index_ = -1;  // -1 = no error yet.
+  Status error_;
+};
+
+}  // namespace scguard::runtime
+
+#endif  // SCGUARD_RUNTIME_TASK_GROUP_H_

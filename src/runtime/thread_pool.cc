@@ -1,0 +1,76 @@
+#include "runtime/thread_pool.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace scguard::runtime {
+namespace {
+
+// Set for the lifetime of every pool worker thread; lets ParallelFor
+// detect nesting without threading a context object through call sites.
+thread_local bool tls_in_pool_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  SCGUARD_CHECK(num_threads >= 1);
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  SCGUARD_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SCGUARD_CHECK(!stop_);  // Submitting during destruction is a bug.
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_in_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+int ThreadPool::HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+bool ThreadPool::InWorkerThread() { return tls_in_pool_worker; }
+
+int RuntimeOptions::ResolvedThreads() const {
+  if (num_threads <= 0) return ThreadPool::HardwareThreads();
+  return num_threads;
+}
+
+std::unique_ptr<ThreadPool> MakePool(const RuntimeOptions& options) {
+  const int threads = options.ResolvedThreads();
+  if (threads <= 1) return nullptr;
+  return std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace scguard::runtime

@@ -1,0 +1,64 @@
+#ifndef SCGUARD_RUNTIME_THREAD_POOL_H_
+#define SCGUARD_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/runtime_options.h"
+
+namespace scguard::runtime {
+
+/// A fixed-size worker pool. Tasks are plain `void()` callables; anything
+/// fallible propagates a Status through TaskGroup / ParallelFor instead of
+/// throwing (the library is exception-free).
+///
+/// The pool itself makes no determinism promises — *which* thread runs a
+/// task is scheduler-dependent. Determinism is the callers' contract:
+/// ParallelFor assigns work by chunk index and callers write results into
+/// index-addressed slots, so outputs never depend on scheduling.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` (>= 1) workers immediately.
+  explicit ThreadPool(int num_threads);
+
+  /// Drains nothing: pending tasks still run, then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  /// Enqueues a task; never blocks (unbounded queue).
+  void Submit(std::function<void()> task);
+
+  /// Hardware thread count, at least 1.
+  static int HardwareThreads();
+
+  /// True when called from one of *any* ThreadPool's worker threads. Used
+  /// by ParallelFor to run nested parallel sections serially instead of
+  /// deadlocking on a saturated pool.
+  static bool InWorkerThread();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Builds the pool described by `options`: nullptr when the resolved
+/// thread count is <= 1 (serial legacy path), a live pool otherwise.
+std::unique_ptr<ThreadPool> MakePool(const RuntimeOptions& options);
+
+}  // namespace scguard::runtime
+
+#endif  // SCGUARD_RUNTIME_THREAD_POOL_H_

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "data/beijing.h"
+#include "runtime/parallel_for.h"
 
 namespace scguard::sim {
 
@@ -88,16 +89,30 @@ Result<assign::Workload> ExperimentRunner::MakeWorkload(
 Result<AggregatedMetrics> ExperimentRunner::Run(
     assign::MatcherHandle& handle, const privacy::PrivacyParams& worker_params,
     const privacy::PrivacyParams& task_params) const {
-  std::vector<assign::RunMetrics> runs;
-  runs.reserve(static_cast<size_t>(config_.num_seeds));
-  for (int seed = 0; seed < config_.num_seeds; ++seed) {
-    SCGUARD_ASSIGN_OR_RETURN(const assign::Workload workload,
-                             MakeWorkload(seed, worker_params, task_params));
-    stats::Rng root(config_.base_seed +
-                    uint64_t{1000003} * static_cast<uint64_t>(seed + 1));
-    stats::Rng match_rng = root.Fork(3);  // Random ranks, shared per seed.
-    runs.push_back(handle.Run(workload, match_rng).metrics);
-  }
+  // Seed fan-out: every seed derives its own Rng streams from base_seed,
+  // builds its own workload, and writes its metrics into its own slot, so
+  // the aggregate below — a seed-ordered reduction — is bit-identical for
+  // any thread count. Timing fields (u2e/total seconds) are the only
+  // metrics that vary run to run, parallel or not.
+  std::vector<assign::RunMetrics> runs(static_cast<size_t>(config_.num_seeds));
+  const std::unique_ptr<runtime::ThreadPool> pool =
+      runtime::MakePool(config_.runtime);
+  const Status st = runtime::ParallelFor(
+      pool.get(), 0, config_.num_seeds, /*grain=*/1,
+      [&](int64_t lo, int64_t hi) -> Status {
+        for (int64_t seed = lo; seed < hi; ++seed) {
+          SCGUARD_ASSIGN_OR_RETURN(
+              const assign::Workload workload,
+              MakeWorkload(static_cast<int>(seed), worker_params, task_params));
+          stats::Rng root(config_.base_seed +
+                          uint64_t{1000003} * static_cast<uint64_t>(seed + 1));
+          stats::Rng match_rng = root.Fork(3);  // Random ranks, shared per seed.
+          runs[static_cast<size_t>(seed)] =
+              handle.Run(workload, match_rng).metrics;
+        }
+        return Status::OK();
+      });
+  SCGUARD_RETURN_NOT_OK(st);
   return Aggregate(runs);
 }
 

@@ -10,6 +10,7 @@
 #include "data/tdrive_synth.h"
 #include "data/workload.h"
 #include "privacy/privacy_params.h"
+#include "runtime/runtime_options.h"
 
 namespace scguard::sim {
 
@@ -20,6 +21,10 @@ struct ExperimentConfig {
   data::WorkloadConfig workload;
   int num_seeds = 10;
   uint64_t base_seed = 42;
+  /// Seed fan-out parallelism. Every seed owns an independent Rng stream
+  /// and per-run metrics are merged in seed order, so the aggregate is
+  /// bit-identical for any thread count (1 = legacy serial path).
+  runtime::RuntimeOptions runtime;
 };
 
 /// Per-metric mean over the seeds (what the paper's figures plot).
@@ -63,7 +68,9 @@ class ExperimentRunner {
       int seed, const privacy::PrivacyParams& worker_params,
       const privacy::PrivacyParams& task_params) const;
 
-  /// Runs the matcher over all seeds and aggregates.
+  /// Runs the matcher over all seeds and aggregates. Seeds fan out across
+  /// a thread pool per config().runtime; the matcher's Run must therefore
+  /// be re-entrant (every in-tree matcher keeps its per-run state local).
   Result<AggregatedMetrics> Run(assign::MatcherHandle& handle,
                                 const privacy::PrivacyParams& worker_params,
                                 const privacy::PrivacyParams& task_params) const;

@@ -5,7 +5,22 @@
 
 #include "common/check.h"
 
+#if defined(__GLIBC__) && !defined(__USE_MISC)
+// Strict-ANSI <cmath> hides the reentrant variant; libm always exports it.
+extern "C" double lgamma_r(double, int*) noexcept;
+#endif
+
 namespace scguard::stats {
+
+double LogGamma(double x) {
+#if defined(__GLIBC__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 namespace {
 
 // The series branch needs O(sqrt(s)) terms when x is near s (the worst
@@ -26,7 +41,7 @@ double GammaPSeries(double s, double x) {
     sum += del;
     if (std::abs(del) < std::abs(sum) * kEpsilon) break;
   }
-  return sum * std::exp(-x + s * std::log(x) - std::lgamma(s));
+  return sum * std::exp(-x + s * std::log(x) - LogGamma(s));
 }
 
 // Continued-fraction representation of Q(s, x), efficient for x >= s + 1
@@ -49,7 +64,7 @@ double GammaQContinuedFraction(double s, double x) {
     h *= del;
     if (std::abs(del - 1.0) <= kEpsilon) break;
   }
-  return std::exp(-x + s * std::log(x) - std::lgamma(s)) * h;
+  return std::exp(-x + s * std::log(x) - LogGamma(s)) * h;
 }
 
 }  // namespace

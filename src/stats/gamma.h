@@ -3,6 +3,12 @@
 
 namespace scguard::stats {
 
+/// Thread-safe log Gamma(x) for x > 0. POSIX `lgamma` writes the global
+/// `signgam`, which is a data race when stats code runs on a thread pool;
+/// this wrapper uses the reentrant `lgamma_r` where available (bit-identical
+/// values on glibc) and plain `std::lgamma` elsewhere.
+double LogGamma(double x);
+
 /// Regularized lower incomplete gamma P(s, x) = gamma(s, x) / Gamma(s),
 /// s > 0, x >= 0. P(s, x) is the CDF at x of a Gamma(shape=s, scale=1)
 /// variable; P(k/2, x/2) is the chi-squared CDF with k degrees of freedom.

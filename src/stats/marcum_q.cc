@@ -30,13 +30,13 @@ double NoncentralChiSquaredCdf(double k, double lambda, double x) {
   const double j0d = static_cast<double>(j0);
 
   // w(j) = e^-m m^j / j!, the Poisson weight.
-  const double log_w0 = -m + j0d * std::log(m) - std::lgamma(j0d + 1.0);
+  const double log_w0 = -m + j0d * std::log(m) - LogGamma(j0d + 1.0);
   // g(j) = P(Gamma(j + k/2) <= y), the central chi-squared CDF piece.
   const double g0 = RegularizedGammaP(j0d + k / 2.0, y);
   // t(j) = e^-y y^(j + k/2) / Gamma(j + k/2 + 1) satisfies
   // g(j) - g(j+1) = t(j), enabling O(1) per-term updates of g.
   const double log_t0 =
-      -y + (j0d + k / 2.0) * std::log(y) - std::lgamma(j0d + k / 2.0 + 1.0);
+      -y + (j0d + k / 2.0) * std::log(y) - LogGamma(j0d + k / 2.0 + 1.0);
 
   double sum = std::exp(log_w0) * g0;
 

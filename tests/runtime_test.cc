@@ -1,0 +1,388 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "assign/algorithms.h"
+#include "data/beijing.h"
+#include "reachability/empirical_model.h"
+#include "reachability/model_cache.h"
+#include "runtime/parallel_for.h"
+#include "runtime/task_group.h"
+#include "runtime/thread_pool.h"
+#include "sim/defaults.h"
+#include "sim/experiment.h"
+
+namespace scguard::runtime {
+namespace {
+
+TEST(RuntimeOptionsTest, ResolvesThreads) {
+  EXPECT_GE(RuntimeOptions{0}.ResolvedThreads(), 1);
+  EXPECT_EQ(RuntimeOptions{1}.ResolvedThreads(), 1);
+  EXPECT_EQ(RuntimeOptions{7}.ResolvedThreads(), 7);
+  EXPECT_EQ(MakePool(RuntimeOptions{1}), nullptr);
+  const auto pool = MakePool(RuntimeOptions{3});
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->num_threads(), 3);
+}
+
+TEST(ThreadPoolTest, StartsAndStopsRepeatedly) {
+  for (int threads : {1, 2, 4}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+  }
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 1000; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    // Destructor drains the queue before joining.
+  }
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, InWorkerThreadFlag) {
+  EXPECT_FALSE(ThreadPool::InWorkerThread());
+  std::atomic<bool> seen_inside{false};
+  {
+    ThreadPool pool(2);
+    pool.Submit([&] { seen_inside = ThreadPool::InWorkerThread(); });
+  }
+  EXPECT_TRUE(seen_inside.load());
+  EXPECT_FALSE(ThreadPool::InWorkerThread());
+}
+
+TEST(TaskGroupTest, WaitsForAllTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 64; ++i) {
+    group.Run([&count]() -> Status {
+      count.fetch_add(1);
+      return Status::OK();
+    });
+  }
+  EXPECT_TRUE(group.Wait().ok());
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(TaskGroupTest, ReportsEarliestSubmittedFailure) {
+  ThreadPool pool(4);
+  TaskGroup group(pool);
+  for (int i = 0; i < 16; ++i) {
+    group.Run([i]() -> Status {
+      if (i == 11) return Status::Internal("late failure");
+      if (i == 5) return Status::InvalidArgument("early failure");
+      return Status::OK();
+    });
+  }
+  const Status st = group.Wait();
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.message(), "early failure");
+}
+
+// Sums [0, n) through ParallelFor into index-addressed slots.
+int64_t ParallelSum(ThreadPool* pool, int64_t n, int64_t grain) {
+  std::vector<int64_t> partial(static_cast<size_t>(n), 0);
+  const Status st = ParallelFor(pool, 0, n, grain,
+                                [&](int64_t lo, int64_t hi) -> Status {
+                                  for (int64_t i = lo; i < hi; ++i) {
+                                    partial[static_cast<size_t>(i)] = i;
+                                  }
+                                  return Status::OK();
+                                });
+  EXPECT_TRUE(st.ok());
+  return std::accumulate(partial.begin(), partial.end(), int64_t{0});
+}
+
+TEST(ParallelForTest, CoversRangeUnderOddGrains) {
+  ThreadPool pool(4);
+  for (int64_t n : {0, 1, 2, 7, 64, 1000}) {
+    const int64_t want = n * (n - 1) / 2;
+    for (int64_t grain : {int64_t{1}, int64_t{3}, int64_t{7}, n + 1}) {
+      if (grain <= 0) continue;
+      EXPECT_EQ(ParallelSum(nullptr, n, grain), want) << n << "/" << grain;
+      EXPECT_EQ(ParallelSum(&pool, n, grain), want) << n << "/" << grain;
+    }
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeNeverInvokes) {
+  ThreadPool pool(2);
+  const Status st = ParallelFor(&pool, 5, 5, 1, [](int64_t, int64_t) -> Status {
+    ADD_FAILURE() << "fn invoked on empty range";
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+}
+
+TEST(ParallelForTest, PropagatesLowestIndexedFailure) {
+  ThreadPool pool(4);
+  // Chunks of one item; items 3 and 17 fail with distinct messages. The
+  // serial and parallel paths must both report item 3's status.
+  const auto fn = [](int64_t lo, int64_t) -> Status {
+    if (lo == 17) return Status::Internal("chunk 17");
+    if (lo == 3) return Status::OutOfRange("chunk 3");
+    return Status::OK();
+  };
+  for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+    const Status st = ParallelFor(p, 0, 32, 1, fn);
+    EXPECT_TRUE(st.IsOutOfRange());
+    EXPECT_EQ(st.message(), "chunk 3");
+  }
+}
+
+TEST(ParallelForTest, NestedCallRunsSeriallyWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int64_t> total{0};
+  const Status st = ParallelFor(
+      &pool, 0, 8, 1, [&](int64_t, int64_t) -> Status {
+        // Inner ParallelFor on the same (saturated) pool: must detect the
+        // worker context and degrade to the serial path.
+        return ParallelFor(&pool, 0, 10, 3, [&](int64_t lo, int64_t hi) -> Status {
+          total.fetch_add(hi - lo);
+          return Status::OK();
+        });
+      });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(total.load(), 80);
+}
+
+}  // namespace
+}  // namespace scguard::runtime
+
+namespace scguard::sim {
+namespace {
+
+ExperimentConfig SmallConfig(int num_threads) {
+  ExperimentConfig config;
+  config.synth.num_taxis = 300;
+  config.synth.mean_trips_per_taxi = 6.0;
+  config.workload.num_workers = 60;
+  config.workload.num_tasks = 60;
+  config.num_seeds = 5;
+  config.runtime.num_threads = num_threads;
+  return config;
+}
+
+// Everything except wall-clock must match bit for bit.
+void ExpectIdenticalMetrics(const AggregatedMetrics& a,
+                            const AggregatedMetrics& b) {
+  EXPECT_EQ(a.seeds, b.seeds);
+  EXPECT_EQ(a.assigned_tasks, b.assigned_tasks);
+  EXPECT_EQ(a.accepted_assignments, b.accepted_assignments);
+  EXPECT_EQ(a.travel_m, b.travel_m);
+  EXPECT_EQ(a.candidates, b.candidates);
+  EXPECT_EQ(a.false_hits, b.false_hits);
+  EXPECT_EQ(a.false_dismissals, b.false_dismissals);
+  EXPECT_EQ(a.precision, b.precision);
+  EXPECT_EQ(a.recall, b.recall);
+  EXPECT_EQ(a.disclosures_per_task, b.disclosures_per_task);
+  EXPECT_EQ(a.assigned_tasks_stddev, b.assigned_tasks_stddev);
+  EXPECT_EQ(a.travel_m_stddev, b.travel_m_stddev);
+}
+
+TEST(ParallelExperimentTest, SeedFanoutIsBitIdenticalToSerial) {
+  const auto serial = ExperimentRunner::Create(SmallConfig(1));
+  const auto parallel = ExperimentRunner::Create(SmallConfig(4));
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  const privacy::PrivacyParams p = DefaultPrivacy();
+  for (const auto make : {+[] {
+         return assign::MakeGroundTruth(assign::RankStrategy::kNearest);
+       },
+                          +[] {
+                            assign::AlgorithmParams params;
+                            params.worker_params = DefaultPrivacy();
+                            params.task_params = DefaultPrivacy();
+                            return assign::MakeProbabilisticModel(params);
+                          }}) {
+    assign::MatcherHandle serial_handle = make();
+    assign::MatcherHandle parallel_handle = make();
+    const auto a = serial->Run(serial_handle, p, p);
+    const auto b = parallel->Run(parallel_handle, p, p);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ExpectIdenticalMetrics(*a, *b);
+  }
+}
+
+TEST(ParallelExperimentTest, OversizedPoolMatchesToo) {
+  // More threads than seeds: the extra workers find no chunks to claim.
+  const auto serial = ExperimentRunner::Create(SmallConfig(1));
+  const auto parallel = ExperimentRunner::Create(SmallConfig(16));
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  const privacy::PrivacyParams p = DefaultPrivacy();
+  assign::MatcherHandle h1 = assign::MakeGroundTruth(assign::RankStrategy::kRandom);
+  assign::MatcherHandle h2 = assign::MakeGroundTruth(assign::RankStrategy::kRandom);
+  const auto a = serial->Run(h1, p, p);
+  const auto b = parallel->Run(h2, p, p);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExpectIdenticalMetrics(*a, *b);
+}
+
+}  // namespace
+}  // namespace scguard::sim
+
+namespace scguard::reachability {
+namespace {
+
+EmpiricalModelConfig SmallModelConfig(int num_shards) {
+  EmpiricalModelConfig config;
+  config.region = data::BeijingRegion();
+  config.num_samples = 20000;
+  config.num_shards = num_shards;
+  return config;
+}
+
+const privacy::PrivacyParams kLevel{0.7, 800.0};
+
+std::string Serialized(const EmpiricalModel& model) {
+  std::ostringstream os;
+  model.Serialize(os);
+  return os.str();
+}
+
+TEST(ShardedEmpiricalBuildTest, RejectsBadShardCount) {
+  stats::Rng rng(1);
+  EXPECT_FALSE(
+      EmpiricalModel::Build(SmallModelConfig(0), kLevel, rng).ok());
+}
+
+TEST(ShardedEmpiricalBuildTest, ShardedBuildIsThreadCountInvariant) {
+  // Same shard count, no pool vs pools of several sizes: identical bytes.
+  stats::Rng rng_serial(99);
+  const auto serial =
+      EmpiricalModel::Build(SmallModelConfig(8), kLevel, rng_serial);
+  ASSERT_TRUE(serial.ok());
+  const std::string want = Serialized(*serial);
+  for (int threads : {2, 4}) {
+    runtime::ThreadPool pool(threads);
+    stats::Rng rng(99);
+    const auto parallel =
+        EmpiricalModel::Build(SmallModelConfig(8), kLevel, rng, &pool);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(Serialized(*parallel), want) << "threads=" << threads;
+  }
+}
+
+TEST(ShardedEmpiricalBuildTest, ShardStreamsIgnoreRngPosition) {
+  // Shard streams fork from the rng's seed, so a pre-consumed rng builds
+  // the same tables — sharded builds are a pure function of (seed, config).
+  stats::Rng fresh(7);
+  stats::Rng consumed(7);
+  for (int i = 0; i < 1000; ++i) (void)consumed();
+  const auto a = EmpiricalModel::Build(SmallModelConfig(4), kLevel, fresh);
+  const auto b = EmpiricalModel::Build(SmallModelConfig(4), kLevel, consumed);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(Serialized(*a), Serialized(*b));
+}
+
+TEST(ShardedEmpiricalBuildTest, LegacySinglePathUnchanged) {
+  // num_shards = 1 must keep consuming the caller's rng in place — two
+  // sequential builds from one rng differ, matching pre-sharding behavior.
+  stats::Rng rng(3);
+  const auto first = EmpiricalModel::Build(SmallModelConfig(1), kLevel, rng);
+  const auto second = EmpiricalModel::Build(SmallModelConfig(1), kLevel, rng);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_NE(Serialized(*first), Serialized(*second));
+}
+
+TEST(EmpiricalTableMergeTest, RejectsGeometryMismatch) {
+  EmpiricalTable a(100.0, 10, 1000.0, 20);
+  EmpiricalTable b(100.0, 11, 1000.0, 20);
+  EmpiricalTable c(50.0, 10, 1000.0, 20);
+  EXPECT_FALSE(a.Merge(b).ok());
+  EXPECT_FALSE(a.Merge(c).ok());
+}
+
+TEST(EmpiricalTableMergeTest, MergeEqualsOnePass) {
+  EmpiricalTable whole(100.0, 10, 1000.0, 20);
+  EmpiricalTable left(100.0, 10, 1000.0, 20);
+  EmpiricalTable right(100.0, 10, 1000.0, 20);
+  stats::Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const double d_true = rng.UniformDouble(0.0, 1200.0);
+    const double d_obs = rng.UniformDouble(0.0, 1200.0);
+    whole.Add(d_true, d_obs);
+    (i % 2 == 0 ? left : right).Add(d_true, d_obs);
+  }
+  ASSERT_TRUE(left.Merge(right).ok());
+  std::ostringstream a, b;
+  whole.Serialize(a);
+  left.Serialize(b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(ModelCacheTest, SecondLookupIsServedFromMemory) {
+  ModelCache cache;
+  const auto first =
+      cache.GetOrBuild(SmallModelConfig(4), kLevel, kLevel, 123);
+  const auto second =
+      cache.GetOrBuild(SmallModelConfig(4), kLevel, kLevel, 123);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(first->get(), second->get());  // The exact same instance.
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ModelCacheTest, KeyCoversEveryBuildParameter) {
+  const auto base = SmallModelConfig(4);
+  const std::string key = ModelCache::KeyFor(base, kLevel, kLevel, 1);
+  EXPECT_NE(key, ModelCache::KeyFor(base, kLevel, kLevel, 2));
+  EXPECT_NE(key, ModelCache::KeyFor(base, {0.1, 800.0}, kLevel, 1));
+  EXPECT_NE(key, ModelCache::KeyFor(base, kLevel, {0.7, 200.0}, 1));
+  auto shards = base;
+  shards.num_shards = 8;
+  EXPECT_NE(key, ModelCache::KeyFor(shards, kLevel, kLevel, 1));
+  auto samples = base;
+  samples.num_samples = 30000;
+  EXPECT_NE(key, ModelCache::KeyFor(samples, kLevel, kLevel, 1));
+}
+
+TEST(ModelCacheTest, DistinctPrivacyLevelsGetDistinctModels) {
+  ModelCache cache;
+  const auto a = cache.GetOrBuild(SmallModelConfig(4), kLevel, kLevel, 5);
+  const auto b =
+      cache.GetOrBuild(SmallModelConfig(4), {0.1, 800.0}, {0.1, 800.0}, 5);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->get(), b->get());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().misses, 2);
+}
+
+TEST(ModelCacheTest, DiskLayerRoundTripsAcrossInstances) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "scguard_model_cache")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  ModelCache writer;
+  writer.set_cache_dir(dir);
+  const auto built = writer.GetOrBuild(SmallModelConfig(4), kLevel, kLevel, 9);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(writer.stats().misses, 1);
+
+  // A fresh cache (think: the next bench process) loads from disk.
+  ModelCache reader;
+  reader.set_cache_dir(dir);
+  const auto loaded = reader.GetOrBuild(SmallModelConfig(4), kLevel, kLevel, 9);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(reader.stats().disk_loads, 1);
+  EXPECT_EQ(reader.stats().misses, 0);
+  std::ostringstream a, b;
+  (*built)->Serialize(a);
+  (*loaded)->Serialize(b);
+  EXPECT_EQ(a.str(), b.str());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace scguard::reachability
