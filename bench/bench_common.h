@@ -17,6 +17,8 @@
 
 #include "assign/algorithms.h"
 #include "common/str_format.h"
+#include "obs/export.h"
+#include "obs/obs_config.h"
 #include "reachability/model_cache.h"
 #include "runtime/thread_pool.h"
 #include "sim/defaults.h"
@@ -28,12 +30,29 @@ namespace scguard::bench {
 using scguard::FormatDouble;
 using scguard::StrCat;
 
+/// Observability switch for the bench binaries: SCGUARD_OBS=1 turns the
+/// instrumentation layer on (stage-latency histograms, cache and engine
+/// counters land in the BENCH_<name>.json `metrics` block). Default off —
+/// the published numbers are from uninstrumented runs. Idempotent; every
+/// config entry point calls it.
+inline void InitObsFromEnv() {
+  static const bool initialized = [] {
+    const char* env = std::getenv("SCGUARD_OBS");
+    obs::ObsConfig config;
+    config.enabled = env != nullptr && env[0] == '1';
+    obs::SetConfig(config);
+    return true;
+  }();
+  (void)initialized;
+}
+
 /// The paper's experimental setup (Sec. V-A): 500 workers, 500 tasks,
 /// R_w ~ U[1000, 3000] m, averaged over 10 seeds, on one synthetic T-Drive
 /// day of 9,019 taxis. Seeds fan out across all hardware threads
 /// (config.runtime defaults to num_threads = 0); the reported numbers are
 /// bit-identical to the serial path — set num_threads = 1 to verify.
 inline sim::ExperimentConfig PaperConfig() {
+  InitObsFromEnv();
   sim::ExperimentConfig config;
   config.synth.num_taxis = 9019;
   config.synth.mean_trips_per_taxi = 12.0;
@@ -162,9 +181,15 @@ class JsonSeriesWriter {
           << ",\"recall\":" << p.m.recall
           << ",\"disclosures_per_task\":" << p.m.disclosures_per_task
           << ",\"u2e_seconds\":" << p.m.u2e_seconds
-          << ",\"total_seconds\":" << p.m.total_seconds << '}';
+          << ",\"total_seconds\":" << p.m.total_seconds
+          << ",\"seed_seconds_min\":" << p.m.seed_seconds_min
+          << ",\"seed_seconds_median\":" << p.m.seed_seconds_median
+          << ",\"seed_seconds_max\":" << p.m.seed_seconds_max << '}';
     }
-    out << "]}\n";
+    // Observability snapshot: counters, stage-latency percentiles, and
+    // span aggregates of this whole bench process (see EXPERIMENTS.md;
+    // "enabled":false means the values are all zero by construction).
+    out << "],\"metrics\":" << obs::SnapshotJson() << "}\n";
   }
 
  private:

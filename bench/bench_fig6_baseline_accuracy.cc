@@ -15,6 +15,7 @@ void Main() {
   config.workload.reach_max_m = 1400.0;
   const auto runner = OrDie(sim::ExperimentRunner::Create(config));
 
+  JsonSeriesWriter json("fig6_baseline_accuracy");
   sim::TablePrinter table(
       "Fig 6 — Oblivious U2U accuracy, eps=0.7, Rw=1400 m",
       {"metric", "r=200", "r=800", "r=1400", "r=2000"});
@@ -24,6 +25,7 @@ void Main() {
     assign::MatcherHandle handle =
         assign::MakeOblivious(assign::RankStrategy::kNearest, MakeParams(p));
     const auto agg = OrDie(runner.Run(handle, p, p));
+    json.Add("Oblivious-RN", r, agg);
     precision_row.push_back(agg.precision);
     recall_row.push_back(agg.recall);
   }

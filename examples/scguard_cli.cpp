@@ -5,10 +5,14 @@
 // Usage:
 //   scguard_cli [--algo NAME] [--eps E] [--r METERS] [--alpha A] [--beta B]
 //               [--workers N] [--tasks N] [--seeds N] [--trips FILE.csv]
+//               [--json]
 //
 //   --algo: ground-truth-rr | ground-truth-nn | oblivious-rr | oblivious-rn
 //           | probabilistic-model | probabilistic-data   (default: model)
 //   --trips: 7-column CSV (see data/csv_loader.h); synthetic day if absent.
+//   --json: print the metrics table as one JSON object instead of text
+//           (sim::TablePrinter::PrintJson — the same shape the benches
+//           emit), for piping into jq or downstream tooling.
 //
 // Example:
 //   ./build/examples/scguard_cli --algo probabilistic-model --eps 0.4 --r 800
@@ -37,6 +41,7 @@ struct CliOptions {
   int tasks = 500;
   int seeds = 10;
   std::string trips_path;
+  bool json = false;
 };
 
 Result<CliOptions> ParseArgs(int argc, char** argv) {
@@ -74,6 +79,8 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       options.seeds = std::stoi(v);
     } else if (flag == "--trips") {
       SCGUARD_ASSIGN_OR_RETURN(options.trips_path, next());
+    } else if (flag == "--json") {
+      options.json = true;
     } else if (flag == "--help" || flag == "-h") {
       return Status::InvalidArgument("help requested");
     } else {
@@ -153,7 +160,11 @@ Status RunCli(const CliOptions& options) {
   table.AddRow({"U2U precision", FormatDouble(agg.precision, 3)});
   table.AddRow({"U2U recall", FormatDouble(agg.recall, 3)});
   table.AddRow({"disclosures per assigned", FormatDouble(agg.disclosures_per_task, 2)});
-  table.Print(std::cout);
+  if (options.json) {
+    table.PrintJson(std::cout);
+  } else {
+    table.Print(std::cout);
+  }
   return Status::OK();
 }
 
@@ -165,7 +176,8 @@ int main(int argc, char** argv) {
     std::cerr << options.status().message() << "\n\n"
               << "usage: scguard_cli [--algo NAME] [--eps E] [--r METERS]\n"
               << "                   [--alpha A] [--beta B] [--workers N]\n"
-              << "                   [--tasks N] [--seeds N] [--trips FILE]\n";
+              << "                   [--tasks N] [--seeds N] [--trips FILE]\n"
+              << "                   [--json]\n";
     return options.status().message() == "help requested" ? 0 : 2;
   }
   const scguard::Status status = RunCli(*options);

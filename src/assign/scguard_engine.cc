@@ -7,6 +7,8 @@
 
 #include "common/check.h"
 #include "common/str_format.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace scguard::assign {
 namespace {
@@ -16,6 +18,48 @@ using Clock = std::chrono::steady_clock;
 double Elapsed(Clock::time_point since) {
   return std::chrono::duration<double>(Clock::now() - since).count();
 }
+
+/// The engine's metric set (DESIGN.md §7), resolved once per process.
+/// Counts are accumulated in plain locals during a run and flushed with
+/// one Increment each at the end, so the per-worker hot loop never
+/// touches an atomic; stage histograms additionally cost two clock reads
+/// per task per stage, gated on obs::Enabled().
+struct EngineObs {
+  obs::Counter* tasks;
+  obs::Counter* assigned_tasks;
+  obs::Counter* assignments;
+  obs::Counter* candidates;
+  obs::Counter* workers_evaluated;
+  obs::Counter* workers_pruned;
+  obs::Counter* alpha_rejections;
+  obs::Counter* beta_cancels;
+  obs::Counter* disclosures;
+  obs::Counter* false_hits;
+  obs::Counter* false_dismissals;
+  obs::Histogram* u2u_seconds;
+  obs::Histogram* u2e_seconds;
+  obs::Histogram* e2e_seconds;
+
+  static const EngineObs& Get() {
+    auto& registry = obs::MetricsRegistry::Global();
+    static const EngineObs o = {
+        registry.GetCounter("scguard.engine.tasks"),
+        registry.GetCounter("scguard.engine.assigned_tasks"),
+        registry.GetCounter("scguard.engine.assignments"),
+        registry.GetCounter("scguard.engine.candidates"),
+        registry.GetCounter("scguard.engine.workers_evaluated"),
+        registry.GetCounter("scguard.engine.workers_pruned"),
+        registry.GetCounter("scguard.engine.alpha_rejections"),
+        registry.GetCounter("scguard.engine.beta_cancels"),
+        registry.GetCounter("scguard.engine.disclosures"),
+        registry.GetCounter("scguard.engine.false_hits"),
+        registry.GetCounter("scguard.engine.false_dismissals"),
+        registry.GetHistogram("scguard.engine.u2u_seconds"),
+        registry.GetHistogram("scguard.engine.u2e_seconds"),
+        registry.GetHistogram("scguard.engine.e2e_seconds")};
+    return o;
+  }
+};
 
 }  // namespace
 
@@ -36,6 +80,16 @@ std::string ScGuardEngine::name() const {
 }
 
 MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
+  // Observation never perturbs the protocol: no RNG draws, no reordering
+  // — the bit-identity test in tests/obs_test.cc holds the engine to it.
+  const bool obs_on = obs::Enabled();
+  const obs::Span run_span("engine.run");
+  const EngineObs& eo = EngineObs::Get();
+  int64_t obs_evaluated = 0;       // Workers the U2U filter actually scored.
+  int64_t obs_alpha_rejections = 0;  // Scored but below alpha.
+  int64_t obs_beta_cancels = 0;
+  int64_t obs_pruned = 0;          // Skipped entirely by the pruning index.
+
   const auto run_start = Clock::now();
   MatchResult result;
   RunMetrics& m = result.metrics;
@@ -77,24 +131,37 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
   for (const Task& task : workload.tasks) {
     // ---- Stage 1: U2U (server) -------------------------------------
     // Server sees only noisy locations and the workers' reach radii.
+    Clock::time_point stage_start;
+    if (obs_on) stage_start = Clock::now();
     candidates.clear();
+    int64_t evaluated = 0;
     auto consider = [&](size_t i) {
       if (matched[i]) return;
+      ++evaluated;
       const Worker& w = workload.workers[i];
       const double d_obs =
           geo::Distance(w.noisy_location, task.noisy_location);
       const double p = policy_.u2u_model->ProbReachable(
           reachability::Stage::kU2U, d_obs, w.reach_radius_m);
-      if (p >= policy_.alpha) candidates.push_back(i);
+      if (p >= policy_.alpha) {
+        candidates.push_back(i);
+      } else {
+        ++obs_alpha_rejections;
+      }
     };
     if (pruner != nullptr) {
+      int64_t index_hits = 0;
       for (int64_t id : pruner->Candidates(task.noisy_location)) {
+        ++index_hits;
         consider(static_cast<size_t>(id));
       }
+      obs_pruned += static_cast<int64_t>(n) - index_hits;
       std::sort(candidates.begin(), candidates.end());  // Determinism.
     } else {
       for (size_t i : scan_order) consider(i);
     }
+    obs_evaluated += evaluated;
+    if (obs_on) eo.u2u_seconds->Observe(Elapsed(stage_start));
     m.candidates_sum += static_cast<int64_t>(candidates.size());
     m.server_to_requester_msgs += 1;
 
@@ -154,9 +221,14 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
       if (a.first != b.first) return a.first > b.first;
       return a.second < b.second;  // Stable tie-break for determinism.
     });
-    m.u2e_seconds += Elapsed(u2e_start);
+    {
+      const double u2e_elapsed = Elapsed(u2e_start);
+      m.u2e_seconds += u2e_elapsed;
+      if (obs_on) eo.u2e_seconds->Observe(u2e_elapsed);
+    }
 
     // ---- Stage 3: E2E (workers), interleaved with U2E re-ranking ----
+    if (obs_on) stage_start = Clock::now();
     int accepted = 0;
     size_t next = 0;
     bool cancelled = false;
@@ -170,6 +242,7 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
           (policy_.beta_mode == BetaMode::kEveryContact || next == 1);
       if (beta_applies && score < policy_.beta) {
         cancelled = true;
+        ++obs_beta_cancels;
         break;
       }
       // Requester sends the exact task location to the worker: this is
@@ -188,6 +261,7 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
         m.false_hits += 1;
       }
     }
+    if (obs_on) eo.e2e_seconds->Observe(Elapsed(stage_start));
     if (accepted >= policy_.redundancy_k) {
       m.assigned_tasks += 1;
     } else {
@@ -205,6 +279,19 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
   }
 
   m.total_seconds = Elapsed(run_start);
+
+  // One atomic flush per counter per run; no-ops while disabled.
+  eo.tasks->Increment(m.num_tasks);
+  eo.assigned_tasks->Increment(m.assigned_tasks);
+  eo.assignments->Increment(m.accepted_assignments);
+  eo.candidates->Increment(m.candidates_sum);
+  eo.workers_evaluated->Increment(obs_evaluated);
+  eo.workers_pruned->Increment(obs_pruned);
+  eo.alpha_rejections->Increment(obs_alpha_rejections);
+  eo.beta_cancels->Increment(obs_beta_cancels);
+  eo.disclosures->Increment(m.requester_to_worker_msgs);
+  eo.false_hits->Increment(m.false_hits);
+  eo.false_dismissals->Increment(m.false_dismissals);
   return result;
 }
 

@@ -29,6 +29,10 @@ std::string_view StripAsciiWhitespace(std::string_view text);
 /// zeros beyond that ("12.50" with digits=2).
 std::string FormatDouble(double value, int digits);
 
+/// Escapes `text` for use inside a JSON string literal (quotes, backslash,
+/// and control characters; the surrounding quotes are the caller's).
+std::string JsonEscape(std::string_view text);
+
 }  // namespace scguard
 
 #endif  // SCGUARD_COMMON_STR_FORMAT_H_

@@ -1,0 +1,27 @@
+#ifndef SCGUARD_OBS_EXPORT_H_
+#define SCGUARD_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace scguard::obs {
+
+/// One JSON object covering the whole observability state — the `metrics`
+/// block benches embed in `BENCH_<name>.json`:
+///   {"enabled":true,"counters":{...},"gauges":{...},
+///    "histograms":{...},"spans":{...}}
+std::string SnapshotJson();
+
+/// Prometheus text exposition of the global registry plus the tracer's
+/// span aggregates (exported as `scguard_span_seconds_total{path="..."}`).
+std::string PrometheusText();
+
+/// Zeroes the global registry and tracer. Benches call this between
+/// phases to report per-phase deltas; tests call it for isolation.
+void ResetGlobal();
+
+}  // namespace scguard::obs
+
+#endif  // SCGUARD_OBS_EXPORT_H_

@@ -1,0 +1,246 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/str_format.h"
+
+namespace scguard::obs {
+namespace internal {
+
+int ShardIndex() {
+  static std::atomic<int> next{0};
+  thread_local const int shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kNumShards;
+  return shard;
+}
+
+}  // namespace internal
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted scheme maps
+/// '.'/'-' to '_' and drops anything else exotic.
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    if (c == '.' || c == '-') {
+      out += '_';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string FullPrecision(double v) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      cells_(static_cast<size_t>(kNumShards) * (bounds_.size() + 1)) {
+  SCGUARD_CHECK(!bounds_.empty());
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    SCGUARD_CHECK(bounds_[i] > bounds_[i - 1]);
+  }
+}
+
+std::vector<double> Histogram::DefaultLatencyBounds() {
+  std::vector<double> bounds;
+  for (double decade = 1e-6; decade < 1e2; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(2.0 * decade);
+    bounds.push_back(5.0 * decade);
+  }
+  bounds.push_back(1e2);
+  return bounds;
+}
+
+void Histogram::Observe(double v) {
+  if (!Enabled()) return;
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  const size_t shard = static_cast<size_t>(internal::ShardIndex());
+  cells_[shard * (bounds_.size() + 1) + bucket].fetch_add(
+      1, std::memory_order_relaxed);
+  sums_[shard].value.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  const size_t num_buckets = bounds_.size() + 1;
+  std::vector<int64_t> counts(num_buckets, 0);
+  for (size_t shard = 0; shard < static_cast<size_t>(kNumShards); ++shard) {
+    for (size_t b = 0; b < num_buckets; ++b) {
+      counts[b] +=
+          cells_[shard * num_buckets + b].load(std::memory_order_relaxed);
+    }
+  }
+  return counts;
+}
+
+int64_t Histogram::Count() const {
+  int64_t total = 0;
+  for (const int64_t c : BucketCounts()) total += c;
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (const auto& cell : sums_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const std::vector<int64_t> counts = BucketCounts();
+  int64_t total = 0;
+  for (const int64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+
+  const double rank = q * static_cast<double>(total);
+  int64_t cumulative = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const int64_t next = cumulative + counts[b];
+    if (static_cast<double>(next) >= rank) {
+      if (b >= bounds_.size()) return bounds_.back();  // Overflow bucket.
+      const double lo = b == 0 ? 0.0 : bounds_[b - 1];
+      const double hi = bounds_[b];
+      const double within =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(counts[b]);
+      return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return bounds_.back();
+}
+
+void Histogram::Reset() {
+  for (auto& cell : cells_) cell.store(0, std::memory_order_relaxed);
+  for (auto& cell : sums_) cell.value.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    if (bounds.empty()) bounds = Histogram::DefaultLatencyBounds();
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramStats stats;
+    stats.count = histogram->Count();
+    stats.sum = histogram->Sum();
+    stats.p50 = histogram->Quantile(0.50);
+    stats.p95 = histogram->Quantile(0.95);
+    stats.p99 = histogram->Quantile(0.99);
+    snapshot.histograms[name] = stats;
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << JsonEscape(name) << "\":" << value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << JsonEscape(name) << "\":" << value;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << JsonEscape(name) << "\":{\"count\":" << h.count
+       << ",\"sum\":" << h.sum << ",\"p50\":" << h.p50 << ",\"p95\":" << h.p95
+       << ",\"p99\":" << h.p99 << '}';
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters) {
+    const std::string prom = PrometheusName(name);
+    os << "# TYPE " << prom << " counter\n" << prom << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string prom = PrometheusName(name);
+    os << "# TYPE " << prom << " gauge\n"
+       << prom << ' ' << FullPrecision(value) << '\n';
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string prom = PrometheusName(name);
+    os << "# TYPE " << prom << " summary\n";
+    os << prom << "{quantile=\"0.5\"} " << FullPrecision(h.p50) << '\n';
+    os << prom << "{quantile=\"0.95\"} " << FullPrecision(h.p95) << '\n';
+    os << prom << "{quantile=\"0.99\"} " << FullPrecision(h.p99) << '\n';
+    os << prom << "_sum " << FullPrecision(h.sum) << '\n';
+    os << prom << "_count " << h.count << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace scguard::obs

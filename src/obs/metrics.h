@@ -1,0 +1,208 @@
+#ifndef SCGUARD_OBS_METRICS_H_
+#define SCGUARD_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/obs_config.h"
+
+namespace scguard::obs {
+
+/// Number of independent atomic cells each metric spreads its updates
+/// over. Threads are assigned cells round-robin, so update contention on
+/// a hot counter scales down by ~kNumShards; reads merge all cells.
+inline constexpr int kNumShards = 8;
+
+namespace internal {
+/// This thread's fixed shard index in [0, kNumShards).
+int ShardIndex();
+
+/// One cache line per cell so shards never false-share.
+struct alignas(64) CounterCell {
+  std::atomic<int64_t> value{0};
+};
+
+struct alignas(64) DoubleCell {
+  std::atomic<double> value{0.0};
+};
+}  // namespace internal
+
+/// A monotonically increasing integer metric. Updates are relaxed adds to
+/// a per-thread shard; `Value()` is the exact sum of all increments ever
+/// applied (int64 addition is order-free, so totals are deterministic
+/// whenever the increment count is — the determinism contract benches and
+/// tests rely on).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  /// No-op unless observability is enabled. `n` may be any non-negative
+  /// delta; the common case is 1.
+  void Increment(int64_t n = 1) {
+    if (!Enabled()) return;
+    cells_[static_cast<size_t>(internal::ShardIndex())].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  /// Merged total across shards.
+  int64_t Value() const {
+    int64_t total = 0;
+    for (const auto& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Zeroes every shard. Not atomic with respect to concurrent updates.
+  void Reset() {
+    for (auto& cell : cells_) cell.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<internal::CounterCell, kNumShards> cells_;
+};
+
+/// A point-in-time double metric (queue depth, epsilon spent). `Set`
+/// last-writer-wins; `Add` accumulates. Unsharded: gauges are not hot
+/// enough to need it, and last-writer semantics shard poorly anyway.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double v) {
+    if (!Enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+
+  void Add(double delta) {
+    if (!Enabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// A fixed-bucket histogram over doubles with sharded atomic bucket
+/// counts. Bucket i counts observations <= bounds[i] (and > bounds[i-1]);
+/// one implicit overflow bucket catches the rest. Quantiles are estimated
+/// by linear interpolation inside the owning bucket, so precision is set
+/// by the bucket grid, not the observation count.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Default grid for latencies in seconds: 1-2-5 decades from 1 us to
+  /// 100 s — wide enough for a per-task stage and a whole bench run.
+  static std::vector<double> DefaultLatencyBounds();
+
+  /// No-op unless observability is enabled.
+  void Observe(double v);
+
+  int64_t Count() const;
+  double Sum() const;
+
+  /// Estimated q-quantile, q in [0, 1]; 0 when empty. Observations in the
+  /// overflow bucket clamp to the largest finite bound.
+  double Quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Merged per-bucket counts (bounds().size() + 1 entries, the last
+  /// being the overflow bucket).
+  std::vector<int64_t> BucketCounts() const;
+
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  /// cells_[shard * num_buckets + bucket]. Rows are contiguous per shard,
+  /// so two shards only share a cache line at row boundaries; per-shard
+  /// sums are fully padded.
+  std::vector<std::atomic<int64_t>> cells_;
+  std::array<internal::DoubleCell, kNumShards> sums_;
+};
+
+/// Read-only view of every registered metric at one instant, sorted by
+/// name. Counters merge exactly; histogram stats are computed from the
+/// merged buckets.
+struct MetricsSnapshot {
+  struct HistogramStats {
+    int64_t count = 0;
+    double sum = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramStats> histograms;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string ToJson() const;
+
+  /// Prometheus text exposition: counters and gauges as-is, histograms as
+  /// summaries (quantile-labeled samples plus _sum/_count). Metric names
+  /// map '.' and '-' to '_'.
+  std::string ToPrometheus() const;
+};
+
+/// The process-wide name -> metric table. Lookup is a mutex-protected map
+/// probe; instruments therefore resolve their metrics once (per object or
+/// per run), never per update. Returned pointers are stable for the
+/// registry's lifetime — metrics are never erased.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The instance all in-tree instrumentation uses. Never destroyed, so
+  /// metric pointers cached in static storage stay valid at exit.
+  static MetricsRegistry& Global();
+
+  /// Finds or creates. Names follow `scguard.<subsystem>.<name>`
+  /// (DESIGN.md §7). Valid (and usable as no-ops) even while disabled.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+
+  /// `bounds` applies only on first creation (empty = default latency
+  /// grid); later callers get the existing histogram unchanged.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric (registrations stay). For tests and benches that
+  /// want per-phase deltas.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
+  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace scguard::obs
+
+#endif  // SCGUARD_OBS_METRICS_H_

@@ -1,0 +1,44 @@
+#ifndef SCGUARD_OBS_OBS_CONFIG_H_
+#define SCGUARD_OBS_OBS_CONFIG_H_
+
+#include <atomic>
+
+namespace scguard::obs {
+
+/// The single gate for every piece of instrumentation in the tree.
+///
+/// Contract (DESIGN.md §7): with `enabled == false` every metric update
+/// and span degrades to one relaxed atomic load plus a predicted-not-taken
+/// branch — no clock reads, no locks, no allocation — so uninstrumented
+/// runs pay effectively nothing. With `enabled == true` instrumentation
+/// may read clocks and touch sharded atomics but must never perturb RNG
+/// streams, assignment results, or empirical tables: observation is
+/// side-effect-free by construction.
+struct ObsConfig {
+  bool enabled = false;
+};
+
+namespace internal {
+/// The process-wide gate flag. Relaxed is enough: callers only need a
+/// monotonic-ish view, not ordering against the data they instrument.
+inline std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+}  // namespace internal
+
+/// Installs `config` process-wide. Typically called once at startup
+/// (benches read SCGUARD_OBS=1); toggling mid-run is safe but updates
+/// in flight on other threads may straddle the change.
+inline void SetConfig(const ObsConfig& config) {
+  internal::EnabledFlag().store(config.enabled, std::memory_order_relaxed);
+}
+
+/// The hot-path check every instrument performs first.
+inline bool Enabled() {
+  return internal::EnabledFlag().load(std::memory_order_relaxed);
+}
+
+}  // namespace scguard::obs
+
+#endif  // SCGUARD_OBS_OBS_CONFIG_H_

@@ -1,0 +1,93 @@
+#include "obs/trace.h"
+
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "common/str_format.h"
+
+namespace scguard::obs {
+namespace {
+
+/// The calling thread's stack of open span labels. Spans are strictly
+/// nested per thread (RAII guarantees it), so a plain vector suffices.
+std::vector<std::string>& ThreadPathStack() {
+  thread_local std::vector<std::string> stack;
+  return stack;
+}
+
+std::string JoinedPath(const std::vector<std::string>& stack) {
+  std::string path;
+  for (size_t i = 0; i < stack.size(); ++i) {
+    if (i > 0) path += '/';
+    path += stack[i];
+  }
+  return path;
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Record(const std::string& path, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanStats& stats = spans_[path];
+  if (stats.count == 0) {
+    stats.min_seconds = seconds;
+    stats.max_seconds = seconds;
+  } else {
+    stats.min_seconds = std::min(stats.min_seconds, seconds);
+    stats.max_seconds = std::max(stats.max_seconds, seconds);
+  }
+  stats.count += 1;
+  stats.total_seconds += seconds;
+}
+
+std::map<std::string, Tracer::SpanStats> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::string Tracer::ToJson() const {
+  const auto snapshot = Snapshot();
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << '{';
+  bool first = true;
+  for (const auto& [path, stats] : snapshot) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << JsonEscape(path) << "\":{\"count\":" << stats.count
+       << ",\"total_seconds\":" << stats.total_seconds
+       << ",\"min_seconds\":" << stats.min_seconds
+       << ",\"max_seconds\":" << stats.max_seconds << '}';
+  }
+  os << '}';
+  return os.str();
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+Span::Span(std::string_view label) : active_(Enabled()) {
+  if (!active_) return;
+  ThreadPathStack().emplace_back(label);
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  auto& stack = ThreadPathStack();
+  Tracer::Global().Record(JoinedPath(stack), seconds);
+  stack.pop_back();
+}
+
+}  // namespace scguard::obs

@@ -1,0 +1,81 @@
+#ifndef SCGUARD_OBS_TRACE_H_
+#define SCGUARD_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/obs_config.h"
+
+namespace scguard::obs {
+
+/// Aggregated timing of every completed span, keyed by the span's full
+/// nesting path ("sim.run/engine.run/engine.u2u"). Aggregation instead of
+/// an event log keeps memory bounded and the per-span cost flat no matter
+/// how long a bench runs; the path encodes the nesting shape, so exports
+/// still reconstruct the tree.
+///
+/// Thread-safety: `Record` takes one mutex per span *end* (span begin is
+/// lock-free), which is cheap at the granularity spans are meant for —
+/// protocol stages and whole runs, not per-candidate loops. Span counts
+/// are deterministic for a fixed configuration; durations of course are
+/// not.
+class Tracer {
+ public:
+  struct SpanStats {
+    int64_t count = 0;
+    double total_seconds = 0.0;
+    double min_seconds = 0.0;
+    double max_seconds = 0.0;
+  };
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The instance Span records into. Never destroyed.
+  static Tracer& Global();
+
+  /// Merges one completed span into the aggregate for `path`.
+  void Record(const std::string& path, double seconds);
+
+  /// Copy of the aggregates, sorted by path.
+  std::map<std::string, SpanStats> Snapshot() const;
+
+  /// {"<path>":{"count":..,"total_seconds":..,"min_seconds":..,
+  ///  "max_seconds":..}, ...} sorted by path.
+  std::string ToJson() const;
+
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, SpanStats> spans_;
+};
+
+/// RAII timed region. Construction pushes `label` onto a thread-local
+/// path stack and reads the clock; destruction pops and records the
+/// duration under the '/'-joined path of enclosing labels. Everything is
+/// a no-op when observability is disabled at construction time.
+///
+/// Labels must be stable literals following `<subsystem>.<region>`
+/// (DESIGN.md §7); dynamic strings would explode the aggregate key space.
+class Span {
+ public:
+  explicit Span(std::string_view label);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  bool active_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace scguard::obs
+
+#endif  // SCGUARD_OBS_TRACE_H_

@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/str_format.h"
+#include "obs/metrics.h"
 
 namespace scguard::privacy {
 
@@ -9,6 +10,26 @@ namespace {
 // Tolerance for floating-point budget comparisons: spending exactly the
 // remaining budget must succeed.
 constexpr double kSlack = 1e-12;
+
+// Cross-ledger budget telemetry (DESIGN.md §7): cumulative epsilon
+// granted process-wide plus how often ledgers said no — the two numbers
+// the dynamic-worker privacy evaluations track. No-ops while disabled.
+struct BudgetTelemetry {
+  obs::Counter* spends;
+  obs::Counter* refused_spends;
+  obs::Gauge* epsilon_spent;
+
+  static const BudgetTelemetry& Get() {
+    static const BudgetTelemetry t = {
+        obs::MetricsRegistry::Global().GetCounter(
+            "scguard.privacy.budget.spends"),
+        obs::MetricsRegistry::Global().GetCounter(
+            "scguard.privacy.budget.refused_spends"),
+        obs::MetricsRegistry::Global().GetGauge(
+            "scguard.privacy.budget.epsilon_spent")};
+    return t;
+  }
+};
 }  // namespace
 
 BudgetLedger::BudgetLedger(double total_epsilon) : total_(total_epsilon) {
@@ -20,11 +41,14 @@ Status BudgetLedger::Spend(double epsilon) {
     return Status::InvalidArgument("epsilon to spend must be positive");
   }
   if (!CanSpend(epsilon)) {
+    BudgetTelemetry::Get().refused_spends->Increment();
     return Status::FailedPrecondition(
         StrCat("privacy budget exhausted: spent ", spent_, " of ", total_,
                ", requested ", epsilon));
   }
   spent_ += epsilon;
+  BudgetTelemetry::Get().spends->Increment();
+  BudgetTelemetry::Get().epsilon_spent->Add(epsilon);
   return Status::OK();
 }
 

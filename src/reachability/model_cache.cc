@@ -6,10 +6,31 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/rng.h"
 
 namespace scguard::reachability {
 namespace {
+
+/// Registry mirrors of CacheStats. The struct accessor (`stats()`) is the
+/// source of truth and works with observability disabled; these exist so
+/// cache behavior shows up in bench `metrics` blocks and Prometheus dumps
+/// without polling every cache instance.
+struct CacheCounters {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* disk_loads;
+
+  static const CacheCounters& Get() {
+    static const CacheCounters counters = {
+        obs::MetricsRegistry::Global().GetCounter("scguard.model_cache.hits"),
+        obs::MetricsRegistry::Global().GetCounter("scguard.model_cache.misses"),
+        obs::MetricsRegistry::Global().GetCounter(
+            "scguard.model_cache.disk_loads")};
+    return counters;
+  }
+};
 
 // FNV-1a 64-bit, for the cache filename only (the file itself stores the
 // full key, so collisions degrade to a rebuild, never a wrong model).
@@ -75,6 +96,7 @@ Result<std::shared_ptr<const EmpiricalModel>> ModelCache::GetOrBuild(
     const auto it = models_.find(key);
     if (it != models_.end()) {
       ++stats_.hits;
+      CacheCounters::Get().hits->Increment();
       return it->second;
     }
     cache_dir = cache_dir_;
@@ -97,6 +119,7 @@ Result<std::shared_ptr<const EmpiricalModel>> ModelCache::GetOrBuild(
   }
 
   if (model == nullptr) {
+    obs::Span build_span("model_cache.build");
     stats::Rng rng(build_seed);
     SCGUARD_ASSIGN_OR_RETURN(
         EmpiricalModel built,
@@ -119,8 +142,10 @@ Result<std::shared_ptr<const EmpiricalModel>> ModelCache::GetOrBuild(
   std::lock_guard<std::mutex> lock(mu_);
   if (from_disk) {
     ++stats_.disk_loads;
+    CacheCounters::Get().disk_loads->Increment();
   } else {
     ++stats_.misses;
+    CacheCounters::Get().misses->Increment();
   }
   // First insert wins so every caller shares one instance.
   const auto [it, inserted] = models_.emplace(key, std::move(model));

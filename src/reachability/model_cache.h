@@ -60,6 +60,12 @@ class ModelCache {
   void Clear();
 
   size_t size() const;
+
+  /// Lifetime hit/miss/disk-load counts of this cache instance. Always
+  /// live — the struct is maintained unconditionally, independent of the
+  /// obs::MetricsRegistry gate (which only mirrors these counts as
+  /// `scguard.model_cache.*` when observability is enabled), so cache
+  /// behavior is verifiable at runtime even in uninstrumented builds.
   CacheStats stats() const;
 
   /// The exact cache key of a build request (exposed for tests; doubles

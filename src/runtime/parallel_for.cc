@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 #include "runtime/task_group.h"
 
 namespace scguard::runtime {
@@ -15,6 +16,19 @@ Status ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
   if (begin >= end) return Status::OK();
   SCGUARD_CHECK(grain > 0);
   const int64_t num_chunks = (end - begin + grain - 1) / grain;
+
+  // Function-local statics: the registry lookup happens once per process,
+  // updates are no-ops while observability is disabled.
+  static obs::Counter* const chunks_counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "scguard.runtime.parallel_for.chunks");
+  static obs::Counter* const serial_counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "scguard.runtime.parallel_for.serial_sections");
+  static obs::Counter* const parallel_counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "scguard.runtime.parallel_for.parallel_sections");
+  chunks_counter->Increment(num_chunks);
   const auto chunk_bounds = [&](int64_t c) {
     const int64_t lo = begin + c * grain;
     return std::pair<int64_t, int64_t>{lo, std::min(end, lo + grain)};
@@ -23,6 +37,7 @@ Status ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
   const bool serial = pool == nullptr || pool->num_threads() <= 1 ||
                       num_chunks == 1 || ThreadPool::InWorkerThread();
   if (serial) {
+    serial_counter->Increment();
     for (int64_t c = 0; c < num_chunks; ++c) {
       const auto [lo, hi] = chunk_bounds(c);
       // Early exit is safe: the first failure is by definition the
@@ -31,6 +46,8 @@ Status ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
     }
     return Status::OK();
   }
+
+  parallel_counter->Increment();
 
   // Dynamic chunk claiming: threads race for chunk indices, but every
   // result lands in its chunk's slot, so the reduction below is

@@ -1,5 +1,6 @@
 #include "runtime/thread_pool.h"
 
+#include <chrono>
 #include <utility>
 
 #include "common/check.h"
@@ -13,7 +14,13 @@ thread_local bool tls_in_pool_worker = false;
 
 }  // namespace
 
-ThreadPool::ThreadPool(int num_threads) {
+ThreadPool::ThreadPool(int num_threads)
+    : tasks_executed_(obs::MetricsRegistry::Global().GetCounter(
+          "scguard.runtime.tasks_executed")),
+      queue_depth_(obs::MetricsRegistry::Global().GetGauge(
+          "scguard.runtime.queue_depth")),
+      wait_seconds_(obs::MetricsRegistry::Global().GetHistogram(
+          "scguard.runtime.wait_seconds")) {
   SCGUARD_CHECK(num_threads >= 1);
   threads_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
@@ -36,6 +43,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mu_);
     SCGUARD_CHECK(!stop_);  // Submitting during destruction is a bug.
     queue_.push_back(std::move(task));
+    queue_depth_->Set(static_cast<double>(queue_.size()));
   }
   cv_.notify_one();
 }
@@ -46,12 +54,24 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      const auto ready = [this] { return stop_ || !queue_.empty(); };
+      if (!ready() && obs::Enabled()) {
+        // Idle time: how long this worker sat starved for work.
+        const auto wait_start = std::chrono::steady_clock::now();
+        cv_.wait(lock, ready);
+        wait_seconds_->Observe(std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - wait_start)
+                                   .count());
+      } else {
+        cv_.wait(lock, ready);
+      }
       if (queue_.empty()) return;  // stop_ set and nothing left to run.
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_->Set(static_cast<double>(queue_.size()));
     }
     task();
+    tasks_executed_->Increment();
   }
 }
 

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "runtime/runtime_options.h"
 
 namespace scguard::runtime {
@@ -53,6 +54,12 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
   std::vector<std::thread> threads_;
+
+  // Telemetry (DESIGN.md §7); resolved once at construction, every update
+  // is a no-op while observability is disabled.
+  obs::Counter* tasks_executed_;
+  obs::Gauge* queue_depth_;
+  obs::Histogram* wait_seconds_;
 };
 
 /// Builds the pool described by `options`: nullptr when the resolved

@@ -1,9 +1,13 @@
 #include "sim/experiment.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <utility>
 
 #include "data/beijing.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/parallel_for.h"
 
 namespace scguard::sim {
@@ -89,18 +93,21 @@ Result<assign::Workload> ExperimentRunner::MakeWorkload(
 Result<AggregatedMetrics> ExperimentRunner::Run(
     assign::MatcherHandle& handle, const privacy::PrivacyParams& worker_params,
     const privacy::PrivacyParams& task_params) const {
+  const obs::Span run_span("sim.run");
   // Seed fan-out: every seed derives its own Rng streams from base_seed,
   // builds its own workload, and writes its metrics into its own slot, so
   // the aggregate below — a seed-ordered reduction — is bit-identical for
   // any thread count. Timing fields (u2e/total seconds) are the only
   // metrics that vary run to run, parallel or not.
   std::vector<assign::RunMetrics> runs(static_cast<size_t>(config_.num_seeds));
+  std::vector<double> seed_seconds(static_cast<size_t>(config_.num_seeds));
   const std::unique_ptr<runtime::ThreadPool> pool =
       runtime::MakePool(config_.runtime);
   const Status st = runtime::ParallelFor(
       pool.get(), 0, config_.num_seeds, /*grain=*/1,
       [&](int64_t lo, int64_t hi) -> Status {
         for (int64_t seed = lo; seed < hi; ++seed) {
+          const auto seed_start = std::chrono::steady_clock::now();
           SCGUARD_ASSIGN_OR_RETURN(
               const assign::Workload workload,
               MakeWorkload(static_cast<int>(seed), worker_params, task_params));
@@ -109,11 +116,39 @@ Result<AggregatedMetrics> ExperimentRunner::Run(
           stats::Rng match_rng = root.Fork(3);  // Random ranks, shared per seed.
           runs[static_cast<size_t>(seed)] =
               handle.Run(workload, match_rng).metrics;
+          seed_seconds[static_cast<size_t>(seed)] =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            seed_start)
+                  .count();
         }
         return Status::OK();
       });
   SCGUARD_RETURN_NOT_OK(st);
-  return Aggregate(runs);
+
+  AggregatedMetrics agg = Aggregate(runs);
+  // Per-seed wall-clock summary (and the scguard.sim.seed_seconds
+  // histogram when observability is on). Previously this timing was
+  // simply dropped, which made "which seed is slow" unanswerable.
+  {
+    obs::Counter* const seeds_counter =
+        obs::MetricsRegistry::Global().GetCounter("scguard.sim.seeds_run");
+    obs::Histogram* const seed_histogram =
+        obs::MetricsRegistry::Global().GetHistogram(
+            "scguard.sim.seed_seconds");
+    seeds_counter->Increment(config_.num_seeds);
+    if (obs::Enabled()) {
+      for (const double s : seed_seconds) seed_histogram->Observe(s);
+    }
+    std::vector<double> sorted = seed_seconds;
+    std::sort(sorted.begin(), sorted.end());
+    agg.seed_seconds_min = sorted.front();
+    agg.seed_seconds_max = sorted.back();
+    const size_t mid = sorted.size() / 2;
+    agg.seed_seconds_median = sorted.size() % 2 == 1
+                                  ? sorted[mid]
+                                  : 0.5 * (sorted[mid - 1] + sorted[mid]);
+  }
+  return agg;
 }
 
 Result<AggregatedMetrics> ExperimentRunner::RunFactory(

@@ -45,6 +45,12 @@ struct AggregatedMetrics {
   double assigned_tasks_stddev = 0;
   double travel_m_stddev = 0;
   int seeds = 0;
+  /// Per-seed wall-clock (workload build + matcher run) distribution —
+  /// min / median / max over the seeds. Filled by ExperimentRunner::Run;
+  /// zero when metrics were aggregated directly via Aggregate().
+  double seed_seconds_min = 0;
+  double seed_seconds_median = 0;
+  double seed_seconds_max = 0;
 };
 
 /// Means the per-run metrics (each already internally averaged where the

@@ -52,4 +52,23 @@ void TablePrinter::Print(std::ostream& os) const {
   for (const auto& row : rows_) print_row(row);
 }
 
+void TablePrinter::PrintJson(std::ostream& os) const {
+  const auto print_cells = [&os](const std::vector<std::string>& cells) {
+    os << '[';
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ',';
+      os << '"' << JsonEscape(cells[c]) << '"';
+    }
+    os << ']';
+  };
+  os << "{\"title\":\"" << JsonEscape(title_) << "\",\"columns\":";
+  print_cells(columns_);
+  os << ",\"rows\":[";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) os << ',';
+    print_cells(rows_[r]);
+  }
+  os << "]}\n";
+}
+
 }  // namespace scguard::sim

@@ -25,6 +25,13 @@ class TablePrinter {
   /// Renders the table with column-wise alignment.
   void Print(std::ostream& os) const;
 
+  /// Renders the same table as one JSON object —
+  /// {"title":...,"columns":[...],"rows":[[...],...]} — the shared
+  /// machine-readable format for examples and benches (`--json` paths),
+  /// so downstream tooling parses one shape everywhere. Cells stay the
+  /// preformatted strings Print would show.
+  void PrintJson(std::ostream& os) const;
+
  private:
   std::string title_;
   std::vector<std::string> columns_;

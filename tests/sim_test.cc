@@ -33,6 +33,17 @@ TEST(TablePrinterTest, AlignsColumns) {
   EXPECT_EQ(data_lines, 3);  // Header + 2 rows.
 }
 
+TEST(TablePrinterTest, PrintJsonEmitsOneObject) {
+  TablePrinter table("Demo \"quoted\"", {"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"b\\c", "2"});
+  std::ostringstream os;
+  table.PrintJson(os);
+  EXPECT_EQ(os.str(),
+            "{\"title\":\"Demo \\\"quoted\\\"\",\"columns\":[\"name\","
+            "\"value\"],\"rows\":[[\"a\",\"1\"],[\"b\\\\c\",\"2\"]]}\n");
+}
+
 TEST(TablePrinterTest, NumericRowFormatting) {
   TablePrinter table("Numbers", {"label", "x", "y"});
   table.AddRow("row", {1.234, 5.0}, 1);
