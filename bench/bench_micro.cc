@@ -12,12 +12,15 @@
 #include "index/pruning.h"
 #include "privacy/planar_laplace.h"
 #include "reachability/analytical_model.h"
+#include "reachability/binary_model.h"
 #include "reachability/empirical_model.h"
+#include "reachability/kernel.h"
 #include "reachability/model_cache.h"
 #include "runtime/parallel_for.h"
 #include "runtime/thread_pool.h"
 #include "sim/experiment.h"
 #include "stats/lambert_w.h"
+#include "stats/marcum_q.h"
 #include "stats/rice.h"
 #include "stats/rng.h"
 
@@ -237,6 +240,166 @@ void BM_ModelCacheHit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ModelCacheHit);
+
+// ---- Evaluation kernels (DESIGN.md section 8) -----------------------
+// The U2U alpha filter as direct per-pair model evaluation vs the
+// threshold-inverted squared-distance compare, over the same SoA snapshot.
+// Both report items/s = worker decisions per second; the CI smoke job
+// asserts the threshold arm is at least 5x the direct arm.
+
+struct FilterFixture {
+  reachability::WorkerFilterSoA soa;
+  std::vector<geo::Point> tasks;
+};
+
+FilterFixture MakeFilterFixture(size_t n) {
+  FilterFixture f;
+  stats::Rng rng(8);
+  const geo::BoundingBox region = data::BeijingRegion();
+  // A handful of radius classes, like real fleets; the threshold cache
+  // pays one inversion per class.
+  const double radii[] = {800.0, 1400.0, 2000.0, 2800.0};
+  f.soa.Resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    f.soa.x[i] = rng.UniformDouble(region.min_x, region.max_x);
+    f.soa.y[i] = rng.UniformDouble(region.min_y, region.max_y);
+    f.soa.reach_radius_m[i] = radii[i % 4];
+  }
+  for (int t = 0; t < 64; ++t) {
+    f.tasks.push_back({rng.UniformDouble(region.min_x, region.max_x),
+                       rng.UniformDouble(region.min_y, region.max_y)});
+  }
+  return f;
+}
+
+void BM_MarcumQ1(benchmark::State& state) {
+  const double a = static_cast<double>(state.range(0));
+  double b = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::MarcumQ1(a, b));
+    b = b < 8.0 ? b + 0.37 : 0.1;
+  }
+}
+BENCHMARK(BM_MarcumQ1)->Arg(0)->Arg(1)->Arg(4);
+
+void BM_U2UFilterDirect(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const FilterFixture f = MakeFilterFixture(n);
+  const reachability::AnalyticalModel model(kParams);
+  const double alpha = 0.1;
+  size_t t = 0;
+  for (auto _ : state) {
+    const geo::Point task = f.tasks[t++ % f.tasks.size()];
+    int64_t accepted = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const double d_obs = geo::Distance({f.soa.x[i], f.soa.y[i]}, task);
+      accepted += model.ProbReachable(reachability::Stage::kU2U, d_obs,
+                                      f.soa.reach_radius_m[i]) >= alpha
+                      ? 1
+                      : 0;
+    }
+    benchmark::DoNotOptimize(accepted);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_U2UFilterDirect)->Arg(5000);
+
+void BM_U2UFilterThreshold(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  FilterFixture f = MakeFilterFixture(n);
+  const reachability::AnalyticalModel model(kParams);
+  reachability::AlphaThresholdCache cache(&model, reachability::Stage::kU2U,
+                                          0.1);
+  f.soa.accept_below_sq.resize(n);
+  f.soa.reject_above_sq.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const reachability::AlphaThreshold& t = cache.For(f.soa.reach_radius_m[i]);
+    f.soa.accept_below_sq[i] = t.accept_below_sq;
+    f.soa.reject_above_sq[i] = t.reject_above_sq;
+  }
+  size_t t = 0;
+  for (auto _ : state) {
+    const geo::Point task = f.tasks[t++ % f.tasks.size()];
+    int64_t accepted = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const double dx = f.soa.x[i] - task.x;
+      const double dy = f.soa.y[i] - task.y;
+      const double d_sq = dx * dx + dy * dy;
+      bool is_candidate;
+      if (d_sq <= f.soa.accept_below_sq[i]) {
+        is_candidate = true;
+      } else if (d_sq >= f.soa.reject_above_sq[i]) {
+        is_candidate = false;
+      } else {
+        is_candidate = cache.IsCandidate(
+            geo::Distance({f.soa.x[i], f.soa.y[i]}, task),
+            f.soa.reach_radius_m[i]);
+      }
+      accepted += is_candidate ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(accepted);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_U2UFilterThreshold)->Arg(5000);
+
+// ProbReachableBatch per model over a dense SoA slab.
+void BM_ProbReachableBatch(benchmark::State& state) {
+  const size_t n = 4096;
+  stats::Rng rng(9);
+  std::vector<double> d(n), r(n), out(n);
+  for (size_t i = 0; i < n; ++i) {
+    d[i] = rng.UniformDouble(0.0, 15000.0);
+    r[i] = rng.UniformDouble(500.0, 3000.0);
+  }
+  const reachability::BinaryModel binary;
+  const reachability::AnalyticalModel analytical(kParams);
+  reachability::EmpiricalModelConfig config;
+  config.region = data::BeijingRegion();
+  config.num_samples = 50000;
+  stats::Rng build_rng(10);
+  const auto empirical =
+      reachability::EmpiricalModel::Build(config, kParams, build_rng);
+  const reachability::ReachabilityModel* models[] = {&binary, &analytical,
+                                                     &*empirical};
+  const auto* model = models[state.range(0)];
+  for (auto _ : state) {
+    model->ProbReachableBatch(reachability::Stage::kU2E, d.data(), r.data(), n,
+                              out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  state.SetLabel(std::string(model->name()));
+}
+BENCHMARK(BM_ProbReachableBatch)->Arg(0)->Arg(1)->Arg(2);
+
+// End-to-end engine throughput, kernel off (0) vs on (1). Output is
+// bit-identical across the arms (tests/kernel_test.cc); only speed moves.
+void BM_ScGuardEngineKernel(benchmark::State& state) {
+  data::WorkloadConfig config;
+  config.num_workers = 500;
+  config.num_tasks = 500;
+  stats::Rng rng(11);
+  assign::Workload workload =
+      data::MakeUniformWorkload(data::BeijingRegion(), config, rng);
+  data::PerturbWorkload(kParams, kParams, rng, workload);
+  const reachability::AnalyticalModel model(kParams);
+  assign::EnginePolicy policy;
+  policy.u2u_model = &model;
+  policy.u2e_model = &model;
+  policy.worker_params = kParams;
+  policy.task_params = kParams;
+  policy.compute_accuracy_metrics = false;
+  policy.kernel.alpha_thresholds = state.range(0) != 0;
+  assign::ScGuardEngine engine(policy);
+  for (auto _ : state) {
+    stats::Rng run_rng(12);
+    benchmark::DoNotOptimize(engine.Run(workload, run_rng));
+  }
+  state.SetItemsProcessed(state.iterations() * config.num_tasks);
+  state.SetLabel(policy.kernel.alpha_thresholds ? "kernel=on" : "kernel=off");
+}
+BENCHMARK(BM_ScGuardEngineKernel)->Arg(0)->Arg(1);
 
 // Cost of the observer-only U2U ground-truth accuracy scan
 // (EnginePolicy::compute_accuracy_metrics): on (1) vs off (0).

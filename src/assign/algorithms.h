@@ -37,6 +37,8 @@ struct AlgorithmParams {
   index::PrunerBackend pruning_backend = index::PrunerBackend::kGrid;
   reachability::AnalyticalMode analytical_mode =
       reachability::AnalyticalMode::kPaperNormalApprox;
+  /// Evaluation-kernel knobs, forwarded to EnginePolicy::kernel.
+  reachability::KernelOptions kernel;
 };
 
 /// GroundTruth-RR / GroundTruth-NN: the non-private Ranking upper bound.

@@ -1,6 +1,7 @@
 #include "assign/batch.h"
 
 #include <chrono>
+#include <optional>
 
 #include "assign/offline.h"
 #include "common/check.h"
@@ -9,8 +10,9 @@
 namespace scguard::assign {
 
 BatchMatcher::BatchMatcher(const reachability::ReachabilityModel* model,
-                           double alpha, int batch_size)
-    : model_(model), alpha_(alpha), batch_size_(batch_size) {
+                           double alpha, int batch_size,
+                           reachability::KernelOptions kernel)
+    : model_(model), alpha_(alpha), batch_size_(batch_size), kernel_(kernel) {
   SCGUARD_CHECK(model != nullptr);
   SCGUARD_CHECK(alpha > 0.0 && alpha <= 1.0);
   SCGUARD_CHECK(batch_size >= 1);
@@ -28,6 +30,14 @@ MatchResult BatchMatcher::Run(const Workload& workload, stats::Rng& /*rng*/) {
   m.num_workers = static_cast<int64_t>(workload.workers.size());
 
   std::vector<bool> matched(workload.workers.size(), false);
+
+  // Run-local threshold cache (one bisection per distinct reach radius)
+  // keeps Run safe to call concurrently on a shared matcher.
+  std::optional<reachability::AlphaThresholdCache> thresholds;
+  if (kernel_.alpha_thresholds) {
+    thresholds.emplace(model_, reachability::Stage::kU2U, alpha_,
+                       kernel_.threshold_margin);
+  }
 
   for (size_t batch_start = 0; batch_start < workload.tasks.size();
        batch_start += static_cast<size_t>(batch_size_)) {
@@ -53,9 +63,14 @@ MatchResult BatchMatcher::Run(const Workload& workload, stats::Rng& /*rng*/) {
         const Worker& worker = workload.workers[available[wi]];
         const double d_obs =
             geo::Distance(worker.noisy_location, task.noisy_location);
-        const double p = model_->ProbReachable(reachability::Stage::kU2U, d_obs,
-                                               worker.reach_radius_m);
-        if (p >= alpha_) {
+        // d_obs doubles as the matching cost, so the threshold path saves
+        // only the model evaluation — which dominates for the Rice CDF.
+        const bool feasible =
+            thresholds.has_value()
+                ? thresholds->IsCandidate(d_obs, worker.reach_radius_m)
+                : model_->ProbReachable(reachability::Stage::kU2U, d_obs,
+                                        worker.reach_radius_m) >= alpha_;
+        if (feasible) {
           cost[bt][wi] = d_obs;
           ++candidates;
         }

@@ -2,6 +2,7 @@
 #define SCGUARD_ASSIGN_BATCH_H_
 
 #include "assign/matcher.h"
+#include "reachability/kernel.h"
 #include "reachability/model.h"
 
 namespace scguard::assign {
@@ -22,8 +23,10 @@ class BatchMatcher final : public OnlineMatcher {
   /// `model` scores pair reachability from noisy data (not owned; must
   /// outlive the matcher); pairs below `alpha` are infeasible. A
   /// batch_size of 1 degenerates to a nearest-feasible online rule.
+  /// `kernel.alpha_thresholds` replaces the per-pair model evaluation
+  /// with an exact threshold compare (same decisions, see kernel.h).
   BatchMatcher(const reachability::ReachabilityModel* model, double alpha,
-               int batch_size);
+               int batch_size, reachability::KernelOptions kernel = {});
 
   MatchResult Run(const Workload& workload, stats::Rng& rng) override;
 
@@ -35,6 +38,7 @@ class BatchMatcher final : public OnlineMatcher {
   const reachability::ReachabilityModel* model_;
   double alpha_;
   int batch_size_;
+  reachability::KernelOptions kernel_;
 };
 
 }  // namespace scguard::assign

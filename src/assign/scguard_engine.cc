@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <utility>
 #include <vector>
+
+#include "reachability/kernel.h"
 
 #include "common/check.h"
 #include "common/str_format.h"
@@ -102,7 +105,39 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
   std::vector<double> random_rank(n);
   for (auto& r : random_rank) r = rng.UniformDouble();
 
-  std::vector<bool> matched(n, false);
+  // Structure-of-arrays snapshot of the server's view of the workers.
+  // The U2U hot loop reads only these contiguous arrays; the AoS Worker
+  // records are touched again only for ranking and ground-truth checks.
+  reachability::WorkerFilterSoA soa;
+  soa.Resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Worker& w = workload.workers[i];
+    soa.x[i] = w.noisy_location.x;
+    soa.y[i] = w.noisy_location.y;
+    soa.reach_radius_m[i] = w.reach_radius_m;
+  }
+  std::vector<uint8_t>& matched = soa.matched;
+
+  // Kernel caches are per-Run: ExperimentRunner shares one matcher across
+  // concurrently running seeds, so nothing here may live in the engine.
+  const reachability::KernelOptions& kopts = policy_.kernel;
+  std::optional<reachability::AlphaThresholdCache> u2u_thresholds;
+  if (kopts.alpha_thresholds) {
+    u2u_thresholds.emplace(policy_.u2u_model, reachability::Stage::kU2U,
+                           policy_.alpha, kopts.threshold_margin);
+    soa.accept_below_sq.resize(n);
+    soa.reject_above_sq.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      const reachability::AlphaThreshold& t =
+          u2u_thresholds->For(soa.reach_radius_m[i]);
+      soa.accept_below_sq[i] = t.accept_below_sq;
+      soa.reject_above_sq[i] = t.reject_above_sq;
+    }
+  }
+  std::optional<reachability::KernelLut> u2e_lut;
+  if (kopts.u2e_lut && policy_.rank == RankStrategy::kProbability) {
+    u2e_lut.emplace(policy_.u2e_model, reachability::Stage::kU2E, kopts);
+  }
 
   // Optional U2U pruning index over the workers' uncertainty rectangles.
   std::unique_ptr<index::UncertainRegionPruner> pruner;
@@ -127,6 +162,10 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
   candidates.reserve(n);
   std::vector<std::pair<double, size_t>> ranked;
   ranked.reserve(n);
+  std::vector<int64_t> pruner_ids;
+  std::vector<double> u2e_d;
+  std::vector<double> u2e_r;
+  std::vector<double> u2e_p;
 
   for (const Task& task : workload.tasks) {
     // ---- Stage 1: U2U (server) -------------------------------------
@@ -138,25 +177,44 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
     auto consider = [&](size_t i) {
       if (matched[i]) return;
       ++evaluated;
-      const Worker& w = workload.workers[i];
-      const double d_obs =
-          geo::Distance(w.noisy_location, task.noisy_location);
-      const double p = policy_.u2u_model->ProbReachable(
-          reachability::Stage::kU2U, d_obs, w.reach_radius_m);
-      if (p >= policy_.alpha) {
+      bool is_candidate;
+      if (u2u_thresholds.has_value()) {
+        // Threshold-inverted filter: a squared-distance compare against
+        // the precomputed certain band; only observations inside the band
+        // fall back to one direct model evaluation, so the decision is
+        // bit-identical to the scalar path (tests/kernel_test.cc).
+        const double dx = soa.x[i] - task.noisy_location.x;
+        const double dy = soa.y[i] - task.noisy_location.y;
+        const double d_sq = dx * dx + dy * dy;
+        if (d_sq <= soa.accept_below_sq[i]) {
+          is_candidate = true;
+        } else if (d_sq >= soa.reject_above_sq[i]) {
+          is_candidate = false;
+        } else {
+          is_candidate = u2u_thresholds->IsCandidate(
+              geo::Distance({soa.x[i], soa.y[i]}, task.noisy_location),
+              soa.reach_radius_m[i]);
+        }
+      } else {
+        const double d_obs = geo::Distance({soa.x[i], soa.y[i]},
+                                           task.noisy_location);
+        const double p = policy_.u2u_model->ProbReachable(
+            reachability::Stage::kU2U, d_obs, soa.reach_radius_m[i]);
+        is_candidate = p >= policy_.alpha;
+      }
+      if (is_candidate) {
         candidates.push_back(i);
       } else {
         ++obs_alpha_rejections;
       }
     };
     if (pruner != nullptr) {
-      int64_t index_hits = 0;
-      for (int64_t id : pruner->Candidates(task.noisy_location)) {
-        ++index_hits;
-        consider(static_cast<size_t>(id));
-      }
-      obs_pruned += static_cast<int64_t>(n) - index_hits;
-      std::sort(candidates.begin(), candidates.end());  // Determinism.
+      pruner->Candidates(task.noisy_location, pruner_ids);
+      for (int64_t id : pruner_ids) consider(static_cast<size_t>(id));
+      obs_pruned += static_cast<int64_t>(n) -
+                    static_cast<int64_t>(pruner_ids.size());
+      // Backends emit ids in ascending order, so `candidates` is already
+      // sorted — no per-task re-sort.
     } else {
       for (size_t i : scan_order) consider(i);
     }
@@ -198,24 +256,39 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
     // locations; ranks and contacts them best-first.
     const auto u2e_start = Clock::now();
     ranked.clear();
-    for (size_t i : candidates) {
-      const Worker& w = workload.workers[i];
-      double score = 0.0;
-      switch (policy_.rank) {
-        case RankStrategy::kRandom:
-          score = random_rank[i];
-          break;
-        case RankStrategy::kNearest:
-          score = -geo::Distance(w.noisy_location, task.location);
-          break;
-        case RankStrategy::kProbability:
-          score = policy_.u2e_model->ProbReachable(
-              reachability::Stage::kU2E,
-              geo::Distance(w.noisy_location, task.location),
-              w.reach_radius_m);
-          break;
+    if (policy_.rank == RankStrategy::kProbability) {
+      // Batched scoring: gather candidate distances/radii into dense
+      // arrays, then one ProbReachableBatch call (or the bounded-error
+      // LUT when enabled) instead of a virtual call per candidate.
+      const size_t c = candidates.size();
+      u2e_d.resize(c);
+      u2e_r.resize(c);
+      u2e_p.resize(c);
+      for (size_t k = 0; k < c; ++k) {
+        const size_t i = candidates[k];
+        u2e_d[k] = geo::Distance({soa.x[i], soa.y[i]}, task.location);
+        u2e_r[k] = soa.reach_radius_m[i];
       }
-      ranked.emplace_back(score, i);
+      if (u2e_lut.has_value()) {
+        for (size_t k = 0; k < c; ++k) {
+          u2e_p[k] = u2e_lut->Prob(u2e_d[k], u2e_r[k]);
+        }
+      } else {
+        policy_.u2e_model->ProbReachableBatch(reachability::Stage::kU2E,
+                                              u2e_d.data(), u2e_r.data(), c,
+                                              u2e_p.data());
+      }
+      for (size_t k = 0; k < c; ++k) {
+        ranked.emplace_back(u2e_p[k], candidates[k]);
+      }
+    } else {
+      for (size_t i : candidates) {
+        const double score =
+            policy_.rank == RankStrategy::kRandom
+                ? random_rank[i]
+                : -geo::Distance({soa.x[i], soa.y[i]}, task.location);
+        ranked.emplace_back(score, i);
+      }
     }
     std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
       if (a.first != b.first) return a.first > b.first;

@@ -8,6 +8,7 @@
 #include "assign/matcher.h"
 #include "index/pruning.h"
 #include "privacy/privacy_params.h"
+#include "reachability/kernel.h"
 #include "reachability/model.h"
 
 namespace scguard::assign {
@@ -77,6 +78,11 @@ struct EnginePolicy {
   /// levels used to perturb the workload.
   privacy::PrivacyParams worker_params;
   privacy::PrivacyParams task_params;
+
+  /// Evaluation-kernel knobs (DESIGN.md section 8). Defaults keep the
+  /// exact threshold-inversion U2U filter on (bit-identical assignments,
+  /// verified by tests/kernel_test.cc) and the bounded-error U2E LUT off.
+  reachability::KernelOptions kernel;
 
   /// Display name override; empty derives one from model + strategy.
   std::string name;

@@ -69,8 +69,9 @@ std::vector<CandidateWorker> RequesterDevice::RankCandidates(
 // ---------------------------------------------------------------- Server
 
 TaskingServer::TaskingServer(const reachability::ReachabilityModel* model,
-                             double alpha)
-    : model_(model), alpha_(alpha) {
+                             double alpha,
+                             reachability::KernelOptions kernel)
+    : model_(model), alpha_(alpha), kernel_(kernel) {
   SCGUARD_CHECK(model != nullptr);
   SCGUARD_CHECK(alpha > 0.0 && alpha <= 1.0);
 }
@@ -82,15 +83,22 @@ void TaskingServer::RegisterWorker(const WorkerRegistration& registration) {
 
 std::vector<CandidateWorker> TaskingServer::FindCandidates(
     const TaskRequest& request) const {
+  if (kernel_.alpha_thresholds && !thresholds_.has_value()) {
+    thresholds_.emplace(model_, reachability::Stage::kU2U, alpha_,
+                        kernel_.threshold_margin);
+  }
   std::vector<CandidateWorker> candidates;
   for (size_t i = 0; i < workers_.size(); ++i) {
     if (assigned_[i]) continue;
     const auto& w = workers_[i];
-    const double p = model_->ProbReachable(
-        reachability::Stage::kU2U,
-        geo::Distance(w.noisy_location, request.noisy_location),
-        w.reach_radius_m);
-    if (p >= alpha_) {
+    const double d_obs =
+        geo::Distance(w.noisy_location, request.noisy_location);
+    const bool candidate =
+        thresholds_.has_value()
+            ? thresholds_->IsCandidate(d_obs, w.reach_radius_m)
+            : model_->ProbReachable(reachability::Stage::kU2U, d_obs,
+                                    w.reach_radius_m) >= alpha_;
+    if (candidate) {
       candidates.push_back({w.worker_id, w.noisy_location, w.reach_radius_m});
     }
   }

@@ -7,6 +7,7 @@
 
 #include "geo/point.h"
 #include "privacy/privacy_params.h"
+#include "reachability/kernel.h"
 #include "reachability/model.h"
 #include "stats/rng.h"
 
@@ -95,7 +96,10 @@ class RequesterDevice {
 class TaskingServer {
  public:
   /// `alpha` is the U2U threshold applied to `model` probabilities.
-  TaskingServer(const reachability::ReachabilityModel* model, double alpha);
+  /// `kernel.alpha_thresholds` answers the filter via the inverted
+  /// critical-distance compare (exact decisions, see kernel.h).
+  TaskingServer(const reachability::ReachabilityModel* model, double alpha,
+                reachability::KernelOptions kernel = {});
 
   void RegisterWorker(const WorkerRegistration& registration);
 
@@ -113,6 +117,11 @@ class TaskingServer {
   double alpha_;
   std::vector<WorkerRegistration> workers_;
   std::vector<bool> assigned_;
+  /// Lazy: built on the first FindCandidates call. The server object
+  /// models a single logical party and is not called concurrently, so a
+  /// mutable cache behind a const query keeps the API unchanged.
+  mutable std::optional<reachability::AlphaThresholdCache> thresholds_;
+  reachability::KernelOptions kernel_;
 };
 
 /// Message counters of one protocol execution.

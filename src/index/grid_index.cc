@@ -63,8 +63,14 @@ void GridIndex::Query(const geo::BoundingBox& query,
 
 std::vector<int64_t> GridIndex::QueryIds(const geo::BoundingBox& query) const {
   std::vector<int64_t> out;
-  Query(query, [&out](int64_t id) { out.push_back(id); });
+  QueryIds(query, out);
   return out;
+}
+
+void GridIndex::QueryIds(const geo::BoundingBox& query,
+                         std::vector<int64_t>& out) const {
+  out.clear();
+  Query(query, [&out](int64_t id) { out.push_back(id); });
 }
 
 }  // namespace scguard::index

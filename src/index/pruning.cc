@@ -1,5 +1,6 @@
 #include "index/pruning.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
@@ -53,24 +54,36 @@ UncertainRegionPruner::UncertainRegionPruner(
 
 std::vector<int64_t> UncertainRegionPruner::Candidates(
     geo::Point task_noisy_location) const {
+  std::vector<int64_t> out;
+  Candidates(task_noisy_location, out);
+  return out;
+}
+
+void UncertainRegionPruner::Candidates(geo::Point task_noisy_location,
+                                       std::vector<int64_t>& out) const {
+  out.clear();
   const geo::BoundingBox task_box =
       geo::BoundingBox::FromCircle(task_noisy_location, r_r_task_);
   switch (backend_) {
-    case PrunerBackend::kLinearScan: {
-      std::vector<int64_t> out;
+    case PrunerBackend::kLinearScan:
+      // Emits in insertion order; when construction passed ids in ascending
+      // order (as the engine does) the sort below is a no-op pass.
       for (const auto& w : workers_) {
         const geo::BoundingBox worker_box = geo::BoundingBox::FromCircle(
             w.noisy_location, r_r_worker_ + w.reach_radius_m);
         if (worker_box.Intersects(task_box)) out.push_back(w.worker_id);
       }
-      return out;
-    }
+      break;
     case PrunerBackend::kGrid:
-      return grid_->QueryIds(task_box);
+      grid_->QueryIds(task_box, out);
+      break;
     case PrunerBackend::kRTree:
-      return rtree_->QueryIds(task_box);
+      rtree_->QueryIds(task_box, out);
+      break;
   }
-  return {};
+  if (!std::is_sorted(out.begin(), out.end())) {
+    std::sort(out.begin(), out.end());
+  }
 }
 
 }  // namespace scguard::index

@@ -54,8 +54,16 @@ class UncertainRegionPruner {
                         double gamma, PrunerBackend backend,
                         const geo::BoundingBox& region);
 
-  /// Worker ids whose expanded rectangle intersects the task's rectangle.
+  /// Worker ids whose expanded rectangle intersects the task's rectangle,
+  /// in ascending id order (every backend sorts or preserves insertion
+  /// order, so callers that need determinism don't re-sort).
   std::vector<int64_t> Candidates(geo::Point task_noisy_location) const;
+
+  /// As above into a caller-owned scratch vector (cleared first): the
+  /// engine calls this once per task, so the per-task allocation of the
+  /// returning overload is hoisted into the caller.
+  void Candidates(geo::Point task_noisy_location,
+                  std::vector<int64_t>& out) const;
 
   /// Confidence radius applied to worker observations.
   double worker_confidence_radius_m() const { return r_r_worker_; }

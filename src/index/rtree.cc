@@ -316,8 +316,14 @@ void RTree::Query(const geo::BoundingBox& query,
 
 std::vector<int64_t> RTree::QueryIds(const geo::BoundingBox& query) const {
   std::vector<int64_t> ids;
-  Query(query, [&ids](const Entry& e) { ids.push_back(e.id); });
+  QueryIds(query, ids);
   return ids;
+}
+
+void RTree::QueryIds(const geo::BoundingBox& query,
+                     std::vector<int64_t>& out) const {
+  out.clear();
+  Query(query, [&out](const Entry& e) { out.push_back(e.id); });
 }
 
 int RTree::Height() const {

@@ -45,6 +45,10 @@ class RTree {
   /// All entry ids intersecting `query` (unordered).
   std::vector<int64_t> QueryIds(const geo::BoundingBox& query) const;
 
+  /// As above into a caller-owned scratch vector (cleared first), so tight
+  /// query loops avoid the per-call allocation.
+  void QueryIds(const geo::BoundingBox& query, std::vector<int64_t>& out) const;
+
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 

@@ -81,4 +81,13 @@ double AnalyticalModel::ProbReachable(Stage stage, double observed_distance_m,
   return std::clamp(rice.Cdf(radius), 0.0, 1.0);
 }
 
+void AnalyticalModel::ProbReachableBatch(Stage stage,
+                                         const double* observed_distance_m,
+                                         const double* reach_radius_m,
+                                         size_t n, double* out) const {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = ProbReachable(stage, observed_distance_m[i], reach_radius_m[i]);
+  }
+}
+
 }  // namespace scguard::reachability

@@ -65,6 +65,12 @@ class AnalyticalModel final : public ReachabilityModel {
   double ProbReachable(Stage stage, double observed_distance_m,
                        double reach_radius_m) const override;
 
+  /// Scalar loop over the (final, devirtualized) ProbReachable — identical
+  /// results, one dispatch for the whole array.
+  void ProbReachableBatch(Stage stage, const double* observed_distance_m,
+                          const double* reach_radius_m, size_t n,
+                          double* out) const override;
+
   std::string_view name() const override { return "analytical"; }
 
   AnalyticalMode mode() const { return mode_; }

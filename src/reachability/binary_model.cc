@@ -7,4 +7,13 @@ double BinaryModel::ProbReachable(Stage /*stage*/, double observed_distance_m,
   return observed_distance_m <= reach_radius_m ? 1.0 : 0.0;
 }
 
+void BinaryModel::ProbReachableBatch(Stage /*stage*/,
+                                     const double* observed_distance_m,
+                                     const double* reach_radius_m, size_t n,
+                                     double* out) const {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = observed_distance_m[i] <= reach_radius_m[i] ? 1.0 : 0.0;
+  }
+}
+
 }  // namespace scguard::reachability

@@ -13,6 +13,10 @@ class BinaryModel final : public ReachabilityModel {
   double ProbReachable(Stage stage, double observed_distance_m,
                        double reach_radius_m) const override;
 
+  void ProbReachableBatch(Stage stage, const double* observed_distance_m,
+                          const double* reach_radius_m, size_t n,
+                          double* out) const override;
+
   std::string_view name() const override { return "binary"; }
 };
 

@@ -124,6 +124,16 @@ double EmpiricalModel::ProbReachable(Stage stage, double observed_distance_m,
   return table.ProbBelow(observed_distance_m, reach_radius_m);
 }
 
+void EmpiricalModel::ProbReachableBatch(Stage stage,
+                                        const double* observed_distance_m,
+                                        const double* reach_radius_m, size_t n,
+                                        double* out) const {
+  const EmpiricalTable& table = stage == Stage::kU2U ? *u2u_ : *u2e_;
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = table.ProbBelow(observed_distance_m[i], reach_radius_m[i]);
+  }
+}
+
 void EmpiricalModel::Serialize(std::ostream& os) const {
   os << "empirical-model-v1\n";
   u2u_->Serialize(os);

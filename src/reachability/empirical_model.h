@@ -70,6 +70,12 @@ class EmpiricalModel final : public ReachabilityModel {
   double ProbReachable(Stage stage, double observed_distance_m,
                        double reach_radius_m) const override;
 
+  /// Hoists the per-stage table selection out of the loop; otherwise the
+  /// same O(1) bucket lookups as the scalar call.
+  void ProbReachableBatch(Stage stage, const double* observed_distance_m,
+                          const double* reach_radius_m, size_t n,
+                          double* out) const override;
+
   std::string_view name() const override { return "empirical"; }
 
   const EmpiricalTable& u2u_table() const { return *u2u_; }

@@ -31,26 +31,37 @@ int EmpiricalTable::BucketIndex(double d_obs) const {
 void EmpiricalTable::Add(double d_true, double d_obs) {
   buckets_[static_cast<size_t>(BucketIndex(d_obs))].Add(d_true);
   ++total_samples_;
+  nearest_populated_.clear();
 }
 
 double EmpiricalTable::ProbBelow(double d_obs, double threshold) const {
   const int idx = BucketIndex(d_obs);
   const auto& bucket = buckets_[static_cast<size_t>(idx)];
   if (bucket.total_count() > 0) return bucket.FractionBelow(threshold);
-  // Sparse-data fallback: walk outward to the nearest populated bucket and
+  // Sparse-data fallback: redirect to the nearest populated bucket and
   // shift the threshold by the difference of bucket centers, so a query in
   // an empty far bucket borrows the shape of its neighbor at the right
   // distance offset.
-  for (int delta = 1; delta < num_buckets(); ++delta) {
-    for (int cand : {idx - delta, idx + delta}) {
-      if (cand < 0 || cand >= num_buckets()) continue;
-      const auto& other = buckets_[static_cast<size_t>(cand)];
-      if (other.total_count() == 0) continue;
-      const double center_shift = static_cast<double>(cand - idx) * bucket_width_;
-      return other.FractionBelow(threshold + center_shift);
+  int cand = -1;
+  if (!nearest_populated_.empty()) {
+    // O(1) via the precomputed index (WarmQueryCache).
+    cand = nearest_populated_[static_cast<size_t>(idx)];
+  } else {
+    // Not frozen yet: walk outward, preferring the lower bucket on ties
+    // (the same order the precomputed index encodes).
+    for (int delta = 1; cand < 0 && delta < num_buckets(); ++delta) {
+      for (int c : {idx - delta, idx + delta}) {
+        if (c < 0 || c >= num_buckets()) continue;
+        if (buckets_[static_cast<size_t>(c)].total_count() == 0) continue;
+        cand = c;
+        break;
+      }
     }
   }
-  return 0.0;  // Entirely empty table.
+  if (cand < 0) return 0.0;  // Entirely empty table.
+  const double center_shift = static_cast<double>(cand - idx) * bucket_width_;
+  return buckets_[static_cast<size_t>(cand)].FractionBelow(threshold +
+                                                           center_shift);
 }
 
 Status EmpiricalTable::Merge(const EmpiricalTable& other) {
@@ -63,6 +74,7 @@ Status EmpiricalTable::Merge(const EmpiricalTable& other) {
     SCGUARD_RETURN_NOT_OK(buckets_[i].Merge(other.buckets_[i]));
   }
   total_samples_ += other.total_samples_;
+  nearest_populated_.clear();
   return Status::OK();
 }
 
@@ -71,6 +83,26 @@ void EmpiricalTable::WarmQueryCache() const {
     // FractionBelow(lo) builds the prefix sums; empty buckets never build
     // them (every query path early-returns), so skip those.
     if (b.total_count() > 0) (void)b.FractionBelow(b.lo());
+  }
+  // Nearest-populated index for the sparse-data fallback: two sweeps give
+  // the closest populated bucket on each side; ties prefer the lower index
+  // like the lazy outward walk (which tries idx - delta first).
+  const int n = num_buckets();
+  nearest_populated_.assign(static_cast<size_t>(n), -1);
+  int prev = -1;  // Last populated bucket at or before i.
+  for (int i = 0; i < n; ++i) {
+    if (buckets_[static_cast<size_t>(i)].total_count() > 0) prev = i;
+    nearest_populated_[static_cast<size_t>(i)] = prev;
+  }
+  int next = -1;  // First populated bucket at or after i.
+  for (int i = n - 1; i >= 0; --i) {
+    if (buckets_[static_cast<size_t>(i)].total_count() > 0) next = i;
+    const int before = nearest_populated_[static_cast<size_t>(i)];
+    if (before < 0) {
+      nearest_populated_[static_cast<size_t>(i)] = next;
+    } else if (next >= 0 && next - i < i - before) {
+      nearest_populated_[static_cast<size_t>(i)] = next;
+    }
   }
 }
 

@@ -36,7 +36,9 @@ class EmpiricalTable {
 
   /// Pr(d <= threshold | bucket(d_obs)). When the bucket holds no samples,
   /// falls back to the nearest non-empty bucket (shifting the query by the
-  /// bucket-center offset so the estimate stays distance-consistent).
+  /// bucket-center offset so the estimate stays distance-consistent). The
+  /// fallback is O(1) once WarmQueryCache has built the nearest-populated
+  /// index; before that it walks outward per query.
   double ProbBelow(double d_obs, double threshold) const;
 
   /// Direct access to a bucket's true-distance histogram.
@@ -48,10 +50,11 @@ class EmpiricalTable {
   /// table as one serial pass over the union of their samples.
   Status Merge(const EmpiricalTable& other);
 
-  /// Pre-builds every bucket histogram's cumulative-count cache. The
-  /// cache is otherwise built lazily on the first ProbBelow query, which
-  /// would be a data race when a finished table is queried from several
-  /// threads; builders call this once so later queries are read-only.
+  /// Pre-builds every bucket histogram's cumulative-count cache and the
+  /// nearest-populated-bucket index behind the sparse-data fallback. Both
+  /// are otherwise built lazily on the first ProbBelow query, which would
+  /// be a data race when a finished table is queried from several threads;
+  /// builders call this once so later queries are read-only.
   void WarmQueryCache() const;
 
   /// Text serialization (header + one histogram line per bucket).
@@ -64,6 +67,11 @@ class EmpiricalTable {
   int true_bins_;
   std::vector<stats::Histogram> buckets_;
   uint64_t total_samples_ = 0;
+  /// Per-bucket index of the nearest populated bucket (-1 when the table
+  /// is entirely empty; ties break toward the lower index, matching the
+  /// lazy outward walk). Built by WarmQueryCache, invalidated by Add and
+  /// Merge; empty means "not built".
+  mutable std::vector<int> nearest_populated_;
 };
 
 }  // namespace scguard::reachability

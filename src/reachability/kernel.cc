@@ -1,0 +1,288 @@
+#include "reachability/kernel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "reachability/binary_model.h"
+#include "reachability/empirical_model.h"
+#include "reachability/empirical_table.h"
+
+namespace scguard::reachability {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Search ceiling for the bisection bracket; far beyond any planar
+/// coordinate this repository produces (the Beijing region spans ~1e5 m).
+constexpr double kMaxSearchDistance = 1e9;
+
+/// Relative slack applied when converting a distance bound to squared
+/// space: hypot and sqrt(dx^2 + dy^2) agree to a couple of ulps
+/// (~4e-16 relative), so 1e-10 pushes every ambiguous point into the
+/// direct-evaluation band instead of a certain region.
+constexpr double kSqSlack = 1e-10;
+
+double ToAcceptSq(double accept_below_m) {
+  if (accept_below_m < 0.0) return -1.0;
+  if (std::isinf(accept_below_m)) return kInf;
+  return accept_below_m * accept_below_m * (1.0 - kSqSlack);
+}
+
+double ToRejectSq(double reject_above_m) {
+  if (std::isinf(reject_above_m)) return kInf;
+  return reject_above_m * reject_above_m * (1.0 + kSqSlack);
+}
+
+AlphaThreshold MakeThreshold(double accept_below_m, double reject_above_m) {
+  AlphaThreshold t;
+  t.accept_below_m = accept_below_m;
+  t.reject_above_m = reject_above_m;
+  t.accept_below_sq = ToAcceptSq(accept_below_m);
+  t.reject_above_sq = ToRejectSq(reject_above_m);
+  return t;
+}
+
+/// Largest distance with p(d) >= level, assuming p monotone non-increasing
+/// and p(0) >= level. Returns the lower end of the final bracket, so the
+/// result is certain-side conservative.
+template <typename ProbFn>
+double BisectDown(const ProbFn& p, double level, double initial_hi) {
+  double lo = 0.0;
+  double hi = std::max(initial_hi, 1.0);
+  while (p(hi) >= level) {
+    lo = hi;
+    hi *= 2.0;
+    if (hi >= kMaxSearchDistance) return kMaxSearchDistance;
+  }
+  // Invariant: p(lo) >= level, p(hi) < level.
+  for (int iter = 0; iter < 200 && hi - lo > 1e-9 * std::max(1.0, hi);
+       ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (p(mid) >= level) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Smallest distance with p(d) <= level under the same assumptions
+/// (requires p(0) > level). Returns the upper end of the final bracket.
+template <typename ProbFn>
+double BisectUp(const ProbFn& p, double level, double initial_hi) {
+  double lo = 0.0;
+  double hi = std::max(initial_hi, 1.0);
+  while (p(hi) > level) {
+    lo = hi;
+    hi *= 2.0;
+    if (hi >= kMaxSearchDistance) return kInf;
+  }
+  // Invariant: p(lo) > level, p(hi) <= level.
+  for (int iter = 0; iter < 200 && hi - lo > 1e-9 * std::max(1.0, hi);
+       ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (p(mid) > level) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+/// Exact inversion for the empirical tables: ProbBelow depends on the
+/// observed distance only through its bucket index, so the accept set is
+/// read off the bucket row. The certain-accept region is the accepting
+/// prefix, the certain-reject region everything past the last accepting
+/// bucket; a non-monotone middle (sparse-data noise) stays in the band and
+/// is resolved by the O(1) direct lookup.
+AlphaThreshold InvertEmpirical(const EmpiricalTable& table, double alpha,
+                               double reach_radius_m) {
+  const double width = table.bucket_width_m();
+  const int num_buckets = table.num_buckets();
+  int first_reject = num_buckets;
+  int last_accept = -1;
+  for (int b = 0; b < num_buckets; ++b) {
+    const double representative = (static_cast<double>(b) + 0.5) * width;
+    const bool accepts = table.ProbBelow(representative, reach_radius_m) >= alpha;
+    if (accepts) {
+      last_accept = b;
+    } else if (first_reject == num_buckets) {
+      first_reject = b;
+    }
+  }
+  if (last_accept < 0) {
+    // No bucket accepts: certainly reject everywhere.
+    return MakeThreshold(-1.0, 0.0);
+  }
+  // The boundary distances carry the same relative slack the squared bounds
+  // get, so d / width can never round into the wrong bucket. A rejecting
+  // bucket 0 means there is no certain-accept prefix at all (-1), even if
+  // later buckets accept non-monotonically.
+  const double accept_below_m =
+      first_reject == num_buckets ? kInf
+      : first_reject == 0
+          ? -1.0
+          : static_cast<double>(first_reject) * width * (1.0 - kSqSlack);
+  const double reject_above_m =
+      last_accept == num_buckets - 1
+          ? kInf  // The open-ended overflow bucket accepts.
+          : static_cast<double>(last_accept + 1) * width * (1.0 + kSqSlack);
+  return MakeThreshold(accept_below_m, reject_above_m);
+}
+
+}  // namespace
+
+AlphaThresholdCache::AlphaThresholdCache(const ReachabilityModel* model,
+                                         Stage stage, double alpha,
+                                         double margin)
+    : model_(model), stage_(stage), alpha_(alpha), margin_(margin) {
+  SCGUARD_CHECK(model != nullptr);
+  SCGUARD_CHECK(alpha > 0.0 && alpha <= 1.0);
+  SCGUARD_CHECK(margin > 0.0 && margin < alpha);
+}
+
+const AlphaThreshold& AlphaThresholdCache::For(double reach_radius_m) {
+  const uint64_t key = RadiusKey(reach_radius_m);
+  const auto it = by_radius_.find(key);
+  if (it != by_radius_.end()) return it->second;
+  return by_radius_.emplace(key, Invert(reach_radius_m)).first->second;
+}
+
+bool AlphaThresholdCache::IsCandidate(double observed_distance_m,
+                                      double reach_radius_m) {
+  const AlphaThreshold& t = For(reach_radius_m);
+  if (observed_distance_m <= t.accept_below_m) return true;
+  if (observed_distance_m >= t.reject_above_m) return false;
+  ++exact_evals_;
+  return model_->ProbReachable(stage_, observed_distance_m, reach_radius_m) >=
+         alpha_;
+}
+
+AlphaThreshold AlphaThresholdCache::Invert(double reach_radius_m) const {
+  // Exact per-model inversions first; they need no probability margin.
+  if (dynamic_cast<const BinaryModel*>(model_) != nullptr) {
+    // p is the step 1{d <= R}: for any alpha in (0, 1] the filter is the
+    // oblivious compare itself. The distance bounds are exact; only the
+    // squared bounds keep a band for hypot rounding.
+    const double r = reach_radius_m;
+    AlphaThreshold t;
+    t.accept_below_m = r;
+    t.reject_above_m = std::nextafter(r, kInf);
+    t.accept_below_sq = ToAcceptSq(r);
+    t.reject_above_sq = ToRejectSq(r);
+    return t;
+  }
+  if (const auto* empirical = dynamic_cast<const EmpiricalModel*>(model_)) {
+    const EmpiricalTable& table = stage_ == Stage::kU2U
+                                      ? empirical->u2u_table()
+                                      : empirical->u2e_table();
+    return InvertEmpirical(table, alpha_, reach_radius_m);
+  }
+
+  // Generic monotone inversion: certain-accept up to the alpha + margin
+  // level, certain-reject from the alpha - margin level. The margin absorbs
+  // ulp-level non-monotonicity of the implementations around the crossing.
+  const auto p = [this, reach_radius_m](double d) {
+    return model_->ProbReachable(stage_, d, reach_radius_m);
+  };
+  const double p0 = p(0.0);
+  const double initial_hi = std::max(reach_radius_m, 1.0);
+
+  double accept_below_m = -1.0;
+  if (p0 >= alpha_ + margin_) {
+    accept_below_m = BisectDown(p, alpha_ + margin_, initial_hi);
+    if (accept_below_m >= kMaxSearchDistance) accept_below_m = kInf;
+  }
+  double reject_above_m = 0.0;
+  if (p0 > alpha_ - margin_) {
+    reject_above_m = BisectUp(p, alpha_ - margin_, initial_hi);
+  }
+  return MakeThreshold(accept_below_m, reject_above_m);
+}
+
+KernelLut::KernelLut(const ReachabilityModel* model, Stage stage,
+                     const KernelOptions& options)
+    : model_(model), stage_(stage), options_(options) {
+  SCGUARD_CHECK(model != nullptr);
+  SCGUARD_CHECK(options.lut_step_m > 0.0);
+  SCGUARD_CHECK(options.lut_max_abs_error > 0.0 &&
+                options.lut_max_abs_error < 1.0);
+}
+
+double KernelLut::Prob(double observed_distance_m, double reach_radius_m) {
+  const uint64_t key = RadiusKey(reach_radius_m);
+  auto it = by_radius_.find(key);
+  if (it == by_radius_.end()) {
+    it = by_radius_.emplace(key, Build(reach_radius_m)).first;
+  }
+  const Table& table = it->second;
+  if (observed_distance_m >= table.max_d) return table.tail_value;
+  const double pos = observed_distance_m * table.inv_step;
+  const auto idx = static_cast<size_t>(pos);
+  const double frac = pos - static_cast<double>(idx);
+  return table.values[idx] +
+         frac * (table.values[idx + 1] - table.values[idx]);
+}
+
+KernelLut::Table KernelLut::Build(double reach_radius_m) {
+  const double bound = options_.lut_max_abs_error;
+  const auto p = [this, reach_radius_m](double d) {
+    return model_->ProbReachable(stage_, d, reach_radius_m);
+  };
+
+  // Grid end: where the probability has fallen below a tenth of the error
+  // bound, so returning the flat tail value keeps the contract (the true
+  // probability is monotone below it).
+  double max_d = std::max(2.0 * reach_radius_m, 1000.0);
+  while (p(max_d) > bound * 0.1 && max_d < 1e7) max_d *= 2.0;
+
+  double step = options_.lut_step_m;
+  for (int refinement = 0;; ++refinement) {
+    Table table;
+    table.step = step;
+    table.inv_step = 1.0 / step;
+    const auto n = static_cast<size_t>(std::ceil(max_d / step)) + 1;
+    table.max_d = static_cast<double>(n - 1) * step;
+    table.values.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      table.values[i] = p(static_cast<double>(i) * step);
+    }
+    table.tail_value = table.values.back();
+
+    // Verification: for monotone p both the interpolant and the function
+    // stay inside [v[i+1], v[i]], so a cell with bracket width <= bound is
+    // proven; wider cells (the CDF's transition region) are checked at the
+    // quarter points against half the bound, leaving headroom for
+    // off-sample residuals of the smooth closed forms.
+    double worst = 0.0;
+    bool ok = true;
+    for (size_t i = 0; ok && i + 1 < n; ++i) {
+      const double bracket = std::abs(table.values[i] - table.values[i + 1]);
+      if (bracket <= bound) continue;
+      const double d0 = static_cast<double>(i) * step;
+      for (const double frac : {0.25, 0.5, 0.75}) {
+        const double d = d0 + frac * step;
+        const double interp =
+            table.values[i] + frac * (table.values[i + 1] - table.values[i]);
+        const double err = std::abs(interp - p(d));
+        worst = std::max(worst, err);
+        if (err > bound * 0.5) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok || refinement >= 12) {
+      SCGUARD_CHECK(ok && "KernelLut could not meet its error bound");
+      worst_verified_error_ = std::max(worst_verified_error_, worst);
+      return table;
+    }
+    step *= 0.5;
+  }
+}
+
+}  // namespace scguard::reachability

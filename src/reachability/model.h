@@ -1,6 +1,7 @@
 #ifndef SCGUARD_REACHABILITY_MODEL_H_
 #define SCGUARD_REACHABILITY_MODEL_H_
 
+#include <cstddef>
 #include <string_view>
 
 namespace scguard::reachability {
@@ -34,6 +35,21 @@ class ReachabilityModel {
   /// `observed_distance_m` (>= 0) and worker reach radius `reach_radius_m`.
   virtual double ProbReachable(Stage stage, double observed_distance_m,
                                double reach_radius_m) const = 0;
+
+  /// Batched evaluation over contiguous arrays: out[i] = ProbReachable(
+  /// stage, observed_distance_m[i], reach_radius_m[i]). Bit-identical to
+  /// the scalar calls; overrides exist so the per-element cost skips the
+  /// virtual dispatch and re-hoists per-stage state (the engine's U2E
+  /// scoring and the batch matcher feed structure-of-arrays scans through
+  /// this).
+  virtual void ProbReachableBatch(Stage stage,
+                                  const double* observed_distance_m,
+                                  const double* reach_radius_m, size_t n,
+                                  double* out) const {
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = ProbReachable(stage, observed_distance_m[i], reach_radius_m[i]);
+    }
+  }
 
   /// Short identifier used in experiment tables ("binary", "analytical",
   /// "empirical").

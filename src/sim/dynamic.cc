@@ -8,6 +8,7 @@
 #include "data/trip_model.h"
 #include "privacy/planar_laplace.h"
 #include "reachability/analytical_model.h"
+#include "reachability/kernel.h"
 
 namespace scguard::sim {
 namespace {
@@ -40,6 +41,10 @@ std::vector<DynamicRoundMetrics> RunDynamicWorkers(const DynamicConfig& config,
   // Reachability models consistent with the *claimed* per-report level:
   // the server cannot know more than what devices declare.
   const reachability::AnalyticalModel model(per_report);
+  // The alpha filter as a critical-distance compare (exact decisions);
+  // run-local, like the rest of the simulation state.
+  reachability::AlphaThresholdCache u2u_thresholds(
+      &model, reachability::Stage::kU2U, config.alpha);
 
   // Worker state.
   struct DynamicWorker {
@@ -91,10 +96,10 @@ std::vector<DynamicRoundMetrics> RunDynamicWorkers(const DynamicConfig& config,
       for (size_t i = 0; i < workers.size(); ++i) {
         if (busy[i]) continue;
         const DynamicWorker& w = workers[i];
-        const double p_u2u = model.ProbReachable(
-            reachability::Stage::kU2U, geo::Distance(w.reported, task_noisy),
-            w.reach);
-        if (p_u2u < config.alpha) continue;
+        if (!u2u_thresholds.IsCandidate(geo::Distance(w.reported, task_noisy),
+                                        w.reach)) {
+          continue;
+        }
         const double p_u2e = model.ProbReachable(
             reachability::Stage::kU2E, geo::Distance(w.reported, task), w.reach);
         ranked.emplace_back(p_u2e, i);

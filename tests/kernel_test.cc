@@ -1,0 +1,355 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "assign/algorithms.h"
+#include "assign/scguard_engine.h"
+#include "data/workload.h"
+#include "reachability/analytical_model.h"
+#include "reachability/binary_model.h"
+#include "reachability/empirical_model.h"
+#include "reachability/empirical_table.h"
+#include "reachability/kernel.h"
+#include "stats/rice.h"
+#include "stats/rng.h"
+
+namespace scguard::reachability {
+namespace {
+
+using assign::AlgorithmParams;
+using assign::MatcherHandle;
+using assign::MatchResult;
+using assign::Workload;
+using privacy::PrivacyParams;
+
+constexpr PrivacyParams kDefault{0.7, 800.0};
+
+Workload NoisyWorkload(int n, uint64_t seed) {
+  const geo::BoundingBox region =
+      geo::BoundingBox::FromCorners({0, 0}, {20000, 20000});
+  data::WorkloadConfig config;
+  config.num_workers = n;
+  config.num_tasks = n;
+  stats::Rng rng(seed);
+  Workload w = data::MakeUniformWorkload(region, config, rng);
+  data::PerturbWorkload(kDefault, kDefault, rng, w);
+  return w;
+}
+
+/// Asserts two runs produced the same protocol outcome bit for bit:
+/// assignment sequence (ids and exact travel distances) and every
+/// decision-derived metric. Timing metrics are excluded.
+void ExpectBitIdentical(const MatchResult& a, const MatchResult& b,
+                        const std::string& label) {
+  ASSERT_EQ(a.assignments.size(), b.assignments.size()) << label;
+  for (size_t i = 0; i < a.assignments.size(); ++i) {
+    EXPECT_EQ(a.assignments[i].task_id, b.assignments[i].task_id) << label;
+    EXPECT_EQ(a.assignments[i].worker_id, b.assignments[i].worker_id) << label;
+    EXPECT_EQ(a.assignments[i].travel_m, b.assignments[i].travel_m) << label;
+  }
+  EXPECT_EQ(a.metrics.assigned_tasks, b.metrics.assigned_tasks) << label;
+  EXPECT_EQ(a.metrics.candidates_sum, b.metrics.candidates_sum) << label;
+  EXPECT_EQ(a.metrics.false_hits, b.metrics.false_hits) << label;
+  EXPECT_EQ(a.metrics.false_dismissals, b.metrics.false_dismissals) << label;
+  EXPECT_EQ(a.metrics.requester_to_worker_msgs,
+            b.metrics.requester_to_worker_msgs)
+      << label;
+  EXPECT_EQ(a.metrics.precision_sum, b.metrics.precision_sum) << label;
+  EXPECT_EQ(a.metrics.recall_sum, b.metrics.recall_sum) << label;
+}
+
+// ------------------------------------------- Engine bit-identity contract
+
+// The headline exactness contract: flipping the threshold kernel changes
+// nothing observable — same assignments, same metrics, same RNG stream —
+// across all three reachability models.
+TEST(KernelEngineTest, ThresholdToggleIsBitIdenticalAcrossModels) {
+  const Workload w = NoisyWorkload(120, 31);
+  stats::Rng build_rng(32);
+  EmpiricalModelConfig config;
+  config.region = geo::BoundingBox::FromCorners({0, 0}, {20000, 20000});
+  config.num_samples = 60000;
+  auto empirical_built = EmpiricalModel::Build(config, kDefault, build_rng);
+  ASSERT_TRUE(empirical_built.ok());
+  auto empirical = std::make_shared<const EmpiricalModel>(
+      std::move(*empirical_built));
+
+  using Factory = MatcherHandle (*)(
+      const AlgorithmParams&, std::shared_ptr<const EmpiricalModel>);
+  const std::pair<const char*, Factory> variants[] = {
+      {"oblivious-binary",
+       [](const AlgorithmParams& p, std::shared_ptr<const EmpiricalModel>) {
+         return MakeOblivious(assign::RankStrategy::kNearest, p);
+       }},
+      {"probabilistic-model",
+       [](const AlgorithmParams& p, std::shared_ptr<const EmpiricalModel>) {
+         return MakeProbabilisticModel(p);
+       }},
+      {"probabilistic-data",
+       [](const AlgorithmParams& p, std::shared_ptr<const EmpiricalModel> m) {
+         return MakeProbabilisticData(p, std::move(m));
+       }}};
+
+  for (const auto& [label, make] : variants) {
+    AlgorithmParams params;
+    params.worker_params = kDefault;
+    params.task_params = kDefault;
+    params.kernel.alpha_thresholds = true;
+    MatcherHandle on = make(params, empirical);
+    params.kernel.alpha_thresholds = false;
+    MatcherHandle off = make(params, empirical);
+    stats::Rng rng_on(33), rng_off(33);
+    const MatchResult a = on.Run(w, rng_on);
+    const MatchResult b = off.Run(w, rng_off);
+    ExpectBitIdentical(a, b, label);
+    // Both runs must have consumed the RNG stream identically.
+    EXPECT_EQ(rng_on.UniformDouble(), rng_off.UniformDouble()) << label;
+  }
+}
+
+TEST(KernelEngineTest, ThresholdToggleIsBitIdenticalUnderPruning) {
+  const Workload w = NoisyWorkload(150, 34);
+  for (auto backend :
+       {index::PrunerBackend::kLinearScan, index::PrunerBackend::kGrid,
+        index::PrunerBackend::kRTree}) {
+    AlgorithmParams params;
+    params.worker_params = kDefault;
+    params.task_params = kDefault;
+    params.pruning_gamma = 0.9;
+    params.pruning_backend = backend;
+    params.kernel.alpha_thresholds = true;
+    MatcherHandle on = MakeProbabilisticModel(params);
+    params.kernel.alpha_thresholds = false;
+    MatcherHandle off = MakeProbabilisticModel(params);
+    stats::Rng rng_on(35), rng_off(35);
+    const MatchResult a = on.Run(w, rng_on);
+    const MatchResult b = off.Run(w, rng_off);
+    ExpectBitIdentical(a, b, std::string(index::PrunerBackendName(backend)));
+    EXPECT_EQ(rng_on.UniformDouble(), rng_off.UniformDouble());
+  }
+}
+
+// Sorted-pruner satellite: pruned runs must also match the unpruned scan
+// exactly at near-certain gamma (the engine no longer re-sorts, so this
+// doubles as the ascending-id contract check).
+TEST(KernelEngineTest, PrunedRunsStayIdenticalToUnprunedAtHighGamma) {
+  const Workload w = NoisyWorkload(100, 36);
+  AlgorithmParams params;
+  params.worker_params = kDefault;
+  params.task_params = kDefault;
+  MatcherHandle plain = MakeProbabilisticModel(params);
+  stats::Rng rng_plain(37);
+  const MatchResult base = plain.Run(w, rng_plain);
+  for (auto backend :
+       {index::PrunerBackend::kLinearScan, index::PrunerBackend::kGrid,
+        index::PrunerBackend::kRTree}) {
+    params.pruning_gamma = 0.999;
+    params.pruning_backend = backend;
+    MatcherHandle pruned = MakeProbabilisticModel(params);
+    stats::Rng rng(37);
+    ExpectBitIdentical(base, pruned.Run(w, rng),
+                       std::string(index::PrunerBackendName(backend)));
+  }
+}
+
+// ------------------------------------------------- Threshold inversion
+
+// The inversion agrees with direct evaluation everywhere, including at
+// +/- 1 ulp around both critical distances.
+TEST(AlphaThresholdTest, AgreesWithDirectEvalAroundBoundary) {
+  const AnalyticalModel model(kDefault);
+  for (double alpha : {0.05, 0.1, 0.4, 0.9}) {
+    AlphaThresholdCache cache(&model, Stage::kU2U, alpha);
+    for (double radius : {600.0, 1400.0, 3000.0}) {
+      const AlphaThreshold& t = cache.For(radius);
+      // At alpha = 0.4, R = 600 even p(0) < alpha: no accept region exists
+      // (accept_below_m = -1) and the filter certainly rejects everything.
+      EXPECT_EQ(t.accept_below_m >= 0.0,
+                model.ProbReachable(Stage::kU2U, 0.0, radius) >= alpha)
+          << "alpha=" << alpha << " R=" << radius;
+      std::vector<double> probes;
+      for (double b : {t.accept_below_m, t.reject_above_m}) {
+        if (b < 0.0 || std::isinf(b)) continue;
+        if (b > 0.0) probes.push_back(std::nextafter(b, 0.0));
+        probes.push_back(b);
+        probes.push_back(std::nextafter(b, 1e18));
+      }
+      for (double d = 0.0; d <= 12000.0; d += 97.0) probes.push_back(d);
+      for (double d : probes) {
+        const bool direct =
+            model.ProbReachable(Stage::kU2U, d, radius) >= alpha;
+        EXPECT_EQ(cache.IsCandidate(d, radius), direct)
+            << "alpha=" << alpha << " R=" << radius << " d=" << d;
+      }
+    }
+    // One inversion per distinct radius, memoized.
+    EXPECT_EQ(cache.size(), 3u);
+  }
+}
+
+TEST(AlphaThresholdTest, BinaryModelThresholdIsExactStep) {
+  const BinaryModel model;
+  AlphaThresholdCache cache(&model, Stage::kU2U, 0.5);
+  const double r = 1000.0;
+  EXPECT_TRUE(cache.IsCandidate(r, r));  // d == R accepts (p = 1).
+  EXPECT_FALSE(cache.IsCandidate(std::nextafter(r, 1e18), r));
+  EXPECT_TRUE(cache.IsCandidate(0.0, r));
+  // No direct evaluations needed: the step is representable exactly.
+  EXPECT_EQ(cache.exact_evals(), 0);
+}
+
+// The empirical table is piecewise-constant in d_obs and need not be
+// monotone; the inversion must still reproduce every per-bucket decision.
+TEST(AlphaThresholdTest, EmpiricalInversionMatchesBucketDecisions) {
+  stats::Rng rng(38);
+  EmpiricalModelConfig config;
+  config.region = geo::BoundingBox::FromCorners({0, 0}, {20000, 20000});
+  config.num_samples = 40000;
+  const auto model = EmpiricalModel::Build(config, kDefault, rng);
+  ASSERT_TRUE(model.ok());
+  for (double alpha : {0.05, 0.3, 0.7}) {
+    AlphaThresholdCache cache(&*model, Stage::kU2U, alpha);
+    for (double radius : {800.0, 1400.0}) {
+      const double width = model->u2u_table().bucket_width_m();
+      for (int b = 0; b < model->u2u_table().num_buckets(); ++b) {
+        // Probe the bucket's interior and both edges.
+        for (double d : {b * width, (b + 0.5) * width,
+                         std::nextafter((b + 1) * width, 0.0)}) {
+          const bool direct =
+              model->ProbReachable(Stage::kU2U, d, radius) >= alpha;
+          EXPECT_EQ(cache.IsCandidate(d, radius), direct)
+              << "alpha=" << alpha << " R=" << radius << " d=" << d;
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------- Batch evaluation
+
+TEST(BatchEvalTest, MatchesScalarBitForBit) {
+  stats::Rng rng(39);
+  EmpiricalModelConfig config;
+  config.region = geo::BoundingBox::FromCorners({0, 0}, {20000, 20000});
+  config.num_samples = 30000;
+  const auto empirical = EmpiricalModel::Build(config, kDefault, rng);
+  ASSERT_TRUE(empirical.ok());
+  const AnalyticalModel analytical(kDefault);
+  const BinaryModel binary;
+  const ReachabilityModel* models[] = {&binary, &analytical, &*empirical};
+
+  const size_t n = 257;
+  std::vector<double> d(n), r(n), batch(n);
+  for (size_t i = 0; i < n; ++i) {
+    d[i] = rng.UniformDouble(0.0, 15000.0);
+    r[i] = rng.UniformDouble(300.0, 3000.0);
+  }
+  for (const ReachabilityModel* model : models) {
+    for (Stage stage : {Stage::kU2U, Stage::kU2E}) {
+      model->ProbReachableBatch(stage, d.data(), r.data(), n, batch.data());
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(batch[i], model->ProbReachable(stage, d[i], r[i]))
+            << model->name() << " " << StageName(stage) << " i=" << i;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------ LUT
+
+TEST(KernelLutTest, ErrorBoundHoldsAgainstDirectRice) {
+  const AnalyticalModel model(kDefault);
+  KernelOptions options;
+  options.u2e_lut = true;
+  KernelLut lut(&model, Stage::kU2E, options);
+  // U2E under the paper model IS the Rice CDF: check the LUT against both
+  // the model and an independent 1 - MarcumQ1 evaluation.
+  const double sigma = std::sqrt(2.0) * kDefault.radius_m / kDefault.epsilon;
+  double worst = 0.0;
+  for (double radius : {700.0, 1400.0, 2800.0}) {
+    for (double d = 0.0; d <= 20000.0; d += 3.7) {
+      const double got = lut.Prob(d, radius);
+      const double direct = model.ProbReachable(Stage::kU2E, d, radius);
+      worst = std::max(worst, std::abs(got - direct));
+      ASSERT_NEAR(got, direct, options.lut_max_abs_error)
+          << "R=" << radius << " d=" << d;
+      const double marcum = stats::RiceDistribution(d, sigma).Cdf(radius);
+      ASSERT_NEAR(got, marcum, options.lut_max_abs_error)
+          << "R=" << radius << " d=" << d;
+    }
+  }
+  EXPECT_EQ(lut.tables_built(), 3u);
+  EXPECT_LE(lut.worst_verified_error(), options.lut_max_abs_error);
+  EXPECT_GT(worst, 0.0);  // The LUT interpolates, it is not a pass-through.
+}
+
+TEST(KernelLutTest, EngineWithLutStaysCloseToExactScoring) {
+  const Workload w = NoisyWorkload(100, 40);
+  AlgorithmParams params;
+  params.worker_params = kDefault;
+  params.task_params = kDefault;
+  MatcherHandle exact = MakeProbabilisticModel(params);
+  params.kernel.u2e_lut = true;
+  MatcherHandle lut = MakeProbabilisticModel(params);
+  stats::Rng rng_a(41), rng_b(41);
+  const MatchResult a = exact.Run(w, rng_a);
+  const MatchResult b = lut.Run(w, rng_b);
+  // The 1e-4 score error can only flip near-tied rankings; the aggregate
+  // outcome must stay essentially unchanged.
+  EXPECT_EQ(a.metrics.candidates_sum, b.metrics.candidates_sum);
+  EXPECT_NEAR(static_cast<double>(a.metrics.assigned_tasks),
+              static_cast<double>(b.metrics.assigned_tasks), 2.0);
+}
+
+// ----------------------------------------- Empirical sparse fallback
+
+TEST(EmpiricalTableTest, SparseFallbackIndexMatchesLazyWalk) {
+  // A sparse table: only buckets 2, 7 and 9 hold samples.
+  EmpiricalTable walk(100.0, 12, 4000.0, 40);
+  walk.Add(500.0, 250.0);
+  walk.Add(900.0, 270.0);
+  walk.Add(1500.0, 770.0);
+  walk.Add(3500.0, 950.0);
+  EmpiricalTable indexed(100.0, 12, 4000.0, 40);
+  indexed.Add(500.0, 250.0);
+  indexed.Add(900.0, 270.0);
+  indexed.Add(1500.0, 770.0);
+  indexed.Add(3500.0, 950.0);
+  indexed.WarmQueryCache();  // Builds the nearest-populated index.
+  for (int b = 0; b < 12; ++b) {
+    const double d = (b + 0.25) * 100.0;
+    for (double threshold : {400.0, 1000.0, 2600.0}) {
+      EXPECT_EQ(indexed.ProbBelow(d, threshold), walk.ProbBelow(d, threshold))
+          << "bucket=" << b << " threshold=" << threshold;
+    }
+  }
+}
+
+TEST(EmpiricalTableTest, MergeInvalidatesFallbackIndex) {
+  EmpiricalTable a(100.0, 8, 4000.0, 40);
+  a.Add(100.0, 150.0);
+  a.WarmQueryCache();
+  EmpiricalTable b(100.0, 8, 4000.0, 40);
+  b.Add(600.0, 650.0);
+  ASSERT_TRUE(a.Merge(b).ok());
+  // Bucket 6 is now populated; a stale index would shift the query to
+  // bucket 1 and see only the short sample.
+  EXPECT_GT(a.ProbBelow(650.0, 700.0), 0.99);
+  a.WarmQueryCache();
+  // Post-merge + re-warm must agree with a never-warmed table holding the
+  // same samples on every bucket (ties included).
+  EmpiricalTable fresh(100.0, 8, 4000.0, 40);
+  fresh.Add(100.0, 150.0);
+  fresh.Add(600.0, 650.0);
+  for (int bucket = 0; bucket < 8; ++bucket) {
+    const double d = (bucket + 0.5) * 100.0;
+    for (double threshold : {150.0, 700.0}) {
+      EXPECT_EQ(a.ProbBelow(d, threshold), fresh.ProbBelow(d, threshold))
+          << "bucket=" << bucket << " threshold=" << threshold;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scguard::reachability
