@@ -153,9 +153,13 @@ class JsonSeriesWriter {
 
   ~JsonSeriesWriter() { Flush(); }
 
-  void Add(const std::string& series, double x,
-           const sim::AggregatedMetrics& m) {
-    points_.push_back({series, x, m});
+  /// `extra` key/value pairs are emitted verbatim as additional JSON
+  /// fields of this point (e.g. the scale bench's thread count), after the
+  /// fixed metric schema. Keys must be unique and distinct from the fixed
+  /// field names.
+  void Add(const std::string& series, double x, const sim::AggregatedMetrics& m,
+           std::vector<std::pair<std::string, double>> extra = {}) {
+    points_.push_back({series, x, m, std::move(extra)});
   }
 
   void Flush() {
@@ -180,11 +184,19 @@ class JsonSeriesWriter {
           << ",\"precision\":" << p.m.precision
           << ",\"recall\":" << p.m.recall
           << ",\"disclosures_per_task\":" << p.m.disclosures_per_task
+          << ",\"u2u_seconds\":" << p.m.u2u_seconds
           << ",\"u2e_seconds\":" << p.m.u2e_seconds
           << ",\"total_seconds\":" << p.m.total_seconds
+          << ",\"u2u_scanned\":" << p.m.u2u_scanned
+          << ",\"u2u_scanned_first_task\":" << p.m.u2u_scanned_first_task
+          << ",\"u2u_scanned_last_task\":" << p.m.u2u_scanned_last_task
           << ",\"seed_seconds_min\":" << p.m.seed_seconds_min
           << ",\"seed_seconds_median\":" << p.m.seed_seconds_median
-          << ",\"seed_seconds_max\":" << p.m.seed_seconds_max << '}';
+          << ",\"seed_seconds_max\":" << p.m.seed_seconds_max;
+      for (const auto& [key, value] : p.extra) {
+        out << ",\"" << key << "\":" << value;
+      }
+      out << '}';
     }
     // Observability snapshot: counters, stage-latency percentiles, and
     // span aggregates of this whole bench process (see EXPERIMENTS.md;
@@ -197,6 +209,7 @@ class JsonSeriesWriter {
     std::string series;
     double x;
     sim::AggregatedMetrics m;
+    std::vector<std::pair<std::string, double>> extra;
   };
 
   std::string name_;

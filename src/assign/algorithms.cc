@@ -18,6 +18,7 @@ EnginePolicy BasePolicy(const AlgorithmParams& params) {
   policy.pruning_gamma = params.pruning_gamma;
   policy.pruning_backend = params.pruning_backend;
   policy.kernel = params.kernel;
+  policy.runtime = params.runtime;
   return policy;
 }
 

@@ -39,6 +39,8 @@ struct AlgorithmParams {
       reachability::AnalyticalMode::kPaperNormalApprox;
   /// Evaluation-kernel knobs, forwarded to EnginePolicy::kernel.
   reachability::KernelOptions kernel;
+  /// Parallel-scan / active-set knobs, forwarded to EnginePolicy::runtime.
+  EngineRuntime runtime;
 };
 
 /// GroundTruth-RR / GroundTruth-NN: the non-private Ranking upper bound.

@@ -34,9 +34,22 @@ MatchResult BatchMatcher::Run(const Workload& workload, stats::Rng& /*rng*/) {
   // Run-local threshold cache (one bisection per distinct reach radius)
   // keeps Run safe to call concurrently on a shared matcher.
   std::optional<reachability::AlphaThresholdCache> thresholds;
+  std::vector<double> accept_sq;
+  std::vector<double> reject_sq;
   if (kernel_.alpha_thresholds) {
     thresholds.emplace(model_, reachability::Stage::kU2U, alpha_,
                        kernel_.threshold_margin);
+    // Per-worker squared certain bounds, hoisted out of the cost-matrix
+    // loop: most pairs resolve on a squared-distance compare with no sqrt
+    // and no hash lookup (same certain-band contract as the engine scan).
+    accept_sq.resize(workload.workers.size());
+    reject_sq.resize(workload.workers.size());
+    for (size_t w = 0; w < workload.workers.size(); ++w) {
+      const reachability::AlphaThreshold& t =
+          thresholds->For(workload.workers[w].reach_radius_m);
+      accept_sq[w] = t.accept_below_sq;
+      reject_sq[w] = t.reject_above_sq;
+    }
   }
 
   for (size_t batch_start = 0; batch_start < workload.tasks.size();
@@ -60,18 +73,30 @@ MatchResult BatchMatcher::Run(const Workload& workload, stats::Rng& /*rng*/) {
       const Task& task = workload.tasks[batch_start + bt];
       int64_t candidates = 0;
       for (size_t wi = 0; wi < available.size(); ++wi) {
-        const Worker& worker = workload.workers[available[wi]];
-        const double d_obs =
-            geo::Distance(worker.noisy_location, task.noisy_location);
-        // d_obs doubles as the matching cost, so the threshold path saves
-        // only the model evaluation — which dominates for the Rice CDF.
-        const bool feasible =
-            thresholds.has_value()
-                ? thresholds->IsCandidate(d_obs, worker.reach_radius_m)
-                : model_->ProbReachable(reachability::Stage::kU2U, d_obs,
-                                        worker.reach_radius_m) >= alpha_;
+        const size_t w = available[wi];
+        const Worker& worker = workload.workers[w];
+        bool feasible;
+        if (thresholds.has_value()) {
+          const double d_sq =
+              geo::SquaredDistance(worker.noisy_location, task.noisy_location);
+          if (d_sq >= reject_sq[w]) continue;  // Certain reject: no sqrt.
+          // Certain accept needs no eval; only the band pays IsCandidate.
+          feasible = d_sq <= accept_sq[w] ||
+                     thresholds->IsCandidate(
+                         geo::Distance(worker.noisy_location,
+                                       task.noisy_location),
+                         worker.reach_radius_m);
+        } else {
+          const double d_obs =
+              geo::Distance(worker.noisy_location, task.noisy_location);
+          feasible = model_->ProbReachable(reachability::Stage::kU2U, d_obs,
+                                           worker.reach_radius_m) >= alpha_;
+        }
         if (feasible) {
-          cost[bt][wi] = d_obs;
+          // d_obs doubles as the matching cost (computed only for feasible
+          // pairs now; Distance stays the cost so values are unchanged).
+          cost[bt][wi] =
+              geo::Distance(worker.noisy_location, task.noisy_location);
           ++candidates;
         }
       }

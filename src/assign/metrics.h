@@ -46,10 +46,20 @@ struct RunMetrics {
   int64_t server_to_requester_msgs = 0;  ///< Candidate sets sent.
   int64_t requester_to_worker_msgs = 0;  ///< Task-location disclosures.
 
+  /// Wall-clock spent in the server-side U2U candidate scan.
+  double u2u_seconds = 0.0;
   /// Wall-clock spent in the requester-side U2E ranking (paper Fig. 10e).
   double u2e_seconds = 0.0;
   /// Wall-clock of the whole run.
   double total_seconds = 0.0;
+
+  /// Workers actually scored by the U2U filter, summed over tasks. With
+  /// active-set compaction this shrinks as workers get matched; the
+  /// first/last-task pair exposes the decay (scale bench, DESIGN.md §9).
+  /// First/last are per-run snapshots, not accumulated across seeds.
+  int64_t u2u_scanned = 0;
+  int64_t u2u_scanned_first_task = 0;
+  int64_t u2u_scanned_last_task = 0;
 
   double MeanTravelM() const {
     return accepted_assignments > 0

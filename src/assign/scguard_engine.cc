@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
+#include <limits>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -12,6 +14,8 @@
 #include "common/str_format.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runtime/parallel_for.h"
+#include "runtime/thread_pool.h"
 
 namespace scguard::assign {
 namespace {
@@ -39,9 +43,12 @@ struct EngineObs {
   obs::Counter* disclosures;
   obs::Counter* false_hits;
   obs::Counter* false_dismissals;
+  obs::Counter* band_evals;
+  obs::Counter* active_compactions;
   obs::Histogram* u2u_seconds;
   obs::Histogram* u2e_seconds;
   obs::Histogram* e2e_seconds;
+  obs::Histogram* u2u_scan_workers;
 
   static const EngineObs& Get() {
     auto& registry = obs::MetricsRegistry::Global();
@@ -57,11 +64,27 @@ struct EngineObs {
         registry.GetCounter("scguard.engine.disclosures"),
         registry.GetCounter("scguard.engine.false_hits"),
         registry.GetCounter("scguard.engine.false_dismissals"),
+        registry.GetCounter("scguard.engine.u2u_band_evals"),
+        registry.GetCounter("scguard.engine.active_compactions"),
         registry.GetHistogram("scguard.engine.u2u_seconds"),
         registry.GetHistogram("scguard.engine.u2e_seconds"),
-        registry.GetHistogram("scguard.engine.e2e_seconds")};
+        registry.GetHistogram("scguard.engine.e2e_seconds"),
+        registry.GetHistogram("scguard.engine.u2u_scan_workers")};
     return o;
   }
+};
+
+/// Per-shard scratch of the U2U scan. Each shard owns one instance for the
+/// whole run, so concurrent shard scans never share mutable state and the
+/// vectors' capacities amortize across tasks.
+struct ShardScratch {
+  std::vector<uint32_t> live;    ///< Matched-filtered indices (full-scan mode).
+  std::vector<uint32_t> accept;  ///< Certain accepts, ascending.
+  std::vector<uint32_t> band;    ///< In-band indices, then surviving subset.
+  std::vector<uint32_t> out;     ///< This shard's candidates, ascending.
+  int64_t scanned = 0;           ///< Workers scored for the current task.
+  int64_t band_evals = 0;        ///< Direct model evals, run cumulative.
+  int64_t compactions = 0;       ///< Active-set rebuilds, run cumulative.
 };
 
 }  // namespace
@@ -74,6 +97,7 @@ ScGuardEngine::ScGuardEngine(EnginePolicy policy) : policy_(std::move(policy)) {
   SCGUARD_CHECK(policy_.alpha > 0.0 && policy_.alpha <= 1.0);
   SCGUARD_CHECK(policy_.beta >= 0.0 && policy_.beta <= 1.0);
   SCGUARD_CHECK(policy_.redundancy_k >= 1);
+  SCGUARD_CHECK(policy_.runtime.shard_size >= 1);
 }
 
 std::string ScGuardEngine::name() const {
@@ -100,6 +124,7 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
   m.num_workers = static_cast<int64_t>(workload.workers.size());
 
   const size_t n = workload.workers.size();
+  SCGUARD_CHECK(n <= std::numeric_limits<uint32_t>::max());
 
   // Ranking's random priorities, fixed once per run (Alg. 1 Line 12).
   std::vector<double> random_rank(n);
@@ -120,6 +145,9 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
 
   // Kernel caches are per-Run: ExperimentRunner shares one matcher across
   // concurrently running seeds, so nothing here may live in the engine.
+  // Filling accept/reject_sq below also prewarms the threshold cache for
+  // every worker radius, which the parallel band resolution relies on
+  // (AlphaThresholdCache::Lookup is the read-only path).
   const reachability::KernelOptions& kopts = policy_.kernel;
   std::optional<reachability::AlphaThresholdCache> u2u_thresholds;
   if (kopts.alpha_thresholds) {
@@ -154,11 +182,33 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
         *policy_.pruning_gamma, policy_.pruning_backend, workload.region);
   }
 
+  // ---- Sharded scan state (DESIGN.md §9) ---------------------------------
+  // The full scan partitions the SoA into fixed-size shards; each shard
+  // keeps a dense ascending array of its still-available worker indices.
+  // Shard boundaries depend only on (n, shard_size), never on the pool, so
+  // concatenating per-shard candidates in shard order reproduces the serial
+  // ascending scan bit for bit. Pruned runs query the index instead and
+  // skip this state entirely (the pruner's Remove keeps *it* shrinking).
+  const EngineRuntime& rt = policy_.runtime;
+  const bool full_scan = pruner == nullptr;
+  const size_t shard_size = static_cast<size_t>(rt.shard_size);
+  const size_t num_shards =
+      full_scan && n > 0 ? (n + shard_size - 1) / shard_size : 0;
+  std::vector<std::vector<uint32_t>> shard_active(num_shards);
+  std::vector<uint8_t> shard_dirty(num_shards, 0);
+  std::vector<ShardScratch> shards(full_scan ? num_shards : 1);
+  for (size_t s = 0; s < num_shards; ++s) {
+    const size_t lo = s * shard_size;
+    const size_t hi = std::min(n, lo + shard_size);
+    shard_active[s].reserve(hi - lo);
+    for (size_t i = lo; i < hi; ++i) {
+      shard_active[s].push_back(static_cast<uint32_t>(i));
+    }
+  }
+
   // Reused scratch between tasks (allocating these per task shows up on
   // pruned runs, where the real work per task is small).
-  std::vector<size_t> scan_order(n);
-  for (size_t i = 0; i < n; ++i) scan_order[i] = i;
-  std::vector<size_t> candidates;
+  std::vector<uint32_t> candidates;
   candidates.reserve(n);
   std::vector<std::pair<double, size_t>> ranked;
   ranked.reserve(n);
@@ -167,59 +217,141 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
   std::vector<double> u2e_r;
   std::vector<double> u2e_p;
 
+  // Scores `count` workers (an ascending index list with no matched
+  // entries) against the current task's noisy location, appending the
+  // ascending candidate subset to `sc.out`. Safe to run concurrently on
+  // distinct scratches: reads only the SoA, the prewarmed threshold cache,
+  // and the (thread-safe, const) model.
+  const auto scan_indices = [&](geo::Point task_noisy, const uint32_t* idx,
+                                size_t count, ShardScratch& sc) {
+    sc.out.clear();
+    sc.scanned = static_cast<int64_t>(count);
+    if (u2u_thresholds.has_value()) {
+      // Branch-free trichotomy over the contiguous SoA arrays, then one
+      // direct evaluation per in-band worker — the same decision as
+      // AlphaThresholdCache::IsCandidate, inlined so the shared cache is
+      // never mutated from a pool worker.
+      reachability::ClassifyCertainBand(soa, idx, count, task_noisy.x,
+                                        task_noisy.y, sc.accept, sc.band);
+      size_t kept = 0;
+      for (const uint32_t i : sc.band) {
+        const reachability::AlphaThreshold* t =
+            u2u_thresholds->Lookup(soa.reach_radius_m[i]);
+        SCGUARD_CHECK(t != nullptr);
+        const double d =
+            geo::Distance({soa.x[i], soa.y[i]}, task_noisy);
+        bool is_candidate;
+        if (d <= t->accept_below_m) {
+          is_candidate = true;
+        } else if (d >= t->reject_above_m) {
+          is_candidate = false;
+        } else {
+          ++sc.band_evals;
+          is_candidate = policy_.u2u_model->ProbReachable(
+                             reachability::Stage::kU2U, d,
+                             soa.reach_radius_m[i]) >= policy_.alpha;
+        }
+        sc.band[kept] = i;
+        kept += is_candidate ? 1 : 0;
+      }
+      sc.band.resize(kept);
+      // Both lists are ascending subsets of the input, so one merge
+      // restores the serial scan's candidate order.
+      sc.out.resize(sc.accept.size() + sc.band.size());
+      std::merge(sc.accept.begin(), sc.accept.end(), sc.band.begin(),
+                 sc.band.end(), sc.out.begin());
+    } else {
+      for (size_t k = 0; k < count; ++k) {
+        const uint32_t i = idx[k];
+        const double d_obs =
+            geo::Distance({soa.x[i], soa.y[i]}, task_noisy);
+        const double p = policy_.u2u_model->ProbReachable(
+            reachability::Stage::kU2U, d_obs, soa.reach_radius_m[i]);
+        if (p >= policy_.alpha) sc.out.push_back(i);
+      }
+    }
+  };
+
+  size_t task_index = 0;
   for (const Task& task : workload.tasks) {
     // ---- Stage 1: U2U (server) -------------------------------------
     // Server sees only noisy locations and the workers' reach radii.
-    Clock::time_point stage_start;
-    if (obs_on) stage_start = Clock::now();
+    const auto u2u_start = Clock::now();
     candidates.clear();
-    int64_t evaluated = 0;
-    auto consider = [&](size_t i) {
-      if (matched[i]) return;
-      ++evaluated;
-      bool is_candidate;
-      if (u2u_thresholds.has_value()) {
-        // Threshold-inverted filter: a squared-distance compare against
-        // the precomputed certain band; only observations inside the band
-        // fall back to one direct model evaluation, so the decision is
-        // bit-identical to the scalar path (tests/kernel_test.cc).
-        const double dx = soa.x[i] - task.noisy_location.x;
-        const double dy = soa.y[i] - task.noisy_location.y;
-        const double d_sq = dx * dx + dy * dy;
-        if (d_sq <= soa.accept_below_sq[i]) {
-          is_candidate = true;
-        } else if (d_sq >= soa.reject_above_sq[i]) {
-          is_candidate = false;
-        } else {
-          is_candidate = u2u_thresholds->IsCandidate(
-              geo::Distance({soa.x[i], soa.y[i]}, task.noisy_location),
-              soa.reach_radius_m[i]);
-        }
-      } else {
-        const double d_obs = geo::Distance({soa.x[i], soa.y[i]},
-                                           task.noisy_location);
-        const double p = policy_.u2u_model->ProbReachable(
-            reachability::Stage::kU2U, d_obs, soa.reach_radius_m[i]);
-        is_candidate = p >= policy_.alpha;
-      }
-      if (is_candidate) {
-        candidates.push_back(i);
-      } else {
-        ++obs_alpha_rejections;
-      }
-    };
+    int64_t scanned_this_task = 0;
     if (pruner != nullptr) {
       pruner->Candidates(task.noisy_location, pruner_ids);
-      for (int64_t id : pruner_ids) consider(static_cast<size_t>(id));
-      obs_pruned += static_cast<int64_t>(n) -
-                    static_cast<int64_t>(pruner_ids.size());
+      ShardScratch& sc = shards[0];
+      sc.live.clear();
+      for (const int64_t id : pruner_ids) {
+        if (!matched[static_cast<size_t>(id)]) {
+          sc.live.push_back(static_cast<uint32_t>(id));
+        }
+      }
+      scan_indices(task.noisy_location, sc.live.data(), sc.live.size(), sc);
       // Backends emit ids in ascending order, so `candidates` is already
       // sorted — no per-task re-sort.
+      candidates.assign(sc.out.begin(), sc.out.end());
+      scanned_this_task = sc.scanned;
+      obs_pruned += static_cast<int64_t>(n) -
+                    static_cast<int64_t>(pruner_ids.size());
     } else {
-      for (size_t i : scan_order) consider(i);
+      const Status scan_status = runtime::ParallelFor(
+          rt.pool, 0, static_cast<int64_t>(num_shards), /*grain=*/1,
+          [&](int64_t lo, int64_t hi) -> Status {
+            for (int64_t s = lo; s < hi; ++s) {
+              std::vector<uint32_t>& active =
+                  shard_active[static_cast<size_t>(s)];
+              ShardScratch& sc = shards[static_cast<size_t>(s)];
+              if (rt.active_set) {
+                if (shard_dirty[static_cast<size_t>(s)]) {
+                  // Stage-boundary rebuild from matched[]: a stable filter,
+                  // so the shard stays ascending and the next scan touches
+                  // only available workers.
+                  active.erase(
+                      std::remove_if(active.begin(), active.end(),
+                                     [&](uint32_t i) { return matched[i] != 0; }),
+                      active.end());
+                  shard_dirty[static_cast<size_t>(s)] = 0;
+                  ++sc.compactions;
+                }
+                scan_indices(task.noisy_location, active.data(), active.size(),
+                             sc);
+              } else {
+                // Legacy full scan: the matched filter runs per task.
+                sc.live.clear();
+                for (const uint32_t i : active) {
+                  if (!matched[i]) sc.live.push_back(i);
+                }
+                scan_indices(task.noisy_location, sc.live.data(),
+                             sc.live.size(), sc);
+              }
+            }
+            return Status::OK();
+          });
+      SCGUARD_CHECK(scan_status.ok());
+      // Seed-order reduction: shard order == ascending id order.
+      for (size_t s = 0; s < num_shards; ++s) {
+        const ShardScratch& sc = shards[s];
+        candidates.insert(candidates.end(), sc.out.begin(), sc.out.end());
+        scanned_this_task += sc.scanned;
+      }
     }
-    obs_evaluated += evaluated;
-    if (obs_on) eo.u2u_seconds->Observe(Elapsed(stage_start));
+    obs_evaluated += scanned_this_task;
+    obs_alpha_rejections +=
+        scanned_this_task - static_cast<int64_t>(candidates.size());
+    m.u2u_scanned += scanned_this_task;
+    if (task_index == 0) m.u2u_scanned_first_task = scanned_this_task;
+    m.u2u_scanned_last_task = scanned_this_task;
+    ++task_index;
+    {
+      const double u2u_elapsed = Elapsed(u2u_start);
+      m.u2u_seconds += u2u_elapsed;
+      if (obs_on) {
+        eo.u2u_seconds->Observe(u2u_elapsed);
+        eo.u2u_scan_workers->Observe(static_cast<double>(scanned_this_task));
+      }
+    }
     m.candidates_sum += static_cast<int64_t>(candidates.size());
     m.server_to_requester_msgs += 1;
 
@@ -234,7 +366,7 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
           ++truly_reachable_available;
         }
       }
-      for (size_t i : candidates) {
+      for (const uint32_t i : candidates) {
         if (workload.workers[i].CanReach(task.location)) ++candidates_reachable;
       }
       if (!candidates.empty()) {
@@ -282,7 +414,7 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
         ranked.emplace_back(u2e_p[k], candidates[k]);
       }
     } else {
-      for (size_t i : candidates) {
+      for (const uint32_t i : candidates) {
         const double score =
             policy_.rank == RankStrategy::kRandom
                 ? random_rank[i]
@@ -301,6 +433,7 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
     }
 
     // ---- Stage 3: E2E (workers), interleaved with U2E re-ranking ----
+    Clock::time_point stage_start;
     if (obs_on) stage_start = Clock::now();
     int accepted = 0;
     size_t next = 0;
@@ -324,6 +457,16 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
       const Worker& w = workload.workers[i];
       if (w.CanReach(task.location)) {
         matched[i] = true;
+        if (rt.active_set) {
+          // Active-set maintenance: full scans compact the shard at its
+          // next scan; pruned runs drop the worker from the index so
+          // queries stop returning it.
+          if (pruner != nullptr) {
+            pruner->Remove(static_cast<int64_t>(i));
+          } else {
+            shard_dirty[i / shard_size] = 1;
+          }
+        }
         ++accepted;
         const double travel = geo::Distance(w.location, task.location);
         result.assignments.push_back({task.id, w.id, travel});
@@ -353,6 +496,13 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
 
   m.total_seconds = Elapsed(run_start);
 
+  int64_t obs_band_evals = 0;
+  int64_t obs_compactions = 0;
+  for (const ShardScratch& sc : shards) {
+    obs_band_evals += sc.band_evals;
+    obs_compactions += sc.compactions;
+  }
+
   // One atomic flush per counter per run; no-ops while disabled.
   eo.tasks->Increment(m.num_tasks);
   eo.assigned_tasks->Increment(m.assigned_tasks);
@@ -365,6 +515,8 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
   eo.disclosures->Increment(m.requester_to_worker_msgs);
   eo.false_hits->Increment(m.false_hits);
   eo.false_dismissals->Increment(m.false_dismissals);
+  eo.band_evals->Increment(obs_band_evals);
+  eo.active_compactions->Increment(obs_compactions);
   return result;
 }
 

@@ -11,7 +11,40 @@
 #include "reachability/kernel.h"
 #include "reachability/model.h"
 
+namespace scguard::runtime {
+class ThreadPool;
+}  // namespace scguard::runtime
+
 namespace scguard::assign {
+
+/// Engine-level parallelism knobs (DESIGN.md section 9), the per-run analog
+/// of ExperimentConfig::runtime. The determinism contract matches the
+/// runtime layer's: for a fixed policy and workload, MatchResult and the
+/// RNG stream are bit-identical for every (pool, shard_size, active_set)
+/// combination — parallelism and compaction only change wall-clock.
+struct EngineRuntime {
+  /// Pool the U2U scan fans its shards across. Not owned; must outlive the
+  /// engine's Run calls. nullptr (the default) keeps the scan serial, and
+  /// runtime::ParallelFor falls back to serial anyway when Run is already
+  /// executing inside a pool worker (ExperimentRunner's seed fan-out), so
+  /// nested parallelism never deadlocks.
+  runtime::ThreadPool* pool = nullptr;
+
+  /// Workers per scan shard. Fixed-size shards — never derived from the
+  /// thread count — so per-shard candidate vectors concatenate to the same
+  /// ascending id order on any pool. Smaller shards balance better once
+  /// the active set drains unevenly; 4096 keeps per-shard overhead
+  /// negligible up to millions of workers.
+  int shard_size = 4096;
+
+  /// Maintain per-shard active-index arrays so the scan cost tracks
+  /// *available* workers: matched workers are compacted out of their shard
+  /// at the next task's scan (and removed from the pruning index when one
+  /// is active). Off = rescan all n workers per task with a matched[]
+  /// check, the legacy full-scan path; kept as a toggle for the
+  /// equivalence test and the scale bench.
+  bool active_set = true;
+};
 
 /// Configuration of the privacy-aware three-stage protocol simulation.
 ///
@@ -83,6 +116,11 @@ struct EnginePolicy {
   /// exact threshold-inversion U2U filter on (bit-identical assignments,
   /// verified by tests/kernel_test.cc) and the bounded-error U2E LUT off.
   reachability::KernelOptions kernel;
+
+  /// Parallel-scan and active-set knobs (DESIGN.md section 9). Defaults
+  /// keep compaction on and the scan serial; thread-count invariance is
+  /// held by tests/engine_parallel_test.cc.
+  EngineRuntime runtime;
 
   /// Display name override; empty derives one from model + strategy.
   std::string name;

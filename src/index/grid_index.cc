@@ -33,6 +33,9 @@ void GridIndex::Insert(const geo::BoundingBox& box, int64_t id) {
   boxes_.push_back(box);
   ids_.push_back(id);
   stamps_.push_back(0);
+  removed_.push_back(0);
+  live_by_id_[id].push_back(entry);
+  ++live_;
   const CellRange range = CellsFor(box);
   for (int cy = range.y0; cy <= range.y1; ++cy) {
     for (int cx = range.x0; cx <= range.x1; ++cx) {
@@ -55,6 +58,7 @@ void GridIndex::Query(const geo::BoundingBox& query,
       for (size_t entry : cells_entries_[CellSlot(cx, cy)]) {
         if (stamps_[entry] == current_stamp_) continue;
         stamps_[entry] = current_stamp_;
+        if (removed_[entry]) continue;
         if (boxes_[entry].Intersects(query)) fn(ids_[entry]);
       }
     }
@@ -71,6 +75,16 @@ void GridIndex::QueryIds(const geo::BoundingBox& query,
                          std::vector<int64_t>& out) const {
   out.clear();
   Query(query, [&out](int64_t id) { out.push_back(id); });
+}
+
+size_t GridIndex::Remove(int64_t id) {
+  const auto it = live_by_id_.find(id);
+  if (it == live_by_id_.end()) return 0;
+  const size_t count = it->second.size();
+  for (const size_t entry : it->second) removed_[entry] = 1;
+  live_ -= count;
+  live_by_id_.erase(it);
+  return count;
 }
 
 }  // namespace scguard::index

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "geo/bbox.h"
@@ -35,7 +36,16 @@ class GridIndex {
   /// query loops avoid the per-call allocation.
   void QueryIds(const geo::BoundingBox& query, std::vector<int64_t>& out) const;
 
-  size_t size() const { return boxes_.size(); }
+  /// Removes every live entry inserted under `id` (tombstoned; cell lists
+  /// are left in place and skipped at query time, so removal is O(entries
+  /// for id) and never reshuffles other entries). Returns the number of
+  /// entries removed — 0 when the id is absent or already removed, making
+  /// repeated removal idempotent. A later Insert with the same id makes
+  /// the id live again (only the new rectangle is queryable).
+  size_t Remove(int64_t id);
+
+  /// Live (inserted and not removed) entries.
+  size_t size() const { return live_; }
 
  private:
   struct CellRange {
@@ -54,6 +64,10 @@ class GridIndex {
   std::vector<std::vector<size_t>> cells_entries_;  // Cell -> entry indices.
   std::vector<geo::BoundingBox> boxes_;             // Entry index -> box.
   std::vector<int64_t> ids_;                        // Entry index -> id.
+  std::vector<uint8_t> removed_;                    // Entry index -> tombstone.
+  // Id -> its live entry indices, so Remove(id) finds them without a scan.
+  std::unordered_map<int64_t, std::vector<size_t>> live_by_id_;
+  size_t live_ = 0;
   // Query-time visited stamps to deduplicate multi-cell entries without
   // allocating per query.
   mutable std::vector<uint32_t> stamps_;

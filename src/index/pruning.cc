@@ -81,9 +81,24 @@ void UncertainRegionPruner::Candidates(geo::Point task_noisy_location,
       rtree_->QueryIds(task_box, out);
       break;
   }
+  if (!removed_.empty()) {
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [this](int64_t id) {
+                               return removed_.find(id) != removed_.end();
+                             }),
+              out.end());
+  }
   if (!std::is_sorted(out.begin(), out.end())) {
     std::sort(out.begin(), out.end());
   }
+}
+
+void UncertainRegionPruner::Remove(int64_t worker_id) {
+  if (backend_ == PrunerBackend::kGrid) {
+    grid_->Remove(worker_id);
+    return;
+  }
+  removed_.insert(worker_id);
 }
 
 }  // namespace scguard::index

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "geo/bbox.h"
@@ -65,6 +66,13 @@ class UncertainRegionPruner {
   void Candidates(geo::Point task_noisy_location,
                   std::vector<int64_t>& out) const;
 
+  /// Permanently drops a worker from future Candidates results (the engine
+  /// calls this when a worker accepts a task, so pruned queries stop
+  /// returning matched workers — DESIGN.md section 9). Idempotent; removing
+  /// an unknown id is a no-op. The grid backend tombstones the index entry;
+  /// the linear and R-tree backends filter at query time.
+  void Remove(int64_t worker_id);
+
   /// Confidence radius applied to worker observations.
   double worker_confidence_radius_m() const { return r_r_worker_; }
   /// Confidence radius applied to task observations.
@@ -78,6 +86,9 @@ class UncertainRegionPruner {
   PrunerBackend backend_;
   std::unique_ptr<GridIndex> grid_;
   std::unique_ptr<RTree> rtree_;
+  // Removed ids for the backends without native removal (linear, R-tree);
+  // empty unless Remove was called, so untouched pruners pay nothing.
+  std::unordered_set<int64_t> removed_;
 };
 
 }  // namespace scguard::index

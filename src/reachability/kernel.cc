@@ -285,4 +285,37 @@ KernelLut::Table KernelLut::Build(double reach_radius_m) {
   }
 }
 
+void ClassifyCertainBand(const WorkerFilterSoA& soa, const uint32_t* indices,
+                         size_t count, double task_x, double task_y,
+                         std::vector<uint32_t>& accept,
+                         std::vector<uint32_t>& band) {
+  accept.resize(count);
+  band.resize(count);
+  const double* const x = soa.x.data();
+  const double* const y = soa.y.data();
+  const double* const accept_sq = soa.accept_below_sq.data();
+  const double* const reject_sq = soa.reject_above_sq.data();
+  uint32_t* const accept_out = accept.data();
+  uint32_t* const band_out = band.data();
+  size_t num_accept = 0;
+  size_t num_band = 0;
+  for (size_t k = 0; k < count; ++k) {
+    const uint32_t i = indices[k];
+    const double dx = x[i] - task_x;
+    const double dy = y[i] - task_y;
+    const double d_sq = dx * dx + dy * dy;
+    // Unconditional slot writes + predicated increments keep the loop free
+    // of data-dependent branches; d_sq == accept bound counts as accept,
+    // matching AlphaThreshold::NeedsExactEval's open band.
+    const bool in_accept = d_sq <= accept_sq[i];
+    const bool in_band = (d_sq > accept_sq[i]) & (d_sq < reject_sq[i]);
+    accept_out[num_accept] = i;
+    num_accept += in_accept ? 1 : 0;
+    band_out[num_band] = i;
+    num_band += in_band ? 1 : 0;
+  }
+  accept.resize(num_accept);
+  band.resize(num_band);
+}
+
 }  // namespace scguard::reachability

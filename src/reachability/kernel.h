@@ -40,6 +40,16 @@ struct KernelOptions {
   double threshold_margin = 1e-9;
 };
 
+/// Bit pattern of a radius, used as the memoization key (exact-value
+/// classes; quantize radii upstream to share tables across near-equal
+/// values).
+inline uint64_t RadiusKey(double reach_radius_m) {
+  uint64_t key = 0;
+  static_assert(sizeof(key) == sizeof(reach_radius_m));
+  std::memcpy(&key, &reach_radius_m, sizeof(key));
+  return key;
+}
+
 /// The alpha filter for one (stage, alpha, reach_radius), inverted into
 /// distance space. The decision contract, relied on for bit-identical
 /// engine output:
@@ -89,6 +99,16 @@ class AlphaThresholdCache {
 
   /// The inverted filter for this radius (memoized).
   const AlphaThreshold& For(double reach_radius_m);
+
+  /// Read-only lookup of an already-memoized radius; nullptr when the
+  /// radius was never inverted. Unlike For(), never mutates, so concurrent
+  /// readers may share a warmed cache — the parallel engine scan resolves
+  /// its in-band workers through this after prewarming every worker radius
+  /// (DESIGN.md section 9).
+  const AlphaThreshold* Lookup(double reach_radius_m) const {
+    const auto it = by_radius_.find(RadiusKey(reach_radius_m));
+    return it == by_radius_.end() ? nullptr : &it->second;
+  }
 
   /// Exactly `model->ProbReachable(stage, d, r) >= alpha`, via the
   /// threshold compare plus (rarely) one direct evaluation in the band.
@@ -179,15 +199,22 @@ struct WorkerFilterSoA {
   size_t size() const { return x.size(); }
 };
 
-/// Bit pattern of a radius, used as the memoization key (exact-value
-/// classes; quantize radii upstream to share tables across near-equal
-/// values).
-inline uint64_t RadiusKey(double reach_radius_m) {
-  uint64_t key = 0;
-  static_assert(sizeof(key) == sizeof(reach_radius_m));
-  std::memcpy(&key, &reach_radius_m, sizeof(key));
-  return key;
-}
+/// Branch-free certain-band classification of the U2U alpha filter over a
+/// list of worker indices (DESIGN.md section 9): each index i is trichotomized
+/// by comparing the squared distance from (task_x, task_y) to the worker's
+/// noisy location against the precomputed per-worker certain bounds:
+///  * accept: d_sq <= soa.accept_below_sq[i]   (certain candidate),
+///  * band:   strictly between the two bounds  (one direct eval needed),
+///  * reject: d_sq >= soa.reject_above_sq[i]   (dropped).
+/// Both outputs preserve the input order (ascending input => ascending
+/// output). The loop is a fixed-trip-count pass over the contiguous SoA
+/// arrays with conditional-increment writes — no data-dependent branches —
+/// so compilers can vectorize it. Requires soa.accept_below_sq /
+/// soa.reject_above_sq to be filled for every listed index.
+void ClassifyCertainBand(const WorkerFilterSoA& soa, const uint32_t* indices,
+                         size_t count, double task_x, double task_y,
+                         std::vector<uint32_t>& accept,
+                         std::vector<uint32_t>& band);
 
 }  // namespace scguard::reachability
 

@@ -28,6 +28,9 @@ Status ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
   static obs::Counter* const parallel_counter =
       obs::MetricsRegistry::Global().GetCounter(
           "scguard.runtime.parallel_for.parallel_sections");
+  static obs::Counter* const nested_serial_counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "scguard.runtime.parallel_for.nested_serial_sections");
   chunks_counter->Increment(num_chunks);
   const auto chunk_bounds = [&](int64_t c) {
     const int64_t lo = begin + c * grain;
@@ -38,6 +41,15 @@ Status ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
                       num_chunks == 1 || ThreadPool::InWorkerThread();
   if (serial) {
     serial_counter->Increment();
+    // Sections the nesting guard demoted — they *would* have fanned out
+    // (multi-thread pool, multiple chunks) but the caller already runs on
+    // a pool worker. A large count flags an orchestration layer eating the
+    // parallelism of the layer below (e.g. ExperimentRunner's seed fan-out
+    // serializing the engine's shard scan; DESIGN.md section 9).
+    if (ThreadPool::InWorkerThread() && pool != nullptr &&
+        pool->num_threads() > 1 && num_chunks > 1) {
+      nested_serial_counter->Increment();
+    }
     for (int64_t c = 0; c < num_chunks; ++c) {
       const auto [lo, hi] = chunk_bounds(c);
       // Early exit is safe: the first failure is by definition the

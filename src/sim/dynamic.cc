@@ -59,7 +59,26 @@ std::vector<DynamicRoundMetrics> RunDynamicWorkers(const DynamicConfig& config,
     w.reach = rng.UniformDouble(config.reach_min_m, config.reach_max_m);
   }
 
+  // Reach radii never change, so the inverted alpha filter's squared
+  // certain bounds are per-worker constants: the U2U check below is a
+  // squared-distance compare (no sqrt), with the exact IsCandidate only
+  // for the nanometre-wide band between the bounds (same contract as the
+  // engine's PR-3 path).
+  std::vector<double> accept_sq(workers.size());
+  std::vector<double> reject_sq(workers.size());
+  for (size_t i = 0; i < workers.size(); ++i) {
+    const reachability::AlphaThreshold& t = u2u_thresholds.For(workers[i].reach);
+    accept_sq[i] = t.accept_below_sq;
+    reject_sq[i] = t.reject_above_sq;
+  }
+
+  // Task perturbation noise is drawn at the joint level every time
+  // (tasks are one-shot); the sampler itself is deterministic state, built
+  // once instead of tasks_per_round * rounds times.
+  const privacy::PlanarLaplace task_laplace(config.joint.unit_epsilon());
+
   std::vector<DynamicRoundMetrics> results;
+  std::vector<std::pair<double, size_t>> ranked;  // Reused across tasks.
   for (int round = 0; round < config.rounds; ++round) {
     // Movement (not in round 0: workers register where they are).
     if (round > 0) {
@@ -88,15 +107,16 @@ std::vector<DynamicRoundMetrics> RunDynamicWorkers(const DynamicConfig& config,
     double travel_sum = 0;
     for (int t = 0; t < config.tasks_per_round; ++t) {
       const geo::Point task = demand.Sample(rng);
-      const geo::Point task_noisy = task + privacy::PlanarLaplace(
-                                               config.joint.unit_epsilon())
-                                               .Sample(rng);
+      const geo::Point task_noisy = task + task_laplace.Sample(rng);
       // U2U + U2E against reported locations.
-      std::vector<std::pair<double, size_t>> ranked;
+      ranked.clear();
       for (size_t i = 0; i < workers.size(); ++i) {
         if (busy[i]) continue;
         const DynamicWorker& w = workers[i];
-        if (!u2u_thresholds.IsCandidate(geo::Distance(w.reported, task_noisy),
+        const double d_sq = geo::SquaredDistance(w.reported, task_noisy);
+        if (d_sq >= reject_sq[i]) continue;
+        if (d_sq > accept_sq[i] &&
+            !u2u_thresholds.IsCandidate(geo::Distance(w.reported, task_noisy),
                                         w.reach)) {
           continue;
         }

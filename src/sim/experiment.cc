@@ -26,8 +26,12 @@ AggregatedMetrics Aggregate(const std::vector<assign::RunMetrics>& runs) {
     agg.precision += m.MeanPrecision();
     agg.recall += m.MeanRecall();
     agg.disclosures_per_task += m.DisclosuresPerAssignedTask();
+    agg.u2u_seconds += m.u2u_seconds;
     agg.u2e_seconds += m.u2e_seconds;
     agg.total_seconds += m.total_seconds;
+    agg.u2u_scanned += static_cast<double>(m.u2u_scanned);
+    agg.u2u_scanned_first_task += static_cast<double>(m.u2u_scanned_first_task);
+    agg.u2u_scanned_last_task += static_cast<double>(m.u2u_scanned_last_task);
   }
   const double n = static_cast<double>(runs.size());
   agg.assigned_tasks /= n;
@@ -39,8 +43,12 @@ AggregatedMetrics Aggregate(const std::vector<assign::RunMetrics>& runs) {
   agg.precision /= n;
   agg.recall /= n;
   agg.disclosures_per_task /= n;
+  agg.u2u_seconds /= n;
   agg.u2e_seconds /= n;
   agg.total_seconds /= n;
+  agg.u2u_scanned /= n;
+  agg.u2u_scanned_first_task /= n;
+  agg.u2u_scanned_last_task /= n;
   if (runs.size() >= 2) {
     double var_assigned = 0, var_travel = 0;
     for (const auto& m : runs) {

@@ -38,8 +38,15 @@ struct AggregatedMetrics {
   double precision = 0;
   double recall = 0;
   double disclosures_per_task = 0;
+  double u2u_seconds = 0;        ///< Total U2U scan wall-clock per run.
   double u2e_seconds = 0;        ///< Total U2E wall-clock per run.
   double total_seconds = 0;
+  /// U2U scan-work decay under active-set compaction (DESIGN.md §9):
+  /// workers scored in total / by the first task / by the last task, each
+  /// averaged over seeds.
+  double u2u_scanned = 0;
+  double u2u_scanned_first_task = 0;
+  double u2u_scanned_last_task = 0;
   /// Across-seed sample standard deviations of the headline metrics (0
   /// when fewer than two seeds).
   double assigned_tasks_stddev = 0;
