@@ -5,6 +5,7 @@
 // Gaussian (3 r^2/eps^2, the true planar Laplace variance); the exact
 // planar-Laplace disk quadrature; and the empirical tables as reference.
 
+#include "assign/scguard_engine.h"
 #include "bench/bench_common.h"
 
 namespace scguard::bench {

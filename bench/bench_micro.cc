@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "assign/algorithms.h"
+#include "assign/scguard_engine.h"
 #include "bench/bench_common.h"
 #include "data/beijing.h"
 #include "data/workload.h"

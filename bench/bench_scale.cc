@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "assign/scguard_engine.h"
 #include "bench/bench_common.h"
 #include "data/beijing.h"
 #include "data/workload.h"

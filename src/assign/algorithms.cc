@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "assign/ground_truth.h"
+#include "assign/scguard_engine.h"
 #include "common/check.h"
 #include "common/str_format.h"
 #include "reachability/binary_model.h"

@@ -2,10 +2,13 @@
 #define SCGUARD_ASSIGN_ALGORITHMS_H_
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "assign/matcher.h"
-#include "assign/scguard_engine.h"
+#include "assign/stages/candidate_stage.h"
+#include "assign/stages/rank_stage.h"
+#include "index/pruning.h"
 #include "privacy/privacy_params.h"
 #include "reachability/analytical_model.h"
 #include "reachability/empirical_model.h"

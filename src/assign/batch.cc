@@ -1,9 +1,9 @@
 #include "assign/batch.h"
 
 #include <chrono>
-#include <optional>
 
 #include "assign/offline.h"
+#include "assign/stages/candidate_stage.h"
 #include "common/check.h"
 #include "common/str_format.h"
 
@@ -31,26 +31,22 @@ MatchResult BatchMatcher::Run(const Workload& workload, stats::Rng& /*rng*/) {
 
   std::vector<bool> matched(workload.workers.size(), false);
 
-  // Run-local threshold cache (one bisection per distinct reach radius)
-  // keeps Run safe to call concurrently on a shared matcher.
-  std::optional<reachability::AlphaThresholdCache> thresholds;
-  std::vector<double> accept_sq;
-  std::vector<double> reject_sq;
-  if (kernel_.alpha_thresholds) {
-    thresholds.emplace(model_, reachability::Stage::kU2U, alpha_,
-                       kernel_.threshold_margin);
-    // Per-worker squared certain bounds, hoisted out of the cost-matrix
-    // loop: most pairs resolve on a squared-distance compare with no sqrt
-    // and no hash lookup (same certain-band contract as the engine scan).
-    accept_sq.resize(workload.workers.size());
-    reject_sq.resize(workload.workers.size());
-    for (size_t w = 0; w < workload.workers.size(); ++w) {
-      const reachability::AlphaThreshold& t =
-          thresholds->For(workload.workers[w].reach_radius_m);
-      accept_sq[w] = t.accept_below_sq;
-      reject_sq[w] = t.reject_above_sq;
-    }
+  // Run-local U2U stage (one threshold bisection per distinct reach radius)
+  // keeps Run safe to call concurrently on a shared matcher. The batch
+  // matcher scores full bipartite feasibility, so it uses the stage's
+  // scalar Decide — the same certain-band contract as the engine scan,
+  // prewarmed here so the cost-matrix loop mostly resolves on a
+  // squared-distance compare with no sqrt and no hash lookup.
+  U2uCandidateStage::Config u2u_config;
+  u2u_config.model = model_;
+  u2u_config.alpha = alpha_;
+  u2u_config.kernel = kernel_;
+  U2uCandidateStage u2u(std::move(u2u_config));
+  u2u.ReserveWorkers(workload.workers.size());
+  for (const Worker& w : workload.workers) {
+    u2u.AddWorker(w.noisy_location, w.reach_radius_m);
   }
+  u2u.Prepare();
 
   for (size_t batch_start = 0; batch_start < workload.tasks.size();
        batch_start += static_cast<size_t>(batch_size_)) {
@@ -75,24 +71,7 @@ MatchResult BatchMatcher::Run(const Workload& workload, stats::Rng& /*rng*/) {
       for (size_t wi = 0; wi < available.size(); ++wi) {
         const size_t w = available[wi];
         const Worker& worker = workload.workers[w];
-        bool feasible;
-        if (thresholds.has_value()) {
-          const double d_sq =
-              geo::SquaredDistance(worker.noisy_location, task.noisy_location);
-          if (d_sq >= reject_sq[w]) continue;  // Certain reject: no sqrt.
-          // Certain accept needs no eval; only the band pays IsCandidate.
-          feasible = d_sq <= accept_sq[w] ||
-                     thresholds->IsCandidate(
-                         geo::Distance(worker.noisy_location,
-                                       task.noisy_location),
-                         worker.reach_radius_m);
-        } else {
-          const double d_obs =
-              geo::Distance(worker.noisy_location, task.noisy_location);
-          feasible = model_->ProbReachable(reachability::Stage::kU2U, d_obs,
-                                           worker.reach_radius_m) >= alpha_;
-        }
-        if (feasible) {
+        if (u2u.Decide(static_cast<uint32_t>(w), task.noisy_location)) {
           // d_obs doubles as the matching cost (computed only for feasible
           // pairs now; Distance stays the cost so values are unchanged).
           cost[bt][wi] =

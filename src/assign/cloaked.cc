@@ -1,8 +1,9 @@
 #include "assign/cloaked.h"
 
-#include <algorithm>
 #include <chrono>
 
+#include "assign/stages/contact_stage.h"
+#include "assign/stages/rank_stage.h"
 #include "common/check.h"
 #include "common/str_format.h"
 
@@ -34,9 +35,18 @@ MatchResult CloakedMatcher::Run(const Workload& workload, stats::Rng& rng) {
   }
   std::vector<bool> matched(workload.workers.size(), false);
 
+  // Beta-gated sequential contact, shared with the engine (the cloak's
+  // reach probabilities play the U2E scores).
+  const E2eContactStage contact({.rank = RankStrategy::kProbability,
+                                 .beta = beta_,
+                                 .beta_mode = BetaMode::kEveryContact,
+                                 .redundancy_k = 1});
+  std::vector<std::pair<double, size_t>> ranked;  // Reused across tasks.
+  ranked.reserve(workload.workers.size());
+
   for (const Task& task : workload.tasks) {
     // Candidate selection against the PUBLIC exact task location.
-    std::vector<std::pair<double, size_t>> ranked;
+    ranked.clear();
     int64_t truly_reachable = 0, candidates_reachable = 0;
     for (size_t i = 0; i < workload.workers.size(); ++i) {
       if (matched[i]) continue;
@@ -62,41 +72,21 @@ MatchResult CloakedMatcher::Run(const Workload& workload, stats::Rng& rng) {
     }
     if (ranked.empty()) continue;
 
-    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
-      if (a.first != b.first) return a.first > b.first;
-      return a.second < b.second;
-    });
-    bool assigned = false;
-    size_t next = 0;
-    bool cancelled = false;
-    while (next < ranked.size()) {
-      const auto [score, i] = ranked[next++];
-      if (beta_ > 0.0 && score < beta_) {
-        cancelled = true;
-        break;
-      }
-      m.requester_to_worker_msgs += 1;
-      const Worker& w = workload.workers[i];
-      if (w.CanReach(task.location)) {
-        matched[i] = true;
-        const double travel = geo::Distance(w.location, task.location);
-        result.assignments.push_back({task.id, w.id, travel});
-        m.assigned_tasks += 1;
-        m.accepted_assignments += 1;
-        m.travel_sum_m += travel;
-        assigned = true;
-        break;
-      }
-      m.false_hits += 1;
-    }
-    if (!assigned) {
-      const size_t first_uncontacted = cancelled ? next - 1 : next;
-      for (size_t k = first_uncontacted; k < ranked.size(); ++k) {
-        if (workload.workers[ranked[k].second].CanReach(task.location)) {
-          m.false_dismissals += 1;
-        }
-      }
-    }
+    SortRankedCandidates(ranked);
+    contact.Run(
+        ranked,
+        [&](size_t i) {
+          const Worker& w = workload.workers[i];
+          if (!w.CanReach(task.location)) return false;
+          matched[i] = true;
+          const double travel = geo::Distance(w.location, task.location);
+          result.assignments.push_back({task.id, w.id, travel});
+          m.accepted_assignments += 1;
+          m.travel_sum_m += travel;
+          return true;
+        },
+        [&](size_t i) { return workload.workers[i].CanReach(task.location); },
+        m);
   }
   m.total_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)

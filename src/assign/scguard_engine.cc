@@ -1,21 +1,17 @@
 #include "assign/scguard_engine.h"
 
-#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <limits>
-#include <optional>
 #include <utility>
 #include <vector>
 
-#include "reachability/kernel.h"
-
+#include "assign/stages/contact_stage.h"
 #include "common/check.h"
 #include "common/str_format.h"
+#include "geo/point.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "runtime/parallel_for.h"
-#include "runtime/thread_pool.h"
 
 namespace scguard::assign {
 namespace {
@@ -74,19 +70,6 @@ struct EngineObs {
   }
 };
 
-/// Per-shard scratch of the U2U scan. Each shard owns one instance for the
-/// whole run, so concurrent shard scans never share mutable state and the
-/// vectors' capacities amortize across tasks.
-struct ShardScratch {
-  std::vector<uint32_t> live;    ///< Matched-filtered indices (full-scan mode).
-  std::vector<uint32_t> accept;  ///< Certain accepts, ascending.
-  std::vector<uint32_t> band;    ///< In-band indices, then surviving subset.
-  std::vector<uint32_t> out;     ///< This shard's candidates, ascending.
-  int64_t scanned = 0;           ///< Workers scored for the current task.
-  int64_t band_evals = 0;        ///< Direct model evals, run cumulative.
-  int64_t compactions = 0;       ///< Active-set rebuilds, run cumulative.
-};
-
 }  // namespace
 
 ScGuardEngine::ScGuardEngine(EnginePolicy policy) : policy_(std::move(policy)) {
@@ -115,7 +98,7 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
   int64_t obs_evaluated = 0;       // Workers the U2U filter actually scored.
   int64_t obs_alpha_rejections = 0;  // Scored but below alpha.
   int64_t obs_beta_cancels = 0;
-  int64_t obs_pruned = 0;          // Skipped entirely by the pruning index.
+  int64_t obs_pruned = 0;  // Skipped entirely by the pruning index.
 
   const auto run_start = Clock::now();
   MatchResult result;
@@ -130,226 +113,62 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
   std::vector<double> random_rank(n);
   for (auto& r : random_rank) r = rng.UniformDouble();
 
-  // Structure-of-arrays snapshot of the server's view of the workers.
-  // The U2U hot loop reads only these contiguous arrays; the AoS Worker
-  // records are touched again only for ranking and ground-truth checks.
-  reachability::WorkerFilterSoA soa;
-  soa.Resize(n);
-  for (size_t i = 0; i < n; ++i) {
-    const Worker& w = workload.workers[i];
-    soa.x[i] = w.noisy_location.x;
-    soa.y[i] = w.noisy_location.y;
-    soa.reach_radius_m[i] = w.reach_radius_m;
-  }
-  std::vector<uint8_t>& matched = soa.matched;
-
-  // Kernel caches are per-Run: ExperimentRunner shares one matcher across
-  // concurrently running seeds, so nothing here may live in the engine.
-  // Filling accept/reject_sq below also prewarms the threshold cache for
-  // every worker radius, which the parallel band resolution relies on
-  // (AlphaThresholdCache::Lookup is the read-only path).
-  const reachability::KernelOptions& kopts = policy_.kernel;
-  std::optional<reachability::AlphaThresholdCache> u2u_thresholds;
-  if (kopts.alpha_thresholds) {
-    u2u_thresholds.emplace(policy_.u2u_model, reachability::Stage::kU2U,
-                           policy_.alpha, kopts.threshold_margin);
-    soa.accept_below_sq.resize(n);
-    soa.reject_above_sq.resize(n);
-    for (size_t i = 0; i < n; ++i) {
-      const reachability::AlphaThreshold& t =
-          u2u_thresholds->For(soa.reach_radius_m[i]);
-      soa.accept_below_sq[i] = t.accept_below_sq;
-      soa.reject_above_sq[i] = t.reject_above_sq;
-    }
-  }
-  std::optional<reachability::KernelLut> u2e_lut;
-  if (kopts.u2e_lut && policy_.rank == RankStrategy::kProbability) {
-    u2e_lut.emplace(policy_.u2e_model, reachability::Stage::kU2E, kopts);
-  }
-
-  // Optional U2U pruning index over the workers' uncertainty rectangles.
-  std::unique_ptr<index::UncertainRegionPruner> pruner;
+  // The three protocol stages (DESIGN.md section 10). Stage state is
+  // per-Run: ExperimentRunner shares one matcher across concurrently
+  // running seeds, so nothing may live in the engine between runs.
+  U2uCandidateStage::Config u2u_config;
+  u2u_config.model = policy_.u2u_model;
+  u2u_config.alpha = policy_.alpha;
+  u2u_config.kernel = policy_.kernel;
+  u2u_config.runtime = policy_.runtime;
   if (policy_.pruning_gamma.has_value()) {
-    std::vector<index::UncertainRegionPruner::WorkerRegion> regions;
-    regions.reserve(n);
-    for (size_t i = 0; i < n; ++i) {
-      const Worker& w = workload.workers[i];
-      regions.push_back({static_cast<int64_t>(i), w.noisy_location,
-                         w.reach_radius_m});
-    }
-    pruner = std::make_unique<index::UncertainRegionPruner>(
-        std::move(regions), policy_.worker_params, policy_.task_params,
-        *policy_.pruning_gamma, policy_.pruning_backend, workload.region);
+    u2u_config.pruning = U2uCandidateStage::Pruning{
+        *policy_.pruning_gamma, policy_.pruning_backend, policy_.worker_params,
+        policy_.task_params, workload.region};
   }
-
-  // ---- Sharded scan state (DESIGN.md §9) ---------------------------------
-  // The full scan partitions the SoA into fixed-size shards; each shard
-  // keeps a dense ascending array of its still-available worker indices.
-  // Shard boundaries depend only on (n, shard_size), never on the pool, so
-  // concatenating per-shard candidates in shard order reproduces the serial
-  // ascending scan bit for bit. Pruned runs query the index instead and
-  // skip this state entirely (the pruner's Remove keeps *it* shrinking).
-  const EngineRuntime& rt = policy_.runtime;
-  const bool full_scan = pruner == nullptr;
-  const size_t shard_size = static_cast<size_t>(rt.shard_size);
-  const size_t num_shards =
-      full_scan && n > 0 ? (n + shard_size - 1) / shard_size : 0;
-  std::vector<std::vector<uint32_t>> shard_active(num_shards);
-  std::vector<uint8_t> shard_dirty(num_shards, 0);
-  std::vector<ShardScratch> shards(full_scan ? num_shards : 1);
-  for (size_t s = 0; s < num_shards; ++s) {
-    const size_t lo = s * shard_size;
-    const size_t hi = std::min(n, lo + shard_size);
-    shard_active[s].reserve(hi - lo);
-    for (size_t i = lo; i < hi; ++i) {
-      shard_active[s].push_back(static_cast<uint32_t>(i));
-    }
+  U2uCandidateStage u2u(std::move(u2u_config));
+  u2u.ReserveWorkers(n);
+  for (const Worker& w : workload.workers) {
+    u2u.AddWorker(w.noisy_location, w.reach_radius_m);
   }
+  // Threshold prewarm, pruning-index build, and shard setup happen here so
+  // the first task's U2U timing measures only the scan.
+  u2u.Prepare();
+  const reachability::WorkerFilterSoA& soa = u2u.soa();
 
-  // Reused scratch between tasks (allocating these per task shows up on
+  U2eRankStage u2e(
+      {.model = policy_.u2e_model, .rank = policy_.rank,
+       .kernel = policy_.kernel});
+  const E2eContactStage e2e({.rank = policy_.rank, .beta = policy_.beta,
+                             .beta_mode = policy_.beta_mode,
+                             .redundancy_k = policy_.redundancy_k});
+
+  // Reused scratch between tasks (allocating this per task shows up on
   // pruned runs, where the real work per task is small).
-  std::vector<uint32_t> candidates;
-  candidates.reserve(n);
   std::vector<std::pair<double, size_t>> ranked;
   ranked.reserve(n);
-  std::vector<int64_t> pruner_ids;
-  std::vector<double> u2e_d;
-  std::vector<double> u2e_r;
-  std::vector<double> u2e_p;
-
-  // Scores `count` workers (an ascending index list with no matched
-  // entries) against the current task's noisy location, appending the
-  // ascending candidate subset to `sc.out`. Safe to run concurrently on
-  // distinct scratches: reads only the SoA, the prewarmed threshold cache,
-  // and the (thread-safe, const) model.
-  const auto scan_indices = [&](geo::Point task_noisy, const uint32_t* idx,
-                                size_t count, ShardScratch& sc) {
-    sc.out.clear();
-    sc.scanned = static_cast<int64_t>(count);
-    if (u2u_thresholds.has_value()) {
-      // Branch-free trichotomy over the contiguous SoA arrays, then one
-      // direct evaluation per in-band worker — the same decision as
-      // AlphaThresholdCache::IsCandidate, inlined so the shared cache is
-      // never mutated from a pool worker.
-      reachability::ClassifyCertainBand(soa, idx, count, task_noisy.x,
-                                        task_noisy.y, sc.accept, sc.band);
-      size_t kept = 0;
-      for (const uint32_t i : sc.band) {
-        const reachability::AlphaThreshold* t =
-            u2u_thresholds->Lookup(soa.reach_radius_m[i]);
-        SCGUARD_CHECK(t != nullptr);
-        const double d =
-            geo::Distance({soa.x[i], soa.y[i]}, task_noisy);
-        bool is_candidate;
-        if (d <= t->accept_below_m) {
-          is_candidate = true;
-        } else if (d >= t->reject_above_m) {
-          is_candidate = false;
-        } else {
-          ++sc.band_evals;
-          is_candidate = policy_.u2u_model->ProbReachable(
-                             reachability::Stage::kU2U, d,
-                             soa.reach_radius_m[i]) >= policy_.alpha;
-        }
-        sc.band[kept] = i;
-        kept += is_candidate ? 1 : 0;
-      }
-      sc.band.resize(kept);
-      // Both lists are ascending subsets of the input, so one merge
-      // restores the serial scan's candidate order.
-      sc.out.resize(sc.accept.size() + sc.band.size());
-      std::merge(sc.accept.begin(), sc.accept.end(), sc.band.begin(),
-                 sc.band.end(), sc.out.begin());
-    } else {
-      for (size_t k = 0; k < count; ++k) {
-        const uint32_t i = idx[k];
-        const double d_obs =
-            geo::Distance({soa.x[i], soa.y[i]}, task_noisy);
-        const double p = policy_.u2u_model->ProbReachable(
-            reachability::Stage::kU2U, d_obs, soa.reach_radius_m[i]);
-        if (p >= policy_.alpha) sc.out.push_back(i);
-      }
-    }
-  };
 
   size_t task_index = 0;
   for (const Task& task : workload.tasks) {
     // ---- Stage 1: U2U (server) -------------------------------------
     // Server sees only noisy locations and the workers' reach radii.
     const auto u2u_start = Clock::now();
-    candidates.clear();
-    int64_t scanned_this_task = 0;
-    if (pruner != nullptr) {
-      pruner->Candidates(task.noisy_location, pruner_ids);
-      ShardScratch& sc = shards[0];
-      sc.live.clear();
-      for (const int64_t id : pruner_ids) {
-        if (!matched[static_cast<size_t>(id)]) {
-          sc.live.push_back(static_cast<uint32_t>(id));
-        }
-      }
-      scan_indices(task.noisy_location, sc.live.data(), sc.live.size(), sc);
-      // Backends emit ids in ascending order, so `candidates` is already
-      // sorted — no per-task re-sort.
-      candidates.assign(sc.out.begin(), sc.out.end());
-      scanned_this_task = sc.scanned;
-      obs_pruned += static_cast<int64_t>(n) -
-                    static_cast<int64_t>(pruner_ids.size());
-    } else {
-      const Status scan_status = runtime::ParallelFor(
-          rt.pool, 0, static_cast<int64_t>(num_shards), /*grain=*/1,
-          [&](int64_t lo, int64_t hi) -> Status {
-            for (int64_t s = lo; s < hi; ++s) {
-              std::vector<uint32_t>& active =
-                  shard_active[static_cast<size_t>(s)];
-              ShardScratch& sc = shards[static_cast<size_t>(s)];
-              if (rt.active_set) {
-                if (shard_dirty[static_cast<size_t>(s)]) {
-                  // Stage-boundary rebuild from matched[]: a stable filter,
-                  // so the shard stays ascending and the next scan touches
-                  // only available workers.
-                  active.erase(
-                      std::remove_if(active.begin(), active.end(),
-                                     [&](uint32_t i) { return matched[i] != 0; }),
-                      active.end());
-                  shard_dirty[static_cast<size_t>(s)] = 0;
-                  ++sc.compactions;
-                }
-                scan_indices(task.noisy_location, active.data(), active.size(),
-                             sc);
-              } else {
-                // Legacy full scan: the matched filter runs per task.
-                sc.live.clear();
-                for (const uint32_t i : active) {
-                  if (!matched[i]) sc.live.push_back(i);
-                }
-                scan_indices(task.noisy_location, sc.live.data(),
-                             sc.live.size(), sc);
-              }
-            }
-            return Status::OK();
-          });
-      SCGUARD_CHECK(scan_status.ok());
-      // Seed-order reduction: shard order == ascending id order.
-      for (size_t s = 0; s < num_shards; ++s) {
-        const ShardScratch& sc = shards[s];
-        candidates.insert(candidates.end(), sc.out.begin(), sc.out.end());
-        scanned_this_task += sc.scanned;
-      }
-    }
-    obs_evaluated += scanned_this_task;
+    const std::vector<uint32_t>& candidates = u2u.Collect(task.noisy_location);
+    const U2uCandidateStage::Stats& scan = u2u.stats();
+    obs_evaluated += scan.scanned_last;
+    obs_pruned += scan.pruned_last;
     obs_alpha_rejections +=
-        scanned_this_task - static_cast<int64_t>(candidates.size());
-    m.u2u_scanned += scanned_this_task;
-    if (task_index == 0) m.u2u_scanned_first_task = scanned_this_task;
-    m.u2u_scanned_last_task = scanned_this_task;
+        scan.scanned_last - static_cast<int64_t>(candidates.size());
+    m.u2u_scanned += scan.scanned_last;
+    if (task_index == 0) m.u2u_scanned_first_task = scan.scanned_last;
+    m.u2u_scanned_last_task = scan.scanned_last;
     ++task_index;
     {
       const double u2u_elapsed = Elapsed(u2u_start);
       m.u2u_seconds += u2u_elapsed;
       if (obs_on) {
         eo.u2u_seconds->Observe(u2u_elapsed);
-        eo.u2u_scan_workers->Observe(static_cast<double>(scanned_this_task));
+        eo.u2u_scan_workers->Observe(static_cast<double>(scan.scanned_last));
       }
     }
     m.candidates_sum += static_cast<int64_t>(candidates.size());
@@ -362,7 +181,7 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
       int64_t truly_reachable_available = 0;
       int64_t candidates_reachable = 0;
       for (size_t i = 0; i < n; ++i) {
-        if (!matched[i] && workload.workers[i].CanReach(task.location)) {
+        if (!soa.matched[i] && workload.workers[i].CanReach(task.location)) {
           ++truly_reachable_available;
         }
       }
@@ -385,47 +204,9 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
 
     // ---- Stage 2: U2E (requester) ----------------------------------
     // Requester knows the exact task location and the candidates' noisy
-    // locations; ranks and contacts them best-first.
+    // locations; ranks them best-first.
     const auto u2e_start = Clock::now();
-    ranked.clear();
-    if (policy_.rank == RankStrategy::kProbability) {
-      // Batched scoring: gather candidate distances/radii into dense
-      // arrays, then one ProbReachableBatch call (or the bounded-error
-      // LUT when enabled) instead of a virtual call per candidate.
-      const size_t c = candidates.size();
-      u2e_d.resize(c);
-      u2e_r.resize(c);
-      u2e_p.resize(c);
-      for (size_t k = 0; k < c; ++k) {
-        const size_t i = candidates[k];
-        u2e_d[k] = geo::Distance({soa.x[i], soa.y[i]}, task.location);
-        u2e_r[k] = soa.reach_radius_m[i];
-      }
-      if (u2e_lut.has_value()) {
-        for (size_t k = 0; k < c; ++k) {
-          u2e_p[k] = u2e_lut->Prob(u2e_d[k], u2e_r[k]);
-        }
-      } else {
-        policy_.u2e_model->ProbReachableBatch(reachability::Stage::kU2E,
-                                              u2e_d.data(), u2e_r.data(), c,
-                                              u2e_p.data());
-      }
-      for (size_t k = 0; k < c; ++k) {
-        ranked.emplace_back(u2e_p[k], candidates[k]);
-      }
-    } else {
-      for (const uint32_t i : candidates) {
-        const double score =
-            policy_.rank == RankStrategy::kRandom
-                ? random_rank[i]
-                : -geo::Distance({soa.x[i], soa.y[i]}, task.location);
-        ranked.emplace_back(score, i);
-      }
-    }
-    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
-      if (a.first != b.first) return a.first > b.first;
-      return a.second < b.second;  // Stable tie-break for determinism.
-    });
+    u2e.Rank(soa, candidates, task.location, random_rank.data(), ranked);
     {
       const double u2e_elapsed = Elapsed(u2e_start);
       m.u2e_seconds += u2e_elapsed;
@@ -435,73 +216,25 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
     // ---- Stage 3: E2E (workers), interleaved with U2E re-ranking ----
     Clock::time_point stage_start;
     if (obs_on) stage_start = Clock::now();
-    int accepted = 0;
-    size_t next = 0;
-    bool cancelled = false;
-    while (accepted < policy_.redundancy_k && next < ranked.size()) {
-      const auto [score, i] = ranked[next++];
-      // Beta thresholding (Alg. 2 Line 13): the requester cancels rather
-      // than disclose to an unlikely-reachable worker. Under
-      // kFirstContactOnly the threshold only guards the first disclosure.
-      const bool beta_applies =
-          policy_.rank == RankStrategy::kProbability && policy_.beta > 0.0 &&
-          (policy_.beta_mode == BetaMode::kEveryContact || next == 1);
-      if (beta_applies && score < policy_.beta) {
-        cancelled = true;
-        ++obs_beta_cancels;
-        break;
-      }
-      // Requester sends the exact task location to the worker: this is
-      // the protocol's only disclosure point.
-      m.requester_to_worker_msgs += 1;
-      const Worker& w = workload.workers[i];
-      if (w.CanReach(task.location)) {
-        matched[i] = true;
-        if (rt.active_set) {
-          // Active-set maintenance: full scans compact the shard at its
-          // next scan; pruned runs drop the worker from the index so
-          // queries stop returning it.
-          if (pruner != nullptr) {
-            pruner->Remove(static_cast<int64_t>(i));
-          } else {
-            shard_dirty[i / shard_size] = 1;
-          }
-        }
-        ++accepted;
-        const double travel = geo::Distance(w.location, task.location);
-        result.assignments.push_back({task.id, w.id, travel});
-        m.accepted_assignments += 1;
-        m.travel_sum_m += travel;
-      } else {
-        // The worker learned the task location yet rejects: a false hit.
-        m.false_hits += 1;
-      }
-    }
+    const E2eContactStage::Outcome outcome = e2e.Run(
+        ranked,
+        [&](size_t i) {
+          const Worker& w = workload.workers[i];
+          if (!w.CanReach(task.location)) return false;
+          u2u.MarkMatched(static_cast<uint32_t>(i));
+          const double travel = geo::Distance(w.location, task.location);
+          result.assignments.push_back({task.id, w.id, travel});
+          m.accepted_assignments += 1;
+          m.travel_sum_m += travel;
+          return true;
+        },
+        [&](size_t i) { return workload.workers[i].CanReach(task.location); },
+        m);
+    if (outcome.cancelled) ++obs_beta_cancels;
     if (obs_on) eo.e2e_seconds->Observe(Elapsed(stage_start));
-    if (accepted >= policy_.redundancy_k) {
-      m.assigned_tasks += 1;
-    } else {
-      // Task ends unassigned (cancelled or exhausted): reachable
-      // candidates that were never contacted are false dismissals. On a
-      // beta cancel, the candidate that tripped the threshold was not
-      // contacted either.
-      const size_t first_uncontacted = cancelled ? next - 1 : next;
-      for (size_t k = first_uncontacted; k < ranked.size(); ++k) {
-        if (workload.workers[ranked[k].second].CanReach(task.location)) {
-          m.false_dismissals += 1;
-        }
-      }
-    }
   }
 
   m.total_seconds = Elapsed(run_start);
-
-  int64_t obs_band_evals = 0;
-  int64_t obs_compactions = 0;
-  for (const ShardScratch& sc : shards) {
-    obs_band_evals += sc.band_evals;
-    obs_compactions += sc.compactions;
-  }
 
   // One atomic flush per counter per run; no-ops while disabled.
   eo.tasks->Increment(m.num_tasks);
@@ -515,8 +248,8 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
   eo.disclosures->Increment(m.requester_to_worker_msgs);
   eo.false_hits->Increment(m.false_hits);
   eo.false_dismissals->Increment(m.false_dismissals);
-  eo.band_evals->Increment(obs_band_evals);
-  eo.active_compactions->Increment(obs_compactions);
+  eo.band_evals->Increment(u2u.band_evals());
+  eo.active_compactions->Increment(u2u.compactions());
   return result;
 }
 

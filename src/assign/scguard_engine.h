@@ -1,50 +1,18 @@
 #ifndef SCGUARD_ASSIGN_SCGUARD_ENGINE_H_
 #define SCGUARD_ASSIGN_SCGUARD_ENGINE_H_
 
-#include <memory>
 #include <optional>
 #include <string>
 
 #include "assign/matcher.h"
+#include "assign/stages/candidate_stage.h"
+#include "assign/stages/rank_stage.h"
 #include "index/pruning.h"
 #include "privacy/privacy_params.h"
 #include "reachability/kernel.h"
 #include "reachability/model.h"
 
-namespace scguard::runtime {
-class ThreadPool;
-}  // namespace scguard::runtime
-
 namespace scguard::assign {
-
-/// Engine-level parallelism knobs (DESIGN.md section 9), the per-run analog
-/// of ExperimentConfig::runtime. The determinism contract matches the
-/// runtime layer's: for a fixed policy and workload, MatchResult and the
-/// RNG stream are bit-identical for every (pool, shard_size, active_set)
-/// combination — parallelism and compaction only change wall-clock.
-struct EngineRuntime {
-  /// Pool the U2U scan fans its shards across. Not owned; must outlive the
-  /// engine's Run calls. nullptr (the default) keeps the scan serial, and
-  /// runtime::ParallelFor falls back to serial anyway when Run is already
-  /// executing inside a pool worker (ExperimentRunner's seed fan-out), so
-  /// nested parallelism never deadlocks.
-  runtime::ThreadPool* pool = nullptr;
-
-  /// Workers per scan shard. Fixed-size shards — never derived from the
-  /// thread count — so per-shard candidate vectors concatenate to the same
-  /// ascending id order on any pool. Smaller shards balance better once
-  /// the active set drains unevenly; 4096 keeps per-shard overhead
-  /// negligible up to millions of workers.
-  int shard_size = 4096;
-
-  /// Maintain per-shard active-index arrays so the scan cost tracks
-  /// *available* workers: matched workers are compacted out of their shard
-  /// at the next task's scan (and removed from the pruning index when one
-  /// is active). Off = rescan all n workers per task with a matched[]
-  /// check, the legacy full-scan path; kept as a toggle for the
-  /// equivalence test and the scale bench.
-  bool active_set = true;
-};
 
 /// Configuration of the privacy-aware three-stage protocol simulation.
 ///
@@ -54,19 +22,6 @@ struct EngineRuntime {
 ///    no beta threshold.
 ///  * Probabilistic-Model / Probabilistic-Data: AnalyticalModel /
 ///    EmpiricalModel, probability ranking, alpha & beta thresholds.
-/// When the requester applies the beta threshold (Alg. 2 Line 13).
-enum class BetaMode {
-  /// Re-check before every disclosure: as soon as the best *remaining*
-  /// candidate scores below beta the task is cancelled. The literal
-  /// reading of Algorithm 2 (Line 17 loops back through Line 13).
-  kEveryContact,
-  /// Check only the initial top-ranked candidate; once the requester
-  /// starts contacting, she goes best-effort through the ranked list.
-  /// Reproduces the paper's reported utility at strict privacy better
-  /// (see bench_ablation_beta and EXPERIMENTS.md).
-  kFirstContactOnly,
-};
-
 struct EnginePolicy {
   /// Model the server uses in U2U to build the candidate set. Not owned;
   /// must outlive the engine.
@@ -132,7 +87,10 @@ struct EnginePolicy {
 ///   U2E  requester: exact task + noisy worker locations -> ranked contacts
 ///   E2E  worker:    exact task location -> accept iff d(w, t) <= R_w
 /// The engine implements Algorithms 1 and 2 of the paper depending on the
-/// policy (see EnginePolicy).
+/// policy (see EnginePolicy). Since the stage-library refactor (DESIGN.md
+/// section 10) it is a thin orchestrator: the three protocol stages live in
+/// assign/stages/ (U2uCandidateStage, U2eRankStage, E2eContactStage) and the
+/// engine contributes run setup, timing, and metric/obs accounting.
 class ScGuardEngine final : public OnlineMatcher {
  public:
   /// Requires a U2U model; a U2E model is required for probability ranking.

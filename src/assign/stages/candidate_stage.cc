@@ -1,0 +1,313 @@
+#include "assign/stages/candidate_stage.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+#include "runtime/parallel_for.h"
+
+namespace scguard::assign {
+
+U2uCandidateStage::U2uCandidateStage(Config config)
+    : config_(std::move(config)) {
+  SCGUARD_CHECK(config_.model != nullptr);
+  SCGUARD_CHECK(config_.alpha > 0.0 && config_.alpha <= 1.0);
+  SCGUARD_CHECK(config_.runtime.shard_size >= 1);
+}
+
+void U2uCandidateStage::ReserveWorkers(size_t n) {
+  soa_.x.reserve(n);
+  soa_.y.reserve(n);
+  soa_.reach_radius_m.reserve(n);
+  soa_.matched.reserve(n);
+}
+
+uint32_t U2uCandidateStage::AddWorker(geo::Point noisy_location,
+                                      double reach_radius_m) {
+  const size_t i = soa_.size();
+  SCGUARD_CHECK(i < std::numeric_limits<uint32_t>::max());
+  soa_.x.push_back(noisy_location.x);
+  soa_.y.push_back(noisy_location.y);
+  soa_.reach_radius_m.push_back(reach_radius_m);
+  soa_.matched.push_back(0);
+  // A registration after Prepare invalidates a built pruning index; it is
+  // rebuilt over the full worker set at the next Collect.
+  if (config_.pruning.has_value()) pruner_.reset();
+  return static_cast<uint32_t>(i);
+}
+
+void U2uCandidateStage::UpdateWorkerLocation(uint32_t worker,
+                                             geo::Point noisy_location) {
+  soa_.x[worker] = noisy_location.x;
+  soa_.y[worker] = noisy_location.y;
+  // The certain-band bounds depend only on the (unchanged) reach radius,
+  // so the threshold prewarm stays valid; only a pruning index (rectangles
+  // anchored at the old location) must be rebuilt.
+  if (config_.pruning.has_value()) pruner_.reset();
+}
+
+void U2uCandidateStage::RebuildShards() {
+  const size_t n = soa_.size();
+  const auto shard_size = static_cast<size_t>(config_.runtime.shard_size);
+  const size_t num_shards = n > 0 ? (n + shard_size - 1) / shard_size : 0;
+  shard_active_.assign(num_shards, {});
+  shard_dirty_.assign(num_shards, 0);
+  shards_.resize(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    const size_t lo = s * shard_size;
+    const size_t hi = std::min(n, lo + shard_size);
+    shard_active_[s].reserve(hi - lo);
+    for (size_t i = lo; i < hi; ++i) {
+      if (!soa_.matched[i]) {
+        shard_active_[s].push_back(static_cast<uint32_t>(i));
+      }
+    }
+  }
+}
+
+void U2uCandidateStage::ResetAvailability() {
+  std::fill(soa_.matched.begin(), soa_.matched.end(), uint8_t{0});
+  if (config_.pruning.has_value()) {
+    // Matched workers were removed from the index; rebuild it fresh.
+    pruner_.reset();
+  } else if (prepared_) {
+    RebuildShards();
+  }
+}
+
+void U2uCandidateStage::Prepare() {
+  const size_t n = soa_.size();
+  const bool pruner_ready = !config_.pruning.has_value() || pruner_ != nullptr;
+  if (prepared_ && warm_ == n && pruner_ready) return;
+
+  // Threshold prewarm: filling accept/reject_sq also memoizes the cache for
+  // every worker radius, which the parallel band resolution relies on
+  // (AlphaThresholdCache::Lookup is the read-only path).
+  if (config_.kernel.alpha_thresholds) {
+    if (!thresholds_.has_value()) {
+      thresholds_.emplace(config_.model, reachability::Stage::kU2U,
+                          config_.alpha, config_.kernel.threshold_margin);
+    }
+    soa_.accept_below_sq.resize(n);
+    soa_.reject_above_sq.resize(n);
+    for (size_t i = warm_; i < n; ++i) {
+      const reachability::AlphaThreshold& t =
+          thresholds_->For(soa_.reach_radius_m[i]);
+      soa_.accept_below_sq[i] = t.accept_below_sq;
+      soa_.reject_above_sq[i] = t.reject_above_sq;
+    }
+  }
+
+  if (config_.pruning.has_value()) {
+    if (pruner_ == nullptr) {
+      const Pruning& p = *config_.pruning;
+      std::vector<index::UncertainRegionPruner::WorkerRegion> regions;
+      regions.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        regions.push_back({static_cast<int64_t>(i),
+                           {soa_.x[i], soa_.y[i]},
+                           soa_.reach_radius_m[i]});
+      }
+      pruner_ = std::make_unique<index::UncertainRegionPruner>(
+          std::move(regions), p.worker_params, p.task_params, p.gamma,
+          p.backend, p.region);
+      if (config_.runtime.active_set) {
+        // Re-apply removals for workers matched before the (re)build.
+        for (size_t i = 0; i < n; ++i) {
+          if (soa_.matched[i]) pruner_->Remove(static_cast<int64_t>(i));
+        }
+      }
+    }
+    // Pruned runs query the index instead of scanning shards; one scratch
+    // serves the whole stage.
+    shards_.resize(1);
+  } else if (warm_ == 0) {
+    RebuildShards();
+  } else {
+    // Incremental registrations: indices grow monotonically, so appending
+    // to the owning shard keeps its active list ascending.
+    const auto shard_size = static_cast<size_t>(config_.runtime.shard_size);
+    const size_t num_shards = (n + shard_size - 1) / shard_size;
+    shard_active_.resize(num_shards);
+    shard_dirty_.resize(num_shards, 0);
+    shards_.resize(num_shards);
+    for (size_t i = warm_; i < n; ++i) {
+      shard_active_[i / shard_size].push_back(static_cast<uint32_t>(i));
+    }
+  }
+
+  candidates_.reserve(n);
+  warm_ = n;
+  prepared_ = true;
+}
+
+void U2uCandidateStage::ScanIndices(geo::Point task_noisy, const uint32_t* idx,
+                                    size_t count, ShardScratch& sc) const {
+  sc.out.clear();
+  sc.scanned = static_cast<int64_t>(count);
+  if (thresholds_.has_value()) {
+    // Branch-free trichotomy over the contiguous SoA arrays, then one
+    // direct evaluation per in-band worker — the same decision as
+    // AlphaThresholdCache::IsCandidate, inlined so the shared cache is
+    // never mutated from a pool worker.
+    reachability::ClassifyCertainBand(soa_, idx, count, task_noisy.x,
+                                      task_noisy.y, sc.accept, sc.band);
+    size_t kept = 0;
+    for (const uint32_t i : sc.band) {
+      const reachability::AlphaThreshold* t =
+          thresholds_->Lookup(soa_.reach_radius_m[i]);
+      SCGUARD_CHECK(t != nullptr);
+      const double d = geo::Distance({soa_.x[i], soa_.y[i]}, task_noisy);
+      bool is_candidate;
+      if (d <= t->accept_below_m) {
+        is_candidate = true;
+      } else if (d >= t->reject_above_m) {
+        is_candidate = false;
+      } else {
+        ++sc.band_evals;
+        is_candidate = config_.model->ProbReachable(
+                           reachability::Stage::kU2U, d,
+                           soa_.reach_radius_m[i]) >= config_.alpha;
+      }
+      sc.band[kept] = i;
+      kept += is_candidate ? 1 : 0;
+    }
+    sc.band.resize(kept);
+    // Both lists are ascending subsets of the input, so one merge restores
+    // the serial scan's candidate order.
+    sc.out.resize(sc.accept.size() + sc.band.size());
+    std::merge(sc.accept.begin(), sc.accept.end(), sc.band.begin(),
+               sc.band.end(), sc.out.begin());
+  } else {
+    for (size_t k = 0; k < count; ++k) {
+      const uint32_t i = idx[k];
+      const double d_obs = geo::Distance({soa_.x[i], soa_.y[i]}, task_noisy);
+      const double p = config_.model->ProbReachable(
+          reachability::Stage::kU2U, d_obs, soa_.reach_radius_m[i]);
+      if (p >= config_.alpha) sc.out.push_back(i);
+    }
+  }
+}
+
+const std::vector<uint32_t>& U2uCandidateStage::Collect(
+    geo::Point task_noisy_location) {
+  Prepare();
+  const size_t n = soa_.size();
+  const EngineRuntime& rt = config_.runtime;
+  candidates_.clear();
+  stats_.scanned_last = 0;
+  stats_.pruned_last = 0;
+
+  if (pruner_ != nullptr) {
+    pruner_->Candidates(task_noisy_location, pruner_ids_);
+    ShardScratch& sc = shards_[0];
+    sc.live.clear();
+    for (const int64_t id : pruner_ids_) {
+      if (!soa_.matched[static_cast<size_t>(id)]) {
+        sc.live.push_back(static_cast<uint32_t>(id));
+      }
+    }
+    ScanIndices(task_noisy_location, sc.live.data(), sc.live.size(), sc);
+    // Backends emit ids in ascending order, so `candidates_` is already
+    // sorted — no per-task re-sort.
+    candidates_.assign(sc.out.begin(), sc.out.end());
+    stats_.scanned_last = sc.scanned;
+    stats_.pruned_last = static_cast<int64_t>(n) -
+                         static_cast<int64_t>(pruner_ids_.size());
+    return candidates_;
+  }
+
+  const auto num_shards = static_cast<int64_t>(shards_.size());
+  const Status scan_status = runtime::ParallelFor(
+      rt.pool, 0, num_shards, /*grain=*/1,
+      [&](int64_t lo, int64_t hi) -> Status {
+        for (int64_t s = lo; s < hi; ++s) {
+          std::vector<uint32_t>& active = shard_active_[static_cast<size_t>(s)];
+          ShardScratch& sc = shards_[static_cast<size_t>(s)];
+          if (rt.active_set) {
+            if (shard_dirty_[static_cast<size_t>(s)]) {
+              // Stage-boundary rebuild from matched[]: a stable filter, so
+              // the shard stays ascending and the next scan touches only
+              // available workers.
+              active.erase(
+                  std::remove_if(
+                      active.begin(), active.end(),
+                      [&](uint32_t i) { return soa_.matched[i] != 0; }),
+                  active.end());
+              shard_dirty_[static_cast<size_t>(s)] = 0;
+              ++sc.compactions;
+            }
+            ScanIndices(task_noisy_location, active.data(), active.size(), sc);
+          } else {
+            // Legacy full scan: the matched filter runs per task.
+            sc.live.clear();
+            for (const uint32_t i : active) {
+              if (!soa_.matched[i]) sc.live.push_back(i);
+            }
+            ScanIndices(task_noisy_location, sc.live.data(), sc.live.size(),
+                        sc);
+          }
+        }
+        return Status::OK();
+      });
+  SCGUARD_CHECK(scan_status.ok());
+  // Seed-order reduction: shard order == ascending id order.
+  for (const ShardScratch& sc : shards_) {
+    candidates_.insert(candidates_.end(), sc.out.begin(), sc.out.end());
+    stats_.scanned_last += sc.scanned;
+  }
+  return candidates_;
+}
+
+bool U2uCandidateStage::Decide(uint32_t worker,
+                               geo::Point task_noisy_location) {
+  Prepare();
+  const geo::Point noisy{soa_.x[worker], soa_.y[worker]};
+  const double r = soa_.reach_radius_m[worker];
+  if (thresholds_.has_value()) {
+    const double d_sq = geo::SquaredDistance(noisy, task_noisy_location);
+    if (d_sq >= soa_.reject_above_sq[worker]) return false;  // No sqrt.
+    // Certain accept needs no eval; only the band pays IsCandidate.
+    return d_sq <= soa_.accept_below_sq[worker] ||
+           thresholds_->IsCandidate(geo::Distance(noisy, task_noisy_location),
+                                    r);
+  }
+  const double d_obs = geo::Distance(noisy, task_noisy_location);
+  return config_.model->ProbReachable(reachability::Stage::kU2U, d_obs, r) >=
+         config_.alpha;
+}
+
+void U2uCandidateStage::MarkMatched(uint32_t worker) {
+  soa_.matched[worker] = 1;
+  if (!config_.runtime.active_set) return;
+  // Active-set maintenance: full scans compact the shard at its next scan;
+  // pruned runs drop the worker from the index so queries stop returning
+  // it.
+  if (pruner_ != nullptr) {
+    pruner_->Remove(static_cast<int64_t>(worker));
+  } else if (prepared_) {
+    shard_dirty_[worker / static_cast<size_t>(config_.runtime.shard_size)] = 1;
+  }
+}
+
+size_t U2uCandidateStage::available() const {
+  size_t n = 0;
+  for (const uint8_t m : soa_.matched) n += m == 0 ? 1 : 0;
+  return n;
+}
+
+int64_t U2uCandidateStage::band_evals() const {
+  int64_t sum = 0;
+  for (const ShardScratch& sc : shards_) sum += sc.band_evals;
+  return sum;
+}
+
+int64_t U2uCandidateStage::compactions() const {
+  int64_t sum = 0;
+  for (const ShardScratch& sc : shards_) sum += sc.compactions;
+  return sum;
+}
+
+}  // namespace scguard::assign

@@ -1,0 +1,210 @@
+#ifndef SCGUARD_ASSIGN_STAGES_CANDIDATE_STAGE_H_
+#define SCGUARD_ASSIGN_STAGES_CANDIDATE_STAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/point.h"
+#include "index/pruning.h"
+#include "privacy/privacy_params.h"
+#include "reachability/kernel.h"
+#include "reachability/model.h"
+
+namespace scguard::runtime {
+class ThreadPool;
+}  // namespace scguard::runtime
+
+namespace scguard::assign {
+
+/// Stage-level parallelism knobs (DESIGN.md section 9), the per-run analog
+/// of ExperimentConfig::runtime. The determinism contract matches the
+/// runtime layer's: for a fixed configuration and workload, the candidate
+/// stream (and hence MatchResult and the caller RNG stream) is bit-identical
+/// for every (pool, shard_size, active_set) combination — parallelism and
+/// compaction only change wall-clock.
+struct EngineRuntime {
+  /// Pool the U2U scan fans its shards across. Not owned; must outlive the
+  /// stage. nullptr (the default) keeps the scan serial, and
+  /// runtime::ParallelFor falls back to serial anyway when the scan is
+  /// already executing inside a pool worker (ExperimentRunner's seed
+  /// fan-out), so nested parallelism never deadlocks.
+  runtime::ThreadPool* pool = nullptr;
+
+  /// Workers per scan shard. Fixed-size shards — never derived from the
+  /// thread count — so per-shard candidate vectors concatenate to the same
+  /// ascending id order on any pool. Smaller shards balance better once
+  /// the active set drains unevenly; 4096 keeps per-shard overhead
+  /// negligible up to millions of workers.
+  int shard_size = 4096;
+
+  /// Maintain per-shard active-index arrays so the scan cost tracks
+  /// *available* workers: matched workers are compacted out of their shard
+  /// at the next task's scan (and removed from the pruning index when one
+  /// is active). Off = rescan all n workers per task with a matched[]
+  /// check, the legacy full-scan path; kept as a toggle for the
+  /// equivalence test and the scale bench.
+  bool active_set = true;
+};
+
+/// The server-side U2U candidate stage (paper Alg. 1/2 Lines 1-8, DESIGN.md
+/// section 10): given noisy worker registrations, answers "which available
+/// workers are plausible candidates for this noisy task location?" with
+/// Pr(reachable | d') >= alpha. One object owns everything the scan needs —
+/// the WorkerFilterSoA snapshot, the inverted AlphaThresholdCache with its
+/// per-worker certain bands, the optional uncertainty-rectangle pruner, and
+/// the sharded active-set scan state — so every pipeline (ScGuardEngine,
+/// core::TaskingServer, sim/dynamic, BatchMatcher) shares one filter
+/// implementation and its decisions stay bit-identical across call sites.
+///
+/// Not thread-safe; Collect itself fans shards over the configured pool.
+/// Intended to be run-local (ExperimentRunner shares one matcher across
+/// concurrently running seeds, so nothing here may outlive a Run).
+class U2uCandidateStage {
+ public:
+  /// Uncertainty-rectangle pruning (paper Sec. IV-C1) configuration; when
+  /// present the stage queries the index instead of scanning every shard.
+  struct Pruning {
+    double gamma = 0.9;
+    index::PrunerBackend backend = index::PrunerBackend::kGrid;
+    /// Privacy levels used to perturb the workload; they size the
+    /// confidence rectangles.
+    privacy::PrivacyParams worker_params;
+    privacy::PrivacyParams task_params;
+    /// Deployment region (the grid backend needs it).
+    geo::BoundingBox region;
+  };
+
+  struct Config {
+    /// Model the server evaluates; not owned, must outlive the stage.
+    const reachability::ReachabilityModel* model = nullptr;
+    /// U2U acceptance threshold, in (0, 1].
+    double alpha = 0.1;
+    /// Kernel knobs; alpha_thresholds selects the inverted certain-band
+    /// filter (exact decisions; DESIGN.md section 8).
+    reachability::KernelOptions kernel;
+    /// Sharded-scan and active-set knobs (DESIGN.md section 9).
+    EngineRuntime runtime;
+    /// Optional pruning index over the workers' uncertainty rectangles.
+    std::optional<Pruning> pruning;
+  };
+
+  /// Per-Collect scan accounting, surfaced so orchestrators can feed
+  /// RunMetrics and obs counters without reaching into the scan.
+  struct Stats {
+    int64_t scanned_last = 0;  ///< Workers scored by the last Collect.
+    int64_t pruned_last = 0;   ///< Workers the index skipped last Collect.
+  };
+
+  explicit U2uCandidateStage(Config config);
+
+  /// Pre-sizes the per-worker arrays (optional; registration still grows
+  /// them on demand).
+  void ReserveWorkers(size_t n);
+
+  /// Registers a worker; indices are assigned in registration order and are
+  /// the ids Collect emits. Workers registered after the first Collect
+  /// invalidate a configured pruning index (it is rebuilt lazily).
+  uint32_t AddWorker(geo::Point noisy_location, double reach_radius_m);
+
+  /// Re-points a worker's noisy location (dynamic re-reporting). The reach
+  /// radius — and with it the inverted thresholds — stays fixed.
+  void UpdateWorkerLocation(uint32_t worker, geo::Point noisy_location);
+
+  /// Clears all matched marks and restores every shard's active set (round
+  /// boundaries in multi-round simulations).
+  void ResetAvailability();
+
+  /// Finishes lazy setup — threshold prewarm for every registered radius,
+  /// shard active lists, the pruning index — so the first Collect pays no
+  /// setup cost. Collect calls this itself; exposed so orchestrators can
+  /// keep setup out of their per-stage timings.
+  void Prepare();
+
+  /// The U2U stage for one task: ascending indices of available workers
+  /// with Pr(reachable | d(w', t')) >= alpha. The returned reference stays
+  /// valid until the next Collect. Decisions are bit-identical for every
+  /// (pool, shard_size, active_set, pruning) combination.
+  const std::vector<uint32_t>& Collect(geo::Point task_noisy_location);
+
+  /// Scalar membership test against one task location, ignoring
+  /// availability (the batch matcher scores full bipartite feasibility).
+  /// Exactly `ProbReachable(kU2U, d, r) >= alpha`, via the certain-band
+  /// compare when the threshold kernel is on.
+  bool Decide(uint32_t worker, geo::Point task_noisy_location);
+
+  /// Marks a worker assigned: it disappears from future Collect results.
+  /// With active_set, also compacts it out of its shard at the next scan
+  /// (or removes it from the pruning index).
+  void MarkMatched(uint32_t worker);
+
+  bool is_matched(uint32_t worker) const {
+    return soa_.matched[worker] != 0;
+  }
+  size_t size() const { return soa_.size(); }
+  size_t available() const;
+
+  const Stats& stats() const { return stats_; }
+  /// Direct in-band model evaluations, cumulative over the stage's life
+  /// (summed across shard scratches; call once per run, not per task).
+  int64_t band_evals() const;
+  /// Active-set shard rebuilds, cumulative.
+  int64_t compactions() const;
+  /// The worker snapshot (noisy coordinates, radii, matched flags); the
+  /// rank stage scores candidates straight off these arrays.
+  const reachability::WorkerFilterSoA& soa() const { return soa_; }
+  const Config& config() const { return config_; }
+
+ private:
+  /// Per-shard scratch of the U2U scan. Each shard owns one instance for
+  /// the whole run, so concurrent shard scans never share mutable state and
+  /// the vectors' capacities amortize across tasks.
+  struct ShardScratch {
+    std::vector<uint32_t> live;    ///< Matched-filtered indices (full scan).
+    std::vector<uint32_t> accept;  ///< Certain accepts, ascending.
+    std::vector<uint32_t> band;    ///< In-band indices, then survivors.
+    std::vector<uint32_t> out;     ///< This shard's candidates, ascending.
+    int64_t scanned = 0;           ///< Workers scored for the current task.
+    int64_t band_evals = 0;        ///< Direct model evals, run cumulative.
+    int64_t compactions = 0;       ///< Active-set rebuilds, run cumulative.
+  };
+
+  /// Scores `count` workers (an ascending index list with no matched
+  /// entries) against the task's noisy location, appending the ascending
+  /// candidate subset to `sc.out`. Safe to run concurrently on distinct
+  /// scratches: reads only the SoA, the prewarmed threshold cache, and the
+  /// (thread-safe, const) model.
+  void ScanIndices(geo::Point task_noisy, const uint32_t* idx, size_t count,
+                   ShardScratch& sc) const;
+
+  void RebuildShards();
+
+  Config config_;
+  reachability::WorkerFilterSoA soa_;
+  std::optional<reachability::AlphaThresholdCache> thresholds_;
+  std::unique_ptr<index::UncertainRegionPruner> pruner_;
+  /// Workers [0, warm_) have prewarmed thresholds and shard slots.
+  size_t warm_ = 0;
+  /// Set once Prepare ran; a later AddWorker/UpdateWorkerLocation drops a
+  /// configured pruner so it is rebuilt over current data.
+  bool prepared_ = false;
+
+  // Sharded full-scan state (DESIGN.md section 9): fixed-size shards whose
+  // boundaries depend only on (n, shard_size), never on the pool, so
+  // concatenating per-shard candidates in shard order reproduces the
+  // serial ascending scan bit for bit.
+  std::vector<std::vector<uint32_t>> shard_active_;
+  std::vector<uint8_t> shard_dirty_;
+  std::vector<ShardScratch> shards_;
+
+  // Reused per-Collect scratch.
+  std::vector<uint32_t> candidates_;
+  std::vector<int64_t> pruner_ids_;
+  Stats stats_;
+};
+
+}  // namespace scguard::assign
+
+#endif  // SCGUARD_ASSIGN_STAGES_CANDIDATE_STAGE_H_

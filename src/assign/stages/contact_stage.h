@@ -1,0 +1,145 @@
+#ifndef SCGUARD_ASSIGN_STAGES_CONTACT_STAGE_H_
+#define SCGUARD_ASSIGN_STAGES_CONTACT_STAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "assign/matcher.h"
+#include "assign/metrics.h"
+#include "assign/stages/rank_stage.h"
+
+namespace scguard::assign {
+
+/// Worker-side self-selection floor of the parallel-broadcast U2E variant
+/// (paper Sec. III-A): a candidate reveals its exact location to the
+/// requester only when its own reachability estimate is at least
+/// max(beta, kMinSelfRevealProbability). The floor keeps hopeless
+/// candidates from disclosing themselves even when the requester runs with
+/// beta = 0 (exhaustive ranking) — without it the broadcast variant's
+/// worker-location disclosures would scale with the whole candidate set,
+/// overstating the leakage the paper attributes to the design itself
+/// rather than to a degenerate threshold choice.
+inline constexpr double kMinSelfRevealProbability = 0.1;
+
+/// The E2E contact stage (Alg. 2 Lines 13-17, DESIGN.md section 10): walks
+/// a ranked candidate list best-first, disclosing the exact task location
+/// to one worker at a time until `redundancy_k` workers accept, the beta
+/// threshold cancels the task, or the list is exhausted. The stage owns
+/// the disclosure accounting — every offer is a task-location disclosure,
+/// every rejection a false hit — while the caller-supplied offer callback
+/// owns the accept decision and its side effects (marking the worker
+/// matched, travel bookkeeping).
+class E2eContactStage {
+ public:
+  struct Config {
+    /// Ranking strategy the scores came from; beta only guards
+    /// probability-ranked contacts (Alg. 2 is the probability variant).
+    RankStrategy rank = RankStrategy::kProbability;
+    /// Disclosure threshold: cancel rather than disclose to a candidate
+    /// scoring below it. 0 disables cancellation (Alg. 1 best-effort).
+    double beta = 0.0;
+    BetaMode beta_mode = BetaMode::kEveryContact;
+    /// Redundant assignment (paper Sec. VII): contact until this many
+    /// workers accept.
+    int redundancy_k = 1;
+  };
+
+  /// Outcome of one task's contact loop.
+  struct Outcome {
+    int accepted = 0;          ///< Workers that accepted the task.
+    int64_t disclosures = 0;   ///< Task-location disclosures made.
+    int64_t false_hits = 0;    ///< Disclosed-to workers that rejected.
+    bool cancelled = false;    ///< Beta threshold tripped.
+    size_t next = 0;           ///< Entries consumed from the ranked list.
+
+    /// First ranked entry that was never contacted (a beta cancel consumed
+    /// its tripping entry without contacting it).
+    size_t first_uncontacted() const { return cancelled ? next - 1 : next; }
+  };
+
+  explicit E2eContactStage(const Config& config) : config_(config) {}
+
+  /// Walks `ranked` (score-desc / id-asc pairs) with beta gating.
+  /// `offer(id)` must disclose the task to the worker and return whether it
+  /// accepted, performing the caller's accept bookkeeping.
+  template <typename Id, typename OfferFn>
+  Outcome Contact(const std::vector<std::pair<double, Id>>& ranked,
+                  OfferFn&& offer) const {
+    Outcome o;
+    while (o.accepted < config_.redundancy_k && o.next < ranked.size()) {
+      const auto& [score, id] = ranked[o.next++];
+      // Beta thresholding (Alg. 2 Line 13): the requester cancels rather
+      // than disclose to an unlikely-reachable worker. Under
+      // kFirstContactOnly the threshold only guards the first disclosure.
+      const bool beta_applies =
+          config_.rank == RankStrategy::kProbability && config_.beta > 0.0 &&
+          (config_.beta_mode == BetaMode::kEveryContact || o.next == 1);
+      if (beta_applies && score < config_.beta) {
+        o.cancelled = true;
+        break;
+      }
+      // This is the protocol's only task-location disclosure point.
+      ++o.disclosures;
+      if (offer(id)) {
+        ++o.accepted;
+      } else {
+        // The worker learned the task location yet rejects: a false hit.
+        ++o.false_hits;
+      }
+    }
+    return o;
+  }
+
+  /// As Contact for an already beta-filtered contact plan (the protocol
+  /// parties rank and threshold on the requester device, then hand the
+  /// coordinator a plain ordered list): no score gating, `offer` sees the
+  /// plan entry itself.
+  template <typename Entry, typename OfferFn>
+  Outcome ContactPlan(const std::vector<Entry>& plan, OfferFn&& offer) const {
+    Outcome o;
+    while (o.accepted < config_.redundancy_k && o.next < plan.size()) {
+      const Entry& entry = plan[o.next++];
+      ++o.disclosures;
+      if (offer(entry)) {
+        ++o.accepted;
+      } else {
+        ++o.false_hits;
+      }
+    }
+    return o;
+  }
+
+  /// Contact plus the engine-side RunMetrics fold: disclosure/false-hit
+  /// counters, the assigned-task tally, and — for tasks that end
+  /// unassigned — false-dismissal attribution against ground truth via
+  /// `can_reach(id)`.
+  template <typename Id, typename OfferFn, typename ReachFn>
+  Outcome Run(const std::vector<std::pair<double, Id>>& ranked,
+              OfferFn&& offer, ReachFn&& can_reach, RunMetrics& m) const {
+    const Outcome o = Contact(ranked, offer);
+    m.requester_to_worker_msgs += o.disclosures;
+    m.false_hits += o.false_hits;
+    if (o.accepted >= config_.redundancy_k) {
+      m.assigned_tasks += 1;
+    } else {
+      // Task ends unassigned (cancelled or exhausted): reachable candidates
+      // that were never contacted are false dismissals. On a beta cancel,
+      // the candidate that tripped the threshold was not contacted either.
+      for (size_t k = o.first_uncontacted(); k < ranked.size(); ++k) {
+        if (can_reach(ranked[k].second)) m.false_dismissals += 1;
+      }
+    }
+    return o;
+  }
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace scguard::assign
+
+#endif  // SCGUARD_ASSIGN_STAGES_CONTACT_STAGE_H_

@@ -1,0 +1,65 @@
+#include "assign/stages/rank_stage.h"
+
+#include "common/check.h"
+
+namespace scguard::assign {
+
+U2eRankStage::U2eRankStage(const Config& config) : config_(config) {
+  if (config_.rank == RankStrategy::kProbability) {
+    SCGUARD_CHECK(config_.model != nullptr);
+    if (config_.kernel.u2e_lut) {
+      lut_.emplace(config_.model, reachability::Stage::kU2E, config_.kernel);
+    }
+  }
+}
+
+void U2eRankStage::ScoreBatch(const double* observed_distance_m,
+                              const double* reach_radius_m, size_t n,
+                              double* out) {
+  if (lut_.has_value()) {
+    for (size_t k = 0; k < n; ++k) {
+      out[k] = lut_->Prob(observed_distance_m[k], reach_radius_m[k]);
+    }
+    return;
+  }
+  config_.model->ProbReachableBatch(reachability::Stage::kU2E,
+                                    observed_distance_m, reach_radius_m, n,
+                                    out);
+}
+
+void U2eRankStage::Rank(const reachability::WorkerFilterSoA& soa,
+                        const std::vector<uint32_t>& candidates,
+                        geo::Point exact_task_location,
+                        const double* random_rank,
+                        std::vector<std::pair<double, size_t>>& ranked) {
+  ranked.clear();
+  if (config_.rank == RankStrategy::kProbability) {
+    // Batched scoring: gather candidate distances/radii into dense arrays,
+    // then one ProbReachableBatch call (or the bounded-error LUT when
+    // enabled) instead of a virtual call per candidate.
+    const size_t c = candidates.size();
+    d_.resize(c);
+    r_.resize(c);
+    p_.resize(c);
+    for (size_t k = 0; k < c; ++k) {
+      const size_t i = candidates[k];
+      d_[k] = geo::Distance({soa.x[i], soa.y[i]}, exact_task_location);
+      r_[k] = soa.reach_radius_m[i];
+    }
+    ScoreBatch(d_.data(), r_.data(), c, p_.data());
+    for (size_t k = 0; k < c; ++k) {
+      ranked.emplace_back(p_[k], candidates[k]);
+    }
+  } else {
+    for (const uint32_t i : candidates) {
+      const double score =
+          config_.rank == RankStrategy::kRandom
+              ? random_rank[i]
+              : -geo::Distance({soa.x[i], soa.y[i]}, exact_task_location);
+      ranked.emplace_back(score, i);
+    }
+  }
+  SortRankedCandidates(ranked);
+}
+
+}  // namespace scguard::assign

@@ -1,7 +1,9 @@
 #include "core/protocol.h"
 
-#include <algorithm>
+#include <utility>
 
+#include "assign/stages/contact_stage.h"
+#include "assign/stages/rank_stage.h"
 #include "common/check.h"
 #include "privacy/geo_ind.h"
 
@@ -47,19 +49,29 @@ TaskRequest RequesterDevice::Submit(stats::Rng& rng) {
 std::vector<CandidateWorker> RequesterDevice::RankCandidates(
     const std::vector<CandidateWorker>& candidates,
     const reachability::ReachabilityModel& model, double beta) const {
-  std::vector<std::pair<double, const CandidateWorker*>> scored;
-  scored.reserve(candidates.size());
-  for (const auto& c : candidates) {
-    const double score = model.ProbReachable(
-        reachability::Stage::kU2E,
-        geo::Distance(c.noisy_location, true_task_location_), c.reach_radius_m);
-    if (score < beta) continue;  // Below the disclosure threshold.
-    scored.emplace_back(score, &c);
+  // The shared U2E stage scores the whole candidate list with one batched
+  // model call (bit-identical to per-candidate ProbReachable, see
+  // kernel_test); the device keeps only the message marshalling.
+  assign::U2eRankStage stage(
+      {.model = &model, .rank = assign::RankStrategy::kProbability,
+       .kernel = {}});
+  const size_t n = candidates.size();
+  std::vector<double> d(n);
+  std::vector<double> r(n);
+  std::vector<double> p(n);
+  for (size_t i = 0; i < n; ++i) {
+    d[i] = geo::Distance(candidates[i].noisy_location, true_task_location_);
+    r[i] = candidates[i].reach_radius_m;
   }
-  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
-    if (a.first != b.first) return a.first > b.first;
-    return a.second->worker_id < b.second->worker_id;
-  });
+  stage.ScoreBatch(d.data(), r.data(), n, p.data());
+  std::vector<std::pair<double, const CandidateWorker*>> scored;
+  scored.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (p[i] < beta) continue;  // Below the disclosure threshold.
+    scored.emplace_back(p[i], &candidates[i]);
+  }
+  assign::SortRankedCandidates(
+      scored, [](const CandidateWorker* c) { return c->worker_id; });
   std::vector<CandidateWorker> plan;
   plan.reserve(scored.size());
   for (const auto& [score, c] : scored) plan.push_back(*c);
@@ -68,39 +80,41 @@ std::vector<CandidateWorker> RequesterDevice::RankCandidates(
 
 // ---------------------------------------------------------------- Server
 
+namespace {
+
+assign::U2uCandidateStage MakeServerStage(
+    const reachability::ReachabilityModel* model, double alpha,
+    const reachability::KernelOptions& kernel) {
+  assign::U2uCandidateStage::Config config;
+  config.model = model;
+  config.alpha = alpha;
+  config.kernel = kernel;
+  return assign::U2uCandidateStage(std::move(config));
+}
+
+}  // namespace
+
 TaskingServer::TaskingServer(const reachability::ReachabilityModel* model,
                              double alpha,
                              reachability::KernelOptions kernel)
-    : model_(model), alpha_(alpha), kernel_(kernel) {
-  SCGUARD_CHECK(model != nullptr);
-  SCGUARD_CHECK(alpha > 0.0 && alpha <= 1.0);
-}
+    : stage_(MakeServerStage(model, alpha, kernel)) {}
 
 void TaskingServer::RegisterWorker(const WorkerRegistration& registration) {
   workers_.push_back(registration);
-  assigned_.push_back(false);
+  stage_.AddWorker(registration.noisy_location, registration.reach_radius_m);
 }
 
 std::vector<CandidateWorker> TaskingServer::FindCandidates(
     const TaskRequest& request) const {
-  if (kernel_.alpha_thresholds && !thresholds_.has_value()) {
-    thresholds_.emplace(model_, reachability::Stage::kU2U, alpha_,
-                        kernel_.threshold_margin);
-  }
+  // The stage emits ascending worker indices of the still-available
+  // candidates — the same order the per-registration scan produced.
+  const std::vector<uint32_t>& indices =
+      stage_.Collect(request.noisy_location);
   std::vector<CandidateWorker> candidates;
-  for (size_t i = 0; i < workers_.size(); ++i) {
-    if (assigned_[i]) continue;
-    const auto& w = workers_[i];
-    const double d_obs =
-        geo::Distance(w.noisy_location, request.noisy_location);
-    const bool candidate =
-        thresholds_.has_value()
-            ? thresholds_->IsCandidate(d_obs, w.reach_radius_m)
-            : model_->ProbReachable(reachability::Stage::kU2U, d_obs,
-                                    w.reach_radius_m) >= alpha_;
-    if (candidate) {
-      candidates.push_back({w.worker_id, w.noisy_location, w.reach_radius_m});
-    }
+  candidates.reserve(indices.size());
+  for (const uint32_t i : indices) {
+    const WorkerRegistration& w = workers_[i];
+    candidates.push_back({w.worker_id, w.noisy_location, w.reach_radius_m});
   }
   return candidates;
 }
@@ -108,18 +122,14 @@ std::vector<CandidateWorker> TaskingServer::FindCandidates(
 void TaskingServer::MarkAssigned(int64_t worker_id) {
   for (size_t i = 0; i < workers_.size(); ++i) {
     if (workers_[i].worker_id == worker_id) {
-      assigned_[i] = true;
+      stage_.MarkMatched(static_cast<uint32_t>(i));
       return;
     }
   }
   SCGUARD_CHECK(false && "unknown worker id");
 }
 
-size_t TaskingServer::available_workers() const {
-  size_t n = 0;
-  for (bool a : assigned_) n += a ? 0 : 1;
-  return n;
-}
+size_t TaskingServer::available_workers() const { return stage_.available(); }
 
 // ----------------------------------------------------------- Coordinator
 
@@ -150,20 +160,27 @@ TaskOutcome ProtocolCoordinator::AssignTask(
   const std::vector<CandidateWorker> plan =
       requester.RankCandidates(candidates, *u2e_model_, beta_);
 
-  // E2E: disclose the task location to one worker at a time.
-  for (const CandidateWorker& c : plan) {
-    SCGUARD_CHECK(c.worker_id >= 0 &&
-                  static_cast<size_t>(c.worker_id) < workers.size());
-    const WorkerDevice& device = workers[static_cast<size_t>(c.worker_id)];
-    trace_.task_location_disclosures += 1;
-    outcome.disclosures += 1;
-    if (device.HandleTaskOffer(requester.exact_task_location())) {
-      server_->MarkAssigned(c.worker_id);
-      outcome.assigned_worker = c.worker_id;
-      return outcome;
-    }
-    trace_.rejections += 1;
-  }
+  // E2E: disclose the task location to one worker at a time. The plan is
+  // already beta-filtered and ordered, so the shared contact stage runs
+  // gate-free and this adapter only routes offers to the devices.
+  const assign::E2eContactStage contact(
+      {.rank = assign::RankStrategy::kProbability, .beta = 0.0,
+       .beta_mode = assign::BetaMode::kEveryContact, .redundancy_k = 1});
+  const assign::E2eContactStage::Outcome o =
+      contact.ContactPlan(plan, [&](const CandidateWorker& c) {
+        SCGUARD_CHECK(c.worker_id >= 0 &&
+                      static_cast<size_t>(c.worker_id) < workers.size());
+        const WorkerDevice& device = workers[static_cast<size_t>(c.worker_id)];
+        if (!device.HandleTaskOffer(requester.exact_task_location())) {
+          return false;
+        }
+        server_->MarkAssigned(c.worker_id);
+        outcome.assigned_worker = c.worker_id;
+        return true;
+      });
+  trace_.task_location_disclosures += o.disclosures;
+  trace_.rejections += o.false_hits;
+  outcome.disclosures = o.disclosures;
   return outcome;
 }
 

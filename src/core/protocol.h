@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "assign/stages/candidate_stage.h"
 #include "geo/point.h"
 #include "privacy/privacy_params.h"
 #include "reachability/kernel.h"
@@ -92,7 +93,9 @@ class RequesterDevice {
 
 /// The untrusted SC server: sees only registrations and task requests
 /// (perturbed data), performs the U2U candidate search, and tracks worker
-/// availability. By construction it never holds an exact location.
+/// availability. By construction it never holds an exact location. A thin
+/// party adapter over assign::U2uCandidateStage (DESIGN.md section 10):
+/// the message framing lives here, the filter itself is the shared stage.
 class TaskingServer {
  public:
   /// `alpha` is the U2U threshold applied to `model` probabilities.
@@ -113,15 +116,14 @@ class TaskingServer {
   size_t available_workers() const;
 
  private:
-  const reachability::ReachabilityModel* model_;
-  double alpha_;
+  /// Registration messages in arrival order; stage worker indices equal
+  /// positions here (the stage registers them in the same order).
   std::vector<WorkerRegistration> workers_;
-  std::vector<bool> assigned_;
-  /// Lazy: built on the first FindCandidates call. The server object
-  /// models a single logical party and is not called concurrently, so a
-  /// mutable cache behind a const query keeps the API unchanged.
-  mutable std::optional<reachability::AlphaThresholdCache> thresholds_;
-  reachability::KernelOptions kernel_;
+  /// The server object models a single logical party and is not called
+  /// concurrently, so a mutable stage behind the const query keeps the
+  /// message-level API unchanged (the stage memoizes thresholds and scan
+  /// state on first use, as the lazy threshold cache did before it).
+  mutable assign::U2uCandidateStage stage_;
 };
 
 /// Message counters of one protocol execution.

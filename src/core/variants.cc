@@ -2,10 +2,22 @@
 
 #include <algorithm>
 
+#include "assign/stages/contact_stage.h"
+#include "assign/stages/rank_stage.h"
 #include "common/check.h"
 
 namespace scguard::core {
 namespace {
+
+/// All variants contact one worker at a time until the first accept; the
+/// ranked lists are already filtered, so the stage runs without beta gating
+/// (Config::beta = 0 disables it).
+const assign::E2eContactStage& SequentialContact() {
+  static const assign::E2eContactStage stage(
+      {.rank = assign::RankStrategy::kProbability, .beta = 0.0,
+       .beta_mode = assign::BetaMode::kEveryContact, .redundancy_k = 1});
+  return stage;
+}
 
 // Worker-side reachability estimate: the worker knows its exact location
 // and sees a (possibly degraded) noisy task location, so the estimate is a
@@ -26,14 +38,16 @@ VariantOutcome RunSequential(const RequesterDevice& requester,
   VariantOutcome outcome;
   const std::vector<CandidateWorker> plan =
       requester.RankCandidates(candidates, model, beta);
-  for (const CandidateWorker& c : plan) {
-    outcome.task_location_disclosures += 1;
-    const WorkerDevice& device = workers[static_cast<size_t>(c.worker_id)];
-    if (device.HandleTaskOffer(requester.exact_task_location())) {
-      outcome.assigned_worker = c.worker_id;
-      break;
-    }
-  }
+  const auto o =
+      SequentialContact().ContactPlan(plan, [&](const CandidateWorker& c) {
+        const WorkerDevice& device = workers[static_cast<size_t>(c.worker_id)];
+        if (!device.HandleTaskOffer(requester.exact_task_location())) {
+          return false;
+        }
+        outcome.assigned_worker = c.worker_id;
+        return true;
+      });
+  outcome.task_location_disclosures += o.disclosures;
   return outcome;
 }
 
@@ -47,28 +61,30 @@ VariantOutcome RunParallelBroadcast(
   // from the U2U submission — no new task disclosure); each candidate
   // independently decides whether it is likely reachable, and if so
   // reveals its exact location to the requester.
-  std::vector<std::pair<double, int64_t>> revealed;  // (distance, worker id).
+  // Nearest-first = the shared score-desc order on negated distance.
+  std::vector<std::pair<double, int64_t>> revealed;  // (-distance, worker id).
   for (const CandidateWorker& c : candidates) {
     const WorkerDevice& device = workers[static_cast<size_t>(c.worker_id)];
     const double estimate =
         WorkerSideEstimate(model, device, request.noisy_location);
-    if (estimate < std::max(beta, 0.1)) continue;
+    if (estimate < std::max(beta, assign::kMinSelfRevealProbability)) continue;
     // Self-reveal: the requester learns this worker's exact location.
     outcome.worker_location_disclosures += 1;
     revealed.emplace_back(
-        geo::Distance(device.true_location_for_testing(),
-                      requester.exact_task_location()),
+        -geo::Distance(device.true_location_for_testing(),
+                       requester.exact_task_location()),
         c.worker_id);
   }
-  std::sort(revealed.begin(), revealed.end());
-  for (const auto& [distance, worker_id] : revealed) {
-    outcome.task_location_disclosures += 1;
+  assign::SortRankedCandidates(revealed);
+  const auto o = SequentialContact().Contact(revealed, [&](int64_t worker_id) {
     const WorkerDevice& device = workers[static_cast<size_t>(worker_id)];
-    if (device.HandleTaskOffer(requester.exact_task_location())) {
-      outcome.assigned_worker = worker_id;
-      break;
+    if (!device.HandleTaskOffer(requester.exact_task_location())) {
+      return false;
     }
-  }
+    outcome.assigned_worker = worker_id;
+    return true;
+  });
+  outcome.task_location_disclosures += o.disclosures;
   return outcome;
 }
 
@@ -100,18 +116,16 @@ VariantOutcome RunServerRanked(const RequesterDevice& requester,
         geo::Distance(degraded, request.noisy_location), c.reach_radius_m);
     scored.emplace_back(score, c.worker_id);
   }
-  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
-    if (a.first != b.first) return a.first > b.first;
-    return a.second < b.second;
-  });
-  for (const auto& [score, worker_id] : scored) {
-    outcome.task_location_disclosures += 1;
+  assign::SortRankedCandidates(scored);
+  const auto o = SequentialContact().Contact(scored, [&](int64_t worker_id) {
     const WorkerDevice& device = workers[static_cast<size_t>(worker_id)];
-    if (device.HandleTaskOffer(requester.exact_task_location())) {
-      outcome.assigned_worker = worker_id;
-      break;
+    if (!device.HandleTaskOffer(requester.exact_task_location())) {
+      return false;
     }
-  }
+    outcome.assigned_worker = worker_id;
+    return true;
+  });
+  outcome.task_location_disclosures += o.disclosures;
   return outcome;
 }
 

@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "assign/stages/candidate_stage.h"
+#include "assign/stages/contact_stage.h"
+#include "assign/stages/rank_stage.h"
 #include "common/check.h"
 #include "data/beijing.h"
 #include "data/trip_model.h"
 #include "privacy/planar_laplace.h"
 #include "reachability/analytical_model.h"
-#include "reachability/kernel.h"
 
 namespace scguard::sim {
 namespace {
@@ -41,10 +44,6 @@ std::vector<DynamicRoundMetrics> RunDynamicWorkers(const DynamicConfig& config,
   // Reachability models consistent with the *claimed* per-report level:
   // the server cannot know more than what devices declare.
   const reachability::AnalyticalModel model(per_report);
-  // The alpha filter as a critical-distance compare (exact decisions);
-  // run-local, like the rest of the simulation state.
-  reachability::AlphaThresholdCache u2u_thresholds(
-      &model, reachability::Stage::kU2U, config.alpha);
 
   // Worker state.
   struct DynamicWorker {
@@ -59,18 +58,29 @@ std::vector<DynamicRoundMetrics> RunDynamicWorkers(const DynamicConfig& config,
     w.reach = rng.UniformDouble(config.reach_min_m, config.reach_max_m);
   }
 
-  // Reach radii never change, so the inverted alpha filter's squared
-  // certain bounds are per-worker constants: the U2U check below is a
-  // squared-distance compare (no sqrt), with the exact IsCandidate only
-  // for the nanometre-wide band between the bounds (same contract as the
-  // engine's PR-3 path).
-  std::vector<double> accept_sq(workers.size());
-  std::vector<double> reject_sq(workers.size());
-  for (size_t i = 0; i < workers.size(); ++i) {
-    const reachability::AlphaThreshold& t = u2u_thresholds.For(workers[i].reach);
-    accept_sq[i] = t.accept_below_sq;
-    reject_sq[i] = t.reject_above_sq;
+  // The shared protocol stages (DESIGN.md section 10); run-local, like the
+  // rest of the simulation state. Reach radii never change across rounds,
+  // so the U2U stage's inverted alpha filter (threshold prewarm at first
+  // Collect) stays valid for the whole run: per-round location refreshes
+  // re-point the noisy coordinates via UpdateWorkerLocation, and round
+  // boundaries only reset availability — the critical-distance inversion
+  // is never recomputed.
+  assign::U2uCandidateStage::Config u2u_config;
+  u2u_config.model = &model;
+  u2u_config.alpha = config.alpha;
+  assign::U2uCandidateStage u2u(std::move(u2u_config));
+  u2u.ReserveWorkers(workers.size());
+  for (const auto& w : workers) {
+    // Placeholder coordinates: every strategy refreshes the report in
+    // round 0 before the first Collect.
+    u2u.AddWorker(w.location, w.reach);
   }
+  assign::U2eRankStage u2e(
+      {.model = &model, .rank = assign::RankStrategy::kProbability,
+       .kernel = {}});
+  const assign::E2eContactStage contact(
+      {.rank = assign::RankStrategy::kProbability, .beta = config.beta,
+       .beta_mode = assign::BetaMode::kEveryContact, .redundancy_k = 1});
 
   // Task perturbation noise is drawn at the joint level every time
   // (tasks are one-shot); the sampler itself is deterministic state, built
@@ -92,54 +102,38 @@ std::vector<DynamicRoundMetrics> RunDynamicWorkers(const DynamicConfig& config,
     }
 
     // Reporting.
-    for (auto& w : workers) {
+    for (size_t i = 0; i < workers.size(); ++i) {
+      auto& w = workers[i];
       const bool refresh = round == 0 || strategy != ReportingStrategy::kReportOnce;
       if (refresh) {
         w.reported = w.location + laplace.Sample(rng);
         w.spent_epsilon += per_report.epsilon;
+        u2u.UpdateWorkerLocation(static_cast<uint32_t>(i), w.reported);
       }
     }
 
-    // One round of online assignment over fresh tasks.
+    // One round of online assignment over fresh tasks; every worker is
+    // available again at the round boundary.
+    u2u.ResetAvailability();
     DynamicRoundMetrics metrics;
     metrics.round = round;
-    std::vector<bool> busy(workers.size(), false);
     double travel_sum = 0;
     for (int t = 0; t < config.tasks_per_round; ++t) {
       const geo::Point task = demand.Sample(rng);
       const geo::Point task_noisy = task + task_laplace.Sample(rng);
-      // U2U + U2E against reported locations.
-      ranked.clear();
-      for (size_t i = 0; i < workers.size(); ++i) {
-        if (busy[i]) continue;
-        const DynamicWorker& w = workers[i];
-        const double d_sq = geo::SquaredDistance(w.reported, task_noisy);
-        if (d_sq >= reject_sq[i]) continue;
-        if (d_sq > accept_sq[i] &&
-            !u2u_thresholds.IsCandidate(geo::Distance(w.reported, task_noisy),
-                                        w.reach)) {
-          continue;
-        }
-        const double p_u2e = model.ProbReachable(
-            reachability::Stage::kU2E, geo::Distance(w.reported, task), w.reach);
-        ranked.emplace_back(p_u2e, i);
-      }
-      std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
-        if (a.first != b.first) return a.first > b.first;
-        return a.second < b.second;
-      });
-      for (const auto& [score, i] : ranked) {
-        if (score < config.beta) break;  // Cancel.
+      // U2U over reported locations, U2E against the exact task location.
+      const std::vector<uint32_t>& candidates = u2u.Collect(task_noisy);
+      u2e.Rank(u2u.soa(), candidates, task, /*random_rank=*/nullptr, ranked);
+      const auto outcome = contact.Contact(ranked, [&](size_t i) {
         const double d_true = geo::Distance(workers[i].location, task);
-        if (d_true <= workers[i].reach) {
-          busy[i] = true;
-          workers[i].location = task;  // Completes the task, ends up there.
-          metrics.assigned += 1;
-          travel_sum += d_true;
-          break;
-        }
-        metrics.false_hits += 1;
-      }
+        if (d_true > workers[i].reach) return false;
+        u2u.MarkMatched(static_cast<uint32_t>(i));
+        workers[i].location = task;  // Completes the task, ends up there.
+        metrics.assigned += 1;
+        travel_sum += d_true;
+        return true;
+      });
+      metrics.false_hits += static_cast<double>(outcome.false_hits);
     }
     metrics.travel_m = metrics.assigned > 0 ? travel_sum / metrics.assigned : 0;
 

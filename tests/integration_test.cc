@@ -7,6 +7,7 @@
 #include <set>
 
 #include "assign/algorithms.h"
+#include "assign/scguard_engine.h"
 #include "core/protocol.h"
 #include "core/scguard.h"
 #include "data/workload.h"
