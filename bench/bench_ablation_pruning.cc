@@ -18,7 +18,8 @@ void Main() {
 
   sim::TablePrinter table(
       "Pruning ablation (eps=0.7, r=800, alpha=0.1)",
-      {"configuration", "utility", "overhead", "recall", "runtime (ms/run)"});
+      {"configuration", "utility", "overhead", "recall", "runtime (ms/run)",
+       "cells bulk", "cells skip", "boundary wkrs"});
 
   auto report = [&](const std::string& name,
                     std::optional<double> gamma,
@@ -34,8 +35,15 @@ void Main() {
             std::chrono::steady_clock::now() - start)
             .count() /
         config.num_seeds;
+    // The cell counters separate the two ways the grid query avoids work:
+    // bulk-accepted cells skip the per-member box tests entirely, skipped
+    // cells never touch their members, and boundary_workers counts the
+    // members that still needed the per-member test (zero for the non-grid
+    // backends).
     table.AddRow(name,
-                 {agg.assigned_tasks, agg.candidates, agg.recall, elapsed_ms},
+                 {agg.assigned_tasks, agg.candidates, agg.recall, elapsed_ms,
+                  agg.cells_bulk_accepted, agg.cells_skipped,
+                  agg.boundary_workers},
                  2);
   };
 

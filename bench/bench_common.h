@@ -190,6 +190,9 @@ class JsonSeriesWriter {
           << ",\"u2u_scanned\":" << p.m.u2u_scanned
           << ",\"u2u_scanned_first_task\":" << p.m.u2u_scanned_first_task
           << ",\"u2u_scanned_last_task\":" << p.m.u2u_scanned_last_task
+          << ",\"cells_bulk_accepted\":" << p.m.cells_bulk_accepted
+          << ",\"cells_skipped\":" << p.m.cells_skipped
+          << ",\"boundary_workers\":" << p.m.boundary_workers
           << ",\"seed_seconds_min\":" << p.m.seed_seconds_min
           << ",\"seed_seconds_median\":" << p.m.seed_seconds_median
           << ",\"seed_seconds_max\":" << p.m.seed_seconds_max;

@@ -117,9 +117,11 @@ void BM_PrunerCandidates(benchmark::State& state) {
   state.SetLabel(std::string(index::PrunerBackendName(backend)));
 }
 BENCHMARK(BM_PrunerCandidates)
-    ->Args({0, 5000})   // Linear scan.
-    ->Args({1, 5000})   // Grid.
-    ->Args({2, 5000});  // R-tree.
+    ->Args({0, 5000})    // Linear scan.
+    ->Args({1, 5000})    // Grid.
+    ->Args({2, 5000})    // R-tree.
+    ->Args({1, 100000})  // Grid at engine scale.
+    ->Args({2, 100000});  // R-tree at engine scale.
 
 void BM_KdTreeNearest(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -80,9 +80,10 @@ int Main() {
     std::printf("%s%lld", i > 0 ? "," : "", (long long)thread_counts[i]);
   }
   std::printf("} (hardware=%d)\n\n", runtime::ThreadPool::HardwareThreads());
-  std::printf("%10s %8s %7s %10s %10s %10s %12s %12s\n", "workers", "threads",
-              "pruner", "assigned", "u2u_s", "total_s", "scan_first",
-              "scan_last");
+  std::printf("%10s %8s %7s %10s %10s %10s %12s %12s %11s %11s %11s\n",
+              "workers", "threads", "pruner", "assigned", "u2u_s", "total_s",
+              "scan_first", "scan_last", "cells_bulk", "cells_skip",
+              "boundary_w");
 
   for (const int64_t num_workers : worker_counts) {
     // One workload per size, shared by every (threads, pruner) cell: the
@@ -129,13 +130,18 @@ int Main() {
         json.Add(series, static_cast<double>(num_workers), agg,
                  {{"threads", static_cast<double>(threads)},
                   {"pruner", use_pruner ? 1.0 : 0.0}});
-        std::printf("%10lld %8lld %7s %10lld %10.3f %10.3f %12lld %12lld\n",
-                    (long long)num_workers, (long long)threads,
-                    use_pruner ? "grid" : "off",
-                    (long long)run.metrics.assigned_tasks,
-                    run.metrics.u2u_seconds, run.metrics.total_seconds,
-                    (long long)run.metrics.u2u_scanned_first_task,
-                    (long long)run.metrics.u2u_scanned_last_task);
+        std::printf(
+            "%10lld %8lld %7s %10lld %10.3f %10.3f %12lld %12lld %11lld "
+            "%11lld %11lld\n",
+            (long long)num_workers, (long long)threads,
+            use_pruner ? "grid" : "off",
+            (long long)run.metrics.assigned_tasks, run.metrics.u2u_seconds,
+            run.metrics.total_seconds,
+            (long long)run.metrics.u2u_scanned_first_task,
+            (long long)run.metrics.u2u_scanned_last_task,
+            (long long)run.metrics.cells_bulk_accepted,
+            (long long)run.metrics.cells_skipped,
+            (long long)run.metrics.boundary_workers);
       }
     }
   }

@@ -21,6 +21,9 @@ void RunMetrics::Accumulate(const RunMetrics& other) {
   u2e_seconds += other.u2e_seconds;
   total_seconds += other.total_seconds;
   u2u_scanned += other.u2u_scanned;
+  cells_bulk_accepted += other.cells_bulk_accepted;
+  cells_skipped += other.cells_skipped;
+  boundary_workers += other.boundary_workers;
 }
 
 std::ostream& operator<<(std::ostream& os, const RunMetrics& m) {

@@ -61,6 +61,16 @@ struct RunMetrics {
   int64_t u2u_scanned_first_task = 0;
   int64_t u2u_scanned_last_task = 0;
 
+  /// Cell-certification work of a grid-backed pruning index, summed over
+  /// the run's queries (DESIGN.md §11): cells whose whole id array was
+  /// bulk-appended, non-empty cells skipped without touching entries, and
+  /// workers that fell through to the per-member rectangle test. All zero
+  /// without pruning or for non-grid backends; together they explain *why*
+  /// pruning won or lost, not just that it did.
+  int64_t cells_bulk_accepted = 0;
+  int64_t cells_skipped = 0;
+  int64_t boundary_workers = 0;
+
   double MeanTravelM() const {
     return accepted_assignments > 0
                ? travel_sum_m / static_cast<double>(accepted_assignments)

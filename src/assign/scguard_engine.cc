@@ -41,6 +41,9 @@ struct EngineObs {
   obs::Counter* false_dismissals;
   obs::Counter* band_evals;
   obs::Counter* active_compactions;
+  obs::Counter* cells_bulk_accepted;
+  obs::Counter* cells_skipped;
+  obs::Counter* boundary_workers;
   obs::Histogram* u2u_seconds;
   obs::Histogram* u2e_seconds;
   obs::Histogram* e2e_seconds;
@@ -62,6 +65,9 @@ struct EngineObs {
         registry.GetCounter("scguard.engine.false_dismissals"),
         registry.GetCounter("scguard.engine.u2u_band_evals"),
         registry.GetCounter("scguard.engine.active_compactions"),
+        registry.GetCounter("scguard.engine.cells_bulk_accepted"),
+        registry.GetCounter("scguard.engine.cells_skipped"),
+        registry.GetCounter("scguard.engine.boundary_workers"),
         registry.GetHistogram("scguard.engine.u2u_seconds"),
         registry.GetHistogram("scguard.engine.u2e_seconds"),
         registry.GetHistogram("scguard.engine.e2e_seconds"),
@@ -236,6 +242,15 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
 
   m.total_seconds = Elapsed(run_start);
 
+  // Cell-certification accounting of a grid-backed pruner, cumulative over
+  // the run's queries (the pruner lives for the whole run, so the final
+  // snapshot is the run total).
+  if (const index::GridIndex::QueryStats* gs = u2u.grid_query_stats()) {
+    m.cells_bulk_accepted = gs->cells_bulk_accepted;
+    m.cells_skipped = gs->cells_skipped;
+    m.boundary_workers = gs->boundary_workers;
+  }
+
   // One atomic flush per counter per run; no-ops while disabled.
   eo.tasks->Increment(m.num_tasks);
   eo.assigned_tasks->Increment(m.assigned_tasks);
@@ -250,6 +265,9 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
   eo.false_dismissals->Increment(m.false_dismissals);
   eo.band_evals->Increment(u2u.band_evals());
   eo.active_compactions->Increment(u2u.compactions());
+  eo.cells_bulk_accepted->Increment(m.cells_bulk_accepted);
+  eo.cells_skipped->Increment(m.cells_skipped);
+  eo.boundary_workers->Increment(m.boundary_workers);
   return result;
 }
 

@@ -120,9 +120,12 @@ void U2uCandidateStage::Prepare() {
         }
       }
     }
-    // Pruned runs query the index instead of scanning shards; one scratch
-    // serves the whole stage.
-    shards_.resize(1);
+    // Pruned runs partition the index's candidate list across the same
+    // fixed-size shards as the brute scan (DESIGN.md §11), so they need the
+    // full scratch set — but not shard_active_, which only the brute path
+    // reads.
+    const auto shard_size = static_cast<size_t>(config_.runtime.shard_size);
+    shards_.resize(n > 0 ? (n + shard_size - 1) / shard_size : 0);
   } else if (warm_ == 0) {
     RebuildShards();
   } else {
@@ -201,21 +204,62 @@ const std::vector<uint32_t>& U2uCandidateStage::Collect(
   stats_.pruned_last = 0;
 
   if (pruner_ != nullptr) {
+    // The index query itself stays serial (sub-linear, and it owns mutable
+    // merge scratch); the classification work it feeds is what fans out.
     pruner_->Candidates(task_noisy_location, pruner_ids_);
-    ShardScratch& sc = shards_[0];
-    sc.live.clear();
-    for (const int64_t id : pruner_ids_) {
-      if (!soa_.matched[static_cast<size_t>(id)]) {
-        sc.live.push_back(static_cast<uint32_t>(id));
-      }
-    }
-    ScanIndices(task_noisy_location, sc.live.data(), sc.live.size(), sc);
-    // Backends emit ids in ascending order, so `candidates_` is already
-    // sorted — no per-task re-sort.
-    candidates_.assign(sc.out.begin(), sc.out.end());
-    stats_.scanned_last = sc.scanned;
     stats_.pruned_last = static_cast<int64_t>(n) -
                          static_cast<int64_t>(pruner_ids_.size());
+    // Partition the ascending id list into per-shard segments using the
+    // same fixed boundaries as the brute scan (shard of id = id /
+    // shard_size — depends only on (n, shard_size), never the pool), then
+    // fan the non-empty segments over the pool and concatenate their
+    // outputs in segment order. Segments are ascending and disjoint, so
+    // the result reproduces the old serial whole-list scan bit for bit.
+    const auto shard_size = static_cast<size_t>(rt.shard_size);
+    const size_t m = pruner_ids_.size();
+    segments_.clear();
+    for (size_t pos = 0; pos < m;) {
+      const size_t shard = static_cast<size_t>(pruner_ids_[pos]) / shard_size;
+      const auto shard_end = static_cast<int64_t>((shard + 1) * shard_size);
+      size_t end = pos + 1;
+      while (end < m && pruner_ids_[end] < shard_end) ++end;
+      segments_.push_back({shard, pos, end});
+      pos = end;
+    }
+    const Status scan_status = runtime::ParallelFor(
+        rt.pool, 0, static_cast<int64_t>(segments_.size()), /*grain=*/1,
+        [&](int64_t lo, int64_t hi) -> Status {
+          for (int64_t j = lo; j < hi; ++j) {
+            const Segment& seg = segments_[static_cast<size_t>(j)];
+            ShardScratch& sc = shards_[seg.shard];
+            sc.live.clear();
+            if (rt.active_set) {
+              // MarkMatched removed matched workers from the index, so the
+              // query result is already the live set.
+              for (size_t k = seg.begin; k < seg.end; ++k) {
+                sc.live.push_back(static_cast<uint32_t>(pruner_ids_[k]));
+              }
+            } else {
+              for (size_t k = seg.begin; k < seg.end; ++k) {
+                const auto i = static_cast<size_t>(pruner_ids_[k]);
+                if (!soa_.matched[i]) {
+                  sc.live.push_back(static_cast<uint32_t>(i));
+                }
+              }
+            }
+            ScanIndices(task_noisy_location, sc.live.data(), sc.live.size(),
+                        sc);
+          }
+          return Status::OK();
+        });
+    SCGUARD_CHECK(scan_status.ok());
+    // Segment order == ascending id order; untouched shards keep stale
+    // scratch from earlier tasks, so only this task's segments reduce.
+    for (const Segment& seg : segments_) {
+      const ShardScratch& sc = shards_[seg.shard];
+      candidates_.insert(candidates_.end(), sc.out.begin(), sc.out.end());
+      stats_.scanned_last += sc.scanned;
+    }
     return candidates_;
   }
 

@@ -147,6 +147,12 @@ class U2uCandidateStage {
   size_t available() const;
 
   const Stats& stats() const { return stats_; }
+  /// Cell-certification counters of a grid-backed pruning index, cumulative
+  /// over the pruner's life (nullptr without pruning or for non-grid
+  /// backends). Orchestrators feed these into RunMetrics / obs counters.
+  const index::GridIndex::QueryStats* grid_query_stats() const {
+    return pruner_ != nullptr ? pruner_->grid_query_stats() : nullptr;
+  }
   /// Direct in-band model evaluations, cumulative over the stage's life
   /// (summed across shard scratches; call once per run, not per task).
   int64_t band_evals() const;
@@ -199,9 +205,20 @@ class U2uCandidateStage {
   std::vector<uint8_t> shard_dirty_;
   std::vector<ShardScratch> shards_;
 
+  /// One shard's slice [begin, end) of the pruner's ascending id list for
+  /// the current task. Boundaries come from id / shard_size — the same
+  /// fixed shards as the brute scan — so concatenating per-segment outputs
+  /// in segment order reproduces the serial whole-list scan.
+  struct Segment {
+    size_t shard;
+    size_t begin;
+    size_t end;
+  };
+
   // Reused per-Collect scratch.
   std::vector<uint32_t> candidates_;
   std::vector<int64_t> pruner_ids_;
+  std::vector<Segment> segments_;
   Stats stats_;
 };
 

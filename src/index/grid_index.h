@@ -2,52 +2,134 @@
 #define SCGUARD_INDEX_GRID_INDEX_H_
 
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
 #include <vector>
 
 #include "geo/bbox.h"
+#include "geo/point.h"
 
 namespace scguard::index {
 
-/// A uniform grid over a fixed region indexing (rectangle, id) entries.
+/// A uniform grid over a fixed region indexing (center, radius, id) point
+/// entries — the expanded uncertainty disks of the U2U pruner (paper
+/// Sec. IV-C1). Each entry lives in exactly one cell (the cell containing
+/// its center), stored as a compacted, ascending-id structure-of-arrays.
+///
+/// Queries are cell-certified (DESIGN.md §11): every visited cell is first
+/// classified against the query rectangle using two per-cell aggregate
+/// boxes —
+///  * the *cover* box (union of the members' expanded rectangles): when it
+///    misses the query, no member can intersect and the whole cell is
+///    skipped without touching entries;
+///  * the *core* aggregates (the componentwise worst-case member bounds):
+///    when even the worst member's rectangle intersects the query, every
+///    member does, and the whole ascending id array is bulk-appended with
+///    no per-worker work.
+/// Only boundary cells fall through to the per-member rectangle test, which
+/// is bit-identical to `BoundingBox::FromCircle(center, r).Intersects(q)`.
+/// Output is globally ascending and callers never re-sort: when the live id
+/// range is dense (the engine's ids are [0, n)), accepted ids are scattered
+/// into a bitmap and extracted in order — O(hits) with tiny constants —
+/// otherwise each cell emits an ascending run and a k-way merge combines
+/// them.
 ///
 /// Simpler and often faster than the R-tree for the city-scale, roughly
 /// uniform extents SCGuard deals with; both satisfy the same query contract
 /// so the U2U pruner can use either (ablated in bench_ablation_pruning).
 class GridIndex {
  public:
-  /// `region` must be non-empty; `cells_per_axis` >= 1. Entries extending
+  /// Cumulative query-side certification accounting (reset with
+  /// ResetStats). Mutable scratch: queries on one index must not run
+  /// concurrently (the pruner queries serially; shard fan-out happens on
+  /// the result, not inside the index).
+  struct QueryStats {
+    int64_t cells_bulk_accepted = 0;  ///< Whole id array appended.
+    int64_t cells_skipped = 0;        ///< Non-empty cell, zero work.
+    int64_t cells_boundary = 0;       ///< Fell through to member tests.
+    int64_t boundary_workers = 0;     ///< Members tested individually.
+  };
+
+  /// Certification outcome of one cell against one query (test support).
+  enum class CellCert { kSkipped, kBulkAccepted, kBoundary };
+
+  /// `region` must be non-empty; `cells_per_axis` >= 1. Entries centered
   /// beyond the region are clamped to the border cells.
   GridIndex(const geo::BoundingBox& region, int cells_per_axis);
 
-  /// Inserts an entry into every cell its rectangle overlaps.
-  void Insert(const geo::BoundingBox& box, int64_t id);
+  /// Inserts a point entry: the rectangle it stands for is
+  /// `BoundingBox::FromCircle(center, expanded_radius_m)`. Entries go into
+  /// the single cell containing `center`; each cell keeps its id array
+  /// ascending (append is O(1) when ids arrive in ascending order, the
+  /// engine's registration order).
+  void Insert(geo::Point center, double expanded_radius_m, int64_t id);
 
-  /// Invokes `fn` once per entry whose rectangle intersects `query`
-  /// (deduplicated even when the entry spans several cells).
-  void Query(const geo::BoundingBox& query,
-             const std::function<void(int64_t)>& fn) const;
+  /// Appends to `out` (cleared first) the ids of all live entries whose
+  /// rectangle intersects `query`, in ascending id order; an id inserted
+  /// more than once is emitted at most once. Not thread-safe (mutable
+  /// bitmap/merge scratch + stats).
+  void Query(const geo::BoundingBox& query, std::vector<int64_t>& out) const;
 
-  /// All entry ids intersecting `query` (unordered, unique).
+  /// As above, returning a fresh vector (test convenience).
   std::vector<int64_t> QueryIds(const geo::BoundingBox& query) const;
 
-  /// As above into a caller-owned scratch vector (cleared first), so tight
-  /// query loops avoid the per-call allocation.
-  void QueryIds(const geo::BoundingBox& query, std::vector<int64_t>& out) const;
-
-  /// Removes every live entry inserted under `id` (tombstoned; cell lists
-  /// are left in place and skipped at query time, so removal is O(entries
-  /// for id) and never reshuffles other entries). Returns the number of
-  /// entries removed — 0 when the id is absent or already removed, making
-  /// repeated removal idempotent. A later Insert with the same id makes
-  /// the id live again (only the new rectangle is queryable).
+  /// Removes every live entry inserted under `id`. The cell arrays are
+  /// compacted in place (ordered erase, so they stay ascending) and the
+  /// cell's certification aggregates are recomputed in the same O(cell)
+  /// pass — stale aggregates would stay conservative for skipping but stop
+  /// bulk-accepting as the active set drains. Returns the number of entries
+  /// removed — 0 when the id is absent or already removed, so repeated
+  /// removal is idempotent. A later Insert with the same id makes the id
+  /// live again.
   size_t Remove(int64_t id);
 
   /// Live (inserted and not removed) entries.
   size_t size() const { return live_; }
 
+  const QueryStats& stats() const { return stats_; }
+  void ResetStats() const { stats_ = QueryStats{}; }
+
+  /// Classification of cell (cx, cy) against `query` exactly as Query would
+  /// decide it (test support; empty cells report kSkipped).
+  CellCert ClassifyCellForTest(int cx, int cy,
+                               const geo::BoundingBox& query) const;
+  /// Ids currently stored in cell (cx, cy), in stored (ascending) order.
+  std::vector<int64_t> CellMembersForTest(int cx, int cy) const;
+  int cells_per_axis() const { return cells_; }
+
  private:
+  /// Where one cell's members live inside the flat member arrays: the
+  /// ascending-id slice [begin, begin + count), with `cap - count` spare
+  /// slots at the end of the slice so post-build inserts rarely force a
+  /// rebuild. Cell slices are laid out in row-major cell order, so a query
+  /// sweeping a row reads the member arrays near-sequentially instead of
+  /// chasing one heap vector per cell.
+  struct CellRef {
+    size_t begin = 0;
+    uint32_t count = 0;
+    uint32_t cap = 0;
+  };
+
+  /// The aggregate boxes the certification tests read — exactly one cache
+  /// line per cell. All components are computed with the same
+  /// floating-point operations as the per-member rectangle
+  /// `FromCircle(center, r)` — `fl(c - r)` / `fl(c + r)` — and min/max are
+  /// exact, so certification agrees bit-for-bit with the member-by-member
+  /// test it replaces. An empty cell keeps the reset sentinels
+  /// (cover_max_x = -inf), which the skip test rejects before any member
+  /// array is touched.
+  struct alignas(64) Agg {
+    // Cover box: union of member rectangles (skip test).
+    double cover_min_x, cover_min_y, cover_max_x, cover_max_y;
+    // Core aggregates: max lower / min upper member bounds (bulk-accept
+    // test: the query must catch even the worst member on every side).
+    double core_max_lo_x, core_max_lo_y, core_min_hi_x, core_min_hi_y;
+
+    Agg() { Reset(); }
+    void Reset();
+    void Accumulate(double cx, double cy, double cr);
+  };
+  static_assert(sizeof(Agg) == 64);
+
   struct CellRange {
     int x0, x1, y0, y1;  // Inclusive cell coordinates.
   };
@@ -56,22 +138,47 @@ class GridIndex {
     return static_cast<size_t>(cy) * static_cast<size_t>(cells_) +
            static_cast<size_t>(cx);
   }
+  size_t CellSlotFor(geo::Point p) const;
+  CellCert Classify(const Agg& agg, const geo::BoundingBox& query) const;
+  void RecomputeAggregates(size_t slot);
+  /// Re-lays the flat member arrays with fresh per-cell headroom
+  /// (amortized: triggered only when a cell's slice is full). O(entries).
+  void Rebuild();
+  /// Merges the ascending runs recorded in `run_starts_` into one ascending
+  /// sequence (bottom-up pairwise merge through the member scratch buffer;
+  /// no per-query allocation once warm).
+  void MergeRuns(std::vector<int64_t>& out) const;
 
   geo::BoundingBox region_;
   int cells_;
   double cell_w_;
   double cell_h_;
-  std::vector<std::vector<size_t>> cells_entries_;  // Cell -> entry indices.
-  std::vector<geo::BoundingBox> boxes_;             // Entry index -> box.
-  std::vector<int64_t> ids_;                        // Entry index -> id.
-  std::vector<uint8_t> removed_;                    // Entry index -> tombstone.
-  // Id -> its live entry indices, so Remove(id) finds them without a scan.
-  std::unordered_map<int64_t, std::vector<size_t>> live_by_id_;
+  std::vector<CellRef> cells_ref_;  // Per-cell slice of the member arrays.
+  std::vector<Agg> aggs_;           // Parallel; one cache line per cell.
+  // Flat member storage (cell-major SoA): each cell's slice keeps ids
+  // ascending, with x/y/r parallel to ids.
+  std::vector<int64_t> ids_;
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  std::vector<double> rs_;
+  // Id -> cells holding a live entry of that id (one slot per entry), so
+  // Remove(id) goes straight to the owning cells.
+  std::unordered_map<int64_t, std::vector<uint32_t>> cells_of_id_;
+  // High-water mark of all inserted expanded radii; queries widen their
+  // visited cell range by it so any cell whose members could reach the
+  // query rectangle is visited. Kept stale-high after Remove (conservative).
+  double max_radius_ = 0.0;
+  // High-water id range of all inserted entries (kept stale-wide after
+  // Remove): when it is dense relative to the live count, Query orders its
+  // output through the bitmap instead of the run merge.
+  int64_t min_id_ = 0;
+  int64_t max_id_ = -1;
   size_t live_ = 0;
-  // Query-time visited stamps to deduplicate multi-cell entries without
-  // allocating per query.
-  mutable std::vector<uint32_t> stamps_;
-  mutable uint32_t current_stamp_ = 0;
+
+  mutable QueryStats stats_;
+  mutable std::vector<uint64_t> bitmap_;    // Dense-id accept bitmap.
+  mutable std::vector<size_t> run_starts_;  // Offsets of per-cell runs.
+  mutable std::vector<int64_t> merge_buf_;  // Pairwise-merge scratch.
 };
 
 }  // namespace scguard::index

@@ -1,6 +1,7 @@
 #include "index/pruning.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/check.h"
@@ -33,10 +34,17 @@ UncertainRegionPruner::UncertainRegionPruner(
   grid_region.Extend(geo::Point{region.max_x + max_extent, region.max_y + max_extent});
 
   if (backend_ == PrunerBackend::kGrid) {
-    grid_ = std::make_unique<GridIndex>(grid_region, /*cells_per_axis=*/64);
+    // Density-adaptive resolution (a perf-only knob: certification is exact
+    // at any resolution): target ~64 entries per cell so boundary-cell
+    // member tests stay short at a million workers without flooding small
+    // workloads with empty cells.
+    const int cells_per_axis = std::clamp(
+        static_cast<int>(std::ceil(
+            std::sqrt(static_cast<double>(workers_.size()) / 64.0))),
+        16, 512);
+    grid_ = std::make_unique<GridIndex>(grid_region, cells_per_axis);
     for (const auto& w : workers_) {
-      grid_->Insert(geo::BoundingBox::FromCircle(
-                        w.noisy_location, r_r_worker_ + w.reach_radius_m),
+      grid_->Insert(w.noisy_location, r_r_worker_ + w.reach_radius_m,
                     w.worker_id);
     }
   } else {
@@ -75,8 +83,14 @@ void UncertainRegionPruner::Candidates(geo::Point task_noisy_location,
       }
       break;
     case PrunerBackend::kGrid:
-      grid_->QueryIds(task_box, out);
-      break;
+      // Removal is native (GridIndex::Remove compacts the cell), the
+      // k-way merge emits ascending ids, and nothing here consumes
+      // `removed_`: the grid path pays no per-result hash probe and no
+      // per-query sort. The debug check keeps a future backend regression
+      // loud in tests instead of silently resurfacing the sort cost.
+      grid_->Query(task_box, out);
+      SCGUARD_DCHECK(std::is_sorted(out.begin(), out.end()));
+      return;
     case PrunerBackend::kRTree:
       rtree_->QueryIds(task_box, out);
       break;

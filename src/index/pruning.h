@@ -69,8 +69,9 @@ class UncertainRegionPruner {
   /// Permanently drops a worker from future Candidates results (the engine
   /// calls this when a worker accepts a task, so pruned queries stop
   /// returning matched workers — DESIGN.md section 9). Idempotent; removing
-  /// an unknown id is a no-op. The grid backend tombstones the index entry;
-  /// the linear and R-tree backends filter at query time.
+  /// an unknown id is a no-op. The grid backend compacts the entry out of
+  /// its cell (and refreshes that cell's certification aggregates); the
+  /// linear and R-tree backends filter at query time.
   void Remove(int64_t worker_id);
 
   /// Confidence radius applied to worker observations.
@@ -78,6 +79,12 @@ class UncertainRegionPruner {
   /// Confidence radius applied to task observations.
   double task_confidence_radius_m() const { return r_r_task_; }
   PrunerBackend backend() const { return backend_; }
+
+  /// Cumulative cell-certification counters of the grid backend's queries
+  /// (DESIGN.md §11); nullptr for the other backends.
+  const GridIndex::QueryStats* grid_query_stats() const {
+    return grid_ != nullptr ? &grid_->stats() : nullptr;
+  }
 
  private:
   std::vector<WorkerRegion> workers_;

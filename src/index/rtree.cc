@@ -295,23 +295,10 @@ void RTree::BulkLoad(std::vector<Entry> entries) {
   root_ = std::move(level.front());
 }
 
-void RTree::QueryNode(const Node* node, const geo::BoundingBox& query,
-                      const std::function<void(const Entry&)>& fn) const {
-  if (node->leaf) {
-    for (const auto& e : node->entries) {
-      if (e.box.Intersects(query)) fn(e);
-    }
-    return;
-  }
-  for (const auto& child : node->children) {
-    if (child->box.Intersects(query)) QueryNode(child.get(), query, fn);
-  }
-}
-
 void RTree::Query(const geo::BoundingBox& query,
                   const std::function<void(const Entry&)>& fn) const {
   if (size_ == 0) return;
-  QueryNode(root_.get(), query, fn);
+  VisitNode(root_.get(), query, fn);
 }
 
 std::vector<int64_t> RTree::QueryIds(const geo::BoundingBox& query) const {
@@ -323,7 +310,9 @@ std::vector<int64_t> RTree::QueryIds(const geo::BoundingBox& query) const {
 void RTree::QueryIds(const geo::BoundingBox& query,
                      std::vector<int64_t>& out) const {
   out.clear();
-  Query(query, [&out](const Entry& e) { out.push_back(e.id); });
+  if (size_ == 0) return;
+  VisitNode(root_.get(), query,
+            [&out](const Entry& e) { out.push_back(e.id); });
 }
 
 int RTree::Height() const {

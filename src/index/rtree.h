@@ -75,8 +75,22 @@ class RTree {
   NodePtr SplitLeaf(Node* node);
   NodePtr SplitInternal(Node* node);
   void RecomputeBox(Node* node) const;
-  void QueryNode(const Node* node, const geo::BoundingBox& query,
-                 const std::function<void(const Entry&)>& fn) const;
+  /// Static-dispatch recursion shared by Query and QueryIds: the hot
+  /// QueryIds path (the U2U pruner's per-task call) visits entries through
+  /// an inlined lambda instead of a std::function per hit.
+  template <typename Visitor>
+  static void VisitNode(const Node* node, const geo::BoundingBox& query,
+                        const Visitor& visit) {
+    if (node->leaf) {
+      for (const auto& e : node->entries) {
+        if (e.box.Intersects(query)) visit(e);
+      }
+      return;
+    }
+    for (const auto& child : node->children) {
+      if (child->box.Intersects(query)) VisitNode(child.get(), query, visit);
+    }
+  }
   bool CheckNode(const Node* node, int depth, int leaf_depth) const;
   int LeafDepth(const Node* node) const;
 

@@ -1,6 +1,7 @@
 #include "reachability/kernel.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
@@ -285,10 +286,11 @@ KernelLut::Table KernelLut::Build(double reach_radius_m) {
   }
 }
 
-void ClassifyCertainBand(const WorkerFilterSoA& soa, const uint32_t* indices,
-                         size_t count, double task_x, double task_y,
-                         std::vector<uint32_t>& accept,
-                         std::vector<uint32_t>& band) {
+void ClassifyCertainBandScalar(const WorkerFilterSoA& soa,
+                               const uint32_t* indices, size_t count,
+                               double task_x, double task_y,
+                               std::vector<uint32_t>& accept,
+                               std::vector<uint32_t>& band) {
   accept.resize(count);
   band.resize(count);
   const double* const x = soa.x.data();
@@ -316,6 +318,75 @@ void ClassifyCertainBand(const WorkerFilterSoA& soa, const uint32_t* indices,
   }
   accept.resize(num_accept);
   band.resize(num_band);
+}
+
+namespace {
+
+using ClassifyFn = void (*)(const WorkerFilterSoA&, const uint32_t*, size_t,
+                            double, double, std::vector<uint32_t>&,
+                            std::vector<uint32_t>&);
+
+/// nullptr = not resolved yet; the first call (or an explicit
+/// ActiveClassifySimd / SetClassifySimd) resolves via CPUID. Relaxed atomics
+/// suffice: every resolution writes the same value and the pointed-to
+/// functions are immutable code.
+std::atomic<ClassifyFn> g_classify{nullptr};
+
+ClassifyFn ResolveClassify() {
+#if defined(SCGUARD_HAVE_AVX2)
+  if (CpuSupportsAvx2()) return &ClassifyCertainBandAvx2;
+#endif
+  return &ClassifyCertainBandScalar;
+}
+
+ClassifyFn LoadOrResolve() {
+  ClassifyFn fn = g_classify.load(std::memory_order_relaxed);
+  if (fn == nullptr) {
+    fn = ResolveClassify();
+    g_classify.store(fn, std::memory_order_relaxed);
+  }
+  return fn;
+}
+
+}  // namespace
+
+bool CpuSupportsAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+void ClassifyCertainBand(const WorkerFilterSoA& soa, const uint32_t* indices,
+                         size_t count, double task_x, double task_y,
+                         std::vector<uint32_t>& accept,
+                         std::vector<uint32_t>& band) {
+  LoadOrResolve()(soa, indices, count, task_x, task_y, accept, band);
+}
+
+ClassifySimd ActiveClassifySimd() {
+  const ClassifyFn fn = LoadOrResolve();
+#if defined(SCGUARD_HAVE_AVX2)
+  if (fn == &ClassifyCertainBandAvx2) return ClassifySimd::kAvx2;
+#endif
+  (void)fn;
+  return ClassifySimd::kScalar;
+}
+
+void SetClassifySimd(ClassifySimd simd) {
+#if defined(SCGUARD_HAVE_AVX2)
+  if (simd == ClassifySimd::kAvx2 && CpuSupportsAvx2()) {
+    g_classify.store(&ClassifyCertainBandAvx2, std::memory_order_relaxed);
+    return;
+  }
+#endif
+  (void)simd;
+  g_classify.store(&ClassifyCertainBandScalar, std::memory_order_relaxed);
+}
+
+void ResetClassifySimd() {
+  g_classify.store(nullptr, std::memory_order_relaxed);
 }
 
 }  // namespace scguard::reachability

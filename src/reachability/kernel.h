@@ -207,14 +207,62 @@ struct WorkerFilterSoA {
 ///  * band:   strictly between the two bounds  (one direct eval needed),
 ///  * reject: d_sq >= soa.reject_above_sq[i]   (dropped).
 /// Both outputs preserve the input order (ascending input => ascending
-/// output). The loop is a fixed-trip-count pass over the contiguous SoA
-/// arrays with conditional-increment writes — no data-dependent branches —
-/// so compilers can vectorize it. Requires soa.accept_below_sq /
-/// soa.reject_above_sq to be filled for every listed index.
+/// output). Dispatches once per process through a CPUID check (DESIGN.md
+/// §11) to the widest available implementation — currently the explicit
+/// 4-lane AVX2 kernel on x86-64 hosts that support it — with the scalar
+/// loop as the bit-identical fallback everywhere else. Requires
+/// soa.accept_below_sq / soa.reject_above_sq to be filled for every listed
+/// index.
 void ClassifyCertainBand(const WorkerFilterSoA& soa, const uint32_t* indices,
                          size_t count, double task_x, double task_y,
                          std::vector<uint32_t>& accept,
                          std::vector<uint32_t>& band);
+
+/// The portable reference implementation: a fixed-trip-count pass over the
+/// contiguous SoA arrays with unconditional slot writes + predicated
+/// increments (no data-dependent branches), so compilers can vectorize it.
+/// Compiled at the baseline target (no FMA contraction), which pins the
+/// rounding of d_sq = dx*dx + dy*dy — the bit-identity anchor every SIMD
+/// variant is verified against.
+void ClassifyCertainBandScalar(const WorkerFilterSoA& soa,
+                               const uint32_t* indices, size_t count,
+                               double task_x, double task_y,
+                               std::vector<uint32_t>& accept,
+                               std::vector<uint32_t>& band);
+
+#if defined(SCGUARD_HAVE_AVX2)
+/// Explicit 4-lane AVX2 kernel (kernel_avx2.cc, the only TU built with
+/// -mavx2): gathers x/y/bounds through the index vector, evaluates the
+/// trichotomy as explicit mul/mul/add (never FMA — -mavx2 does not enable
+/// it — so lane rounding equals the scalar loop's), and left-packs
+/// surviving lane indices with a shuffle LUT. Bit-identical outputs to
+/// ClassifyCertainBandScalar for any input; only callable on AVX2 CPUs.
+/// Worker indices must be < 2^31 (vpgatherdpd treats them as signed).
+void ClassifyCertainBandAvx2(const WorkerFilterSoA& soa,
+                             const uint32_t* indices, size_t count,
+                             double task_x, double task_y,
+                             std::vector<uint32_t>& accept,
+                             std::vector<uint32_t>& band);
+#endif  // SCGUARD_HAVE_AVX2
+
+/// Which ClassifyCertainBand implementation the dispatcher resolves to.
+enum class ClassifySimd { kScalar, kAvx2 };
+
+/// True when the running CPU reports AVX2 (always false off x86).
+bool CpuSupportsAvx2();
+
+/// The implementation the next ClassifyCertainBand call will run (resolves
+/// the lazy CPUID dispatch if it has not happened yet).
+ClassifySimd ActiveClassifySimd();
+
+/// Forces the dispatch (test/bench support). Requests for kAvx2 fall back
+/// to scalar when the binary or CPU lacks AVX2 — check ActiveClassifySimd
+/// afterwards. Not synchronized against in-flight ClassifyCertainBand
+/// calls; switch only between scans.
+void SetClassifySimd(ClassifySimd simd);
+
+/// Restores CPUID auto-dispatch after a SetClassifySimd override.
+void ResetClassifySimd();
 
 }  // namespace scguard::reachability
 

@@ -32,6 +32,9 @@ AggregatedMetrics Aggregate(const std::vector<assign::RunMetrics>& runs) {
     agg.u2u_scanned += static_cast<double>(m.u2u_scanned);
     agg.u2u_scanned_first_task += static_cast<double>(m.u2u_scanned_first_task);
     agg.u2u_scanned_last_task += static_cast<double>(m.u2u_scanned_last_task);
+    agg.cells_bulk_accepted += static_cast<double>(m.cells_bulk_accepted);
+    agg.cells_skipped += static_cast<double>(m.cells_skipped);
+    agg.boundary_workers += static_cast<double>(m.boundary_workers);
   }
   const double n = static_cast<double>(runs.size());
   agg.assigned_tasks /= n;
@@ -49,6 +52,9 @@ AggregatedMetrics Aggregate(const std::vector<assign::RunMetrics>& runs) {
   agg.u2u_scanned /= n;
   agg.u2u_scanned_first_task /= n;
   agg.u2u_scanned_last_task /= n;
+  agg.cells_bulk_accepted /= n;
+  agg.cells_skipped /= n;
+  agg.boundary_workers /= n;
   if (runs.size() >= 2) {
     double var_assigned = 0, var_travel = 0;
     for (const auto& m : runs) {

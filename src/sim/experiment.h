@@ -47,6 +47,11 @@ struct AggregatedMetrics {
   double u2u_scanned = 0;
   double u2u_scanned_first_task = 0;
   double u2u_scanned_last_task = 0;
+  /// Grid-pruner cell certification per run (zero without a grid pruner;
+  /// DESIGN.md §11), averaged over seeds.
+  double cells_bulk_accepted = 0;
+  double cells_skipped = 0;
+  double boundary_workers = 0;
   /// Across-seed sample standard deviations of the headline metrics (0
   /// when fewer than two seeds).
   double assigned_tasks_stddev = 0;

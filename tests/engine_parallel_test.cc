@@ -19,6 +19,7 @@
 #include "index/grid_index.h"
 #include "index/pruning.h"
 #include "reachability/analytical_model.h"
+#include "reachability/kernel.h"
 #include "runtime/task_group.h"
 #include "runtime/thread_pool.h"
 #include "stats/rng.h"
@@ -246,12 +247,8 @@ TEST(GridIndexRemoveTest, QueryAfterRemoveReAddAndIdempotence) {
   const geo::BoundingBox region =
       geo::BoundingBox::FromCorners({0, 0}, {1000, 1000});
   index::GridIndex grid(region, 8);
-  const geo::BoundingBox box_a =
-      geo::BoundingBox::FromCorners({100, 100}, {200, 200});
-  const geo::BoundingBox box_b =
-      geo::BoundingBox::FromCorners({150, 150}, {300, 300});
-  grid.Insert(box_a, 1);
-  grid.Insert(box_b, 2);
+  grid.Insert({150, 150}, 50.0, 1);   // Rectangle [100,200]^2.
+  grid.Insert({225, 225}, 75.0, 2);   // Rectangle [150,300]^2.
   ASSERT_EQ(grid.size(), 2u);
 
   const geo::BoundingBox everywhere = region;
@@ -272,7 +269,7 @@ TEST(GridIndexRemoveTest, QueryAfterRemoveReAddAndIdempotence) {
   EXPECT_EQ(grid.size(), 1u);
 
   // Re-add under the same id: live again, with the new rectangle only.
-  grid.Insert(geo::BoundingBox::FromCorners({800, 800}, {900, 900}), 1);
+  grid.Insert({850, 850}, 50.0, 1);  // Rectangle [800,900]^2.
   EXPECT_EQ(grid.size(), 2u);
   {
     const auto ids = grid.QueryIds(
@@ -292,8 +289,8 @@ TEST(GridIndexRemoveTest, RemovesEveryEntryOfAnId) {
   const geo::BoundingBox region =
       geo::BoundingBox::FromCorners({0, 0}, {1000, 1000});
   index::GridIndex grid(region, 8);
-  grid.Insert(geo::BoundingBox::FromCorners({0, 0}, {100, 100}), 5);
-  grid.Insert(geo::BoundingBox::FromCorners({500, 500}, {600, 600}), 5);
+  grid.Insert({50, 50}, 50.0, 5);
+  grid.Insert({550, 550}, 50.0, 5);
   ASSERT_EQ(grid.size(), 2u);
   EXPECT_EQ(grid.Remove(5), 2u);
   EXPECT_EQ(grid.size(), 0u);
@@ -324,6 +321,170 @@ TEST(PrunerRemoveTest, AllBackendsStopReturningRemovedWorkers) {
     EXPECT_EQ(after.size(), before.size() - 1);
     for (const int64_t id : after) EXPECT_NE(id, victim);
     EXPECT_TRUE(std::is_sorted(after.begin(), after.end()));
+  }
+}
+
+// ---- SIMD classification kernel (ISSUE 6 tentpole c) ---------------------
+
+/// A SoA whose certain bounds cover every trichotomy shape:
+///  * mode 0: random bounds (mixed accept / band / reject),
+///  * mode 1: empty band (accept_sq == reject_sq — nothing is "in band"),
+///  * mode 2: all-accept (accept bound above any possible d_sq),
+///  * mode 3: all-reject (accept_sq = -1, reject_sq = 0).
+reachability::WorkerFilterSoA ClassifierSoA(size_t n, int mode,
+                                            stats::Rng& rng) {
+  reachability::WorkerFilterSoA soa;
+  soa.Resize(n);
+  soa.accept_below_sq.resize(n);
+  soa.reject_above_sq.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    soa.x[i] = rng.UniformDouble(0.0, 20000.0);
+    soa.y[i] = rng.UniformDouble(0.0, 20000.0);
+    soa.reach_radius_m[i] = rng.UniformDouble(1000.0, 3000.0);
+    switch (mode) {
+      case 0: {
+        const double accept = rng.UniformDouble(0.0, 10000.0);
+        soa.accept_below_sq[i] = accept * accept;
+        const double reject = accept + rng.UniformDouble(0.0, 8000.0);
+        soa.reject_above_sq[i] = reject * reject;
+        break;
+      }
+      case 1: {
+        const double edge = rng.UniformDouble(0.0, 15000.0);
+        soa.accept_below_sq[i] = edge * edge;
+        soa.reject_above_sq[i] = edge * edge;
+        break;
+      }
+      case 2:
+        soa.accept_below_sq[i] = 1e18;
+        soa.reject_above_sq[i] = 2e18;
+        break;
+      default:
+        soa.accept_below_sq[i] = -1.0;
+        soa.reject_above_sq[i] = 0.0;
+        break;
+    }
+  }
+  return soa;
+}
+
+#if defined(SCGUARD_HAVE_AVX2)
+// The AVX2 kernel must agree with the scalar reference bit for bit: same
+// surviving indices in the same order, for vector-unaligned counts (tail
+// loop), the empty set, and degenerate all-accept / all-reject / empty-band
+// bound shapes.
+TEST(ClassifyKernelTest, Avx2MatchesScalarBitIdentically) {
+  if (!reachability::CpuSupportsAvx2()) {
+    GTEST_SKIP() << "host CPU lacks AVX2";
+  }
+  stats::Rng rng(20260809);
+  for (const size_t count : {size_t{0}, size_t{1}, size_t{2}, size_t{3},
+                             size_t{4}, size_t{5}, size_t{7}, size_t{8},
+                             size_t{13}, size_t{16}, size_t{33}, size_t{64},
+                             size_t{257}}) {
+    for (int mode = 0; mode < 4; ++mode) {
+      const auto soa = ClassifierSoA(count, mode, rng);
+      std::vector<uint32_t> indices(count);
+      for (size_t i = 0; i < count; ++i) {
+        indices[i] = static_cast<uint32_t>(i);
+      }
+      const double tx = rng.UniformDouble(0.0, 20000.0);
+      const double ty = rng.UniformDouble(0.0, 20000.0);
+      std::vector<uint32_t> accept_s, band_s, accept_v, band_v;
+      reachability::ClassifyCertainBandScalar(soa, indices.data(), count, tx,
+                                              ty, accept_s, band_s);
+      reachability::ClassifyCertainBandAvx2(soa, indices.data(), count, tx, ty,
+                                            accept_v, band_v);
+      const std::string label =
+          "count=" + std::to_string(count) + " mode=" + std::to_string(mode);
+      EXPECT_EQ(accept_s, accept_v) << label;
+      EXPECT_EQ(band_s, band_v) << label;
+      if (mode == 1) {
+        EXPECT_TRUE(band_v.empty()) << label;
+      }
+      if (mode == 2) {
+        EXPECT_EQ(accept_v.size(), count) << label;
+      }
+      if (mode == 3) {
+        EXPECT_TRUE(accept_v.empty()) << label;
+        EXPECT_TRUE(band_v.empty()) << label;
+      }
+    }
+  }
+}
+#endif  // SCGUARD_HAVE_AVX2
+
+// Forcing the dispatcher to scalar must take effect regardless of the host
+// CPU (CI runs this everywhere), an AVX2 request must fall back to scalar
+// on hosts without it, and ResetClassifySimd must restore auto-dispatch.
+TEST(ClassifyKernelTest, DispatchOverrideAndReset) {
+  stats::Rng rng(7);
+  const auto soa = ClassifierSoA(37, /*mode=*/0, rng);
+  std::vector<uint32_t> indices(37);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    indices[i] = static_cast<uint32_t>(i);
+  }
+  std::vector<uint32_t> accept_ref, band_ref;
+  reachability::ClassifyCertainBandScalar(soa, indices.data(), indices.size(),
+                                          123.0, 456.0, accept_ref, band_ref);
+
+  reachability::SetClassifySimd(reachability::ClassifySimd::kScalar);
+  EXPECT_EQ(reachability::ActiveClassifySimd(),
+            reachability::ClassifySimd::kScalar);
+  std::vector<uint32_t> accept, band;
+  reachability::ClassifyCertainBand(soa, indices.data(), indices.size(), 123.0,
+                                    456.0, accept, band);
+  EXPECT_EQ(accept, accept_ref);
+  EXPECT_EQ(band, band_ref);
+
+  reachability::SetClassifySimd(reachability::ClassifySimd::kAvx2);
+#if defined(SCGUARD_HAVE_AVX2)
+  const auto expected_simd = reachability::CpuSupportsAvx2()
+                                 ? reachability::ClassifySimd::kAvx2
+                                 : reachability::ClassifySimd::kScalar;
+#else
+  const auto expected_simd = reachability::ClassifySimd::kScalar;
+#endif
+  EXPECT_EQ(reachability::ActiveClassifySimd(), expected_simd);
+  // Whatever the dispatch resolved to, the output contract is the same.
+  reachability::ClassifyCertainBand(soa, indices.data(), indices.size(), 123.0,
+                                    456.0, accept, band);
+  EXPECT_EQ(accept, accept_ref);
+  EXPECT_EQ(band, band_ref);
+
+  reachability::ResetClassifySimd();
+}
+
+// Engine-level SIMD invariance: a full protocol run under forced-scalar and
+// forced-AVX2 dispatch produces the identical MatchResult and RNG stream,
+// with the pruner both off and on (the two paths that feed the classifier).
+TEST(EngineParallelTest, SimdDispatchRunInvariance) {
+  const reachability::AnalyticalModel model(kDefault);
+  const Workload workload = NoisyWorkload(250, 20260807);
+
+  for (const bool prune : {false, true}) {
+    EnginePolicy policy = BasePolicy(&model);
+    if (prune) {
+      policy.pruning_gamma = 0.9;
+      policy.pruning_backend = index::PrunerBackend::kGrid;
+    }
+
+    reachability::SetClassifySimd(reachability::ClassifySimd::kScalar);
+    ScGuardEngine scalar_engine(policy);
+    stats::Rng scalar_rng(11);
+    const MatchResult scalar_result = scalar_engine.Run(workload, scalar_rng);
+    ASSERT_GT(scalar_result.metrics.assigned_tasks, 0);
+    const double scalar_next_draw = scalar_rng.UniformDouble();
+
+    reachability::SetClassifySimd(reachability::ClassifySimd::kAvx2);
+    ScGuardEngine simd_engine(policy);
+    stats::Rng simd_rng(11);
+    const MatchResult simd_result = simd_engine.Run(workload, simd_rng);
+    reachability::ResetClassifySimd();
+
+    const std::string label = prune ? "pruner=grid" : "pruner=off";
+    ExpectBitIdentical(scalar_result, simd_result, label);
+    EXPECT_EQ(scalar_next_draw, simd_rng.UniformDouble()) << label;
   }
 }
 

@@ -111,29 +111,86 @@ TEST(RTreeTest, QueryCallbackReceivesEntries) {
   EXPECT_EQ(seen_id, 3);
 }
 
-TEST(GridIndexTest, MatchesBruteForce) {
+// ------------------------------------------------------------- GridIndex
+
+struct PointEntry {
+  geo::Point center;
+  double radius = 0.0;
+  int64_t id = 0;
+};
+
+PointEntry RandomPointEntry(stats::Rng& rng, double extent, double max_radius,
+                            int64_t id) {
+  return {{rng.UniformDouble(0, extent), rng.UniformDouble(0, extent)},
+          rng.UniformDouble(1.0, max_radius),
+          id};
+}
+
+/// The per-entry predicate GridIndex certifies against: the entry's
+/// expanded rectangle intersects the query.
+bool EntryHits(const PointEntry& e, const geo::BoundingBox& query) {
+  return geo::BoundingBox::FromCircle(e.center, e.radius).Intersects(query);
+}
+
+std::vector<int64_t> BruteForcePoints(const std::vector<PointEntry>& entries,
+                                      const geo::BoundingBox& query) {
+  std::vector<int64_t> out;
+  for (const auto& e : entries) {
+    if (EntryHits(e, query)) out.push_back(e.id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(GridIndexTest, MatchesBruteForceAndEmitsAscending) {
   stats::Rng rng(3);
   const geo::BoundingBox region = geo::BoundingBox::FromCorners({0, 0}, {1000, 1000});
   GridIndex grid(region, 16);
-  std::vector<RTree::Entry> entries;
+  std::vector<PointEntry> entries;
   for (int64_t i = 0; i < 500; ++i) {
-    const geo::BoundingBox box = RandomBox(rng, 1000.0, 50.0);
-    entries.push_back({box, i});
-    grid.Insert(box, i);
+    entries.push_back(RandomPointEntry(rng, 1000.0, 50.0, i));
+    grid.Insert(entries.back().center, entries.back().radius, i);
   }
+  EXPECT_EQ(grid.size(), 500u);
   for (int q = 0; q < 50; ++q) {
     const geo::BoundingBox query = RandomBox(rng, 1000.0, 120.0);
-    auto got = grid.QueryIds(query);
-    std::sort(got.begin(), got.end());
-    EXPECT_EQ(got, BruteForce(entries, query)) << "query " << q;
+    const auto got = grid.QueryIds(query);
+    // Ascending without any caller-side sort: the k-way merge contract.
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+    EXPECT_EQ(got, BruteForcePoints(entries, query)) << "query " << q;
+  }
+}
+
+TEST(GridIndexTest, OutOfOrderInsertionStaysAscending) {
+  stats::Rng rng(8);
+  const geo::BoundingBox region = geo::BoundingBox::FromCorners({0, 0}, {1000, 1000});
+  GridIndex grid(region, 8);
+  std::vector<PointEntry> entries;
+  for (int64_t i = 0; i < 300; ++i) {
+    entries.push_back(RandomPointEntry(rng, 1000.0, 40.0, i));
+  }
+  // Insert in shuffled id order; cells must re-establish ascending ids.
+  std::vector<size_t> order(entries.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (size_t i = order.size(); i > 1; --i) {  // Fisher-Yates.
+    std::swap(order[i - 1], order[rng.UniformInt(i)]);
+  }
+  for (const size_t i : order) {
+    grid.Insert(entries[i].center, entries[i].radius, entries[i].id);
+  }
+  for (int q = 0; q < 30; ++q) {
+    const geo::BoundingBox query = RandomBox(rng, 1000.0, 150.0);
+    const auto got = grid.QueryIds(query);
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+    EXPECT_EQ(got, BruteForcePoints(entries, query)) << "query " << q;
   }
 }
 
 TEST(GridIndexTest, EntriesOutsideRegionClampToBorderCells) {
   const geo::BoundingBox region = geo::BoundingBox::FromCorners({0, 0}, {100, 100});
   GridIndex grid(region, 4);
-  grid.Insert(geo::BoundingBox::FromCorners({-50, -50}, {-40, -40}), 1);
-  grid.Insert(geo::BoundingBox::FromCorners({200, 200}, {210, 210}), 2);
+  grid.Insert({-45, -45}, 5.0, 1);
+  grid.Insert({205, 205}, 5.0, 2);
   // Queries beyond the region still find them through the border cells.
   EXPECT_EQ(grid.QueryIds(geo::BoundingBox::FromCorners({-60, -60}, {-45, -45})).size(),
             1u);
@@ -141,12 +198,158 @@ TEST(GridIndexTest, EntriesOutsideRegionClampToBorderCells) {
             1u);
 }
 
-TEST(GridIndexTest, MultiCellEntryReportedOnce) {
-  const geo::BoundingBox region = geo::BoundingBox::FromCorners({0, 0}, {100, 100});
-  GridIndex grid(region, 10);
-  grid.Insert(geo::BoundingBox::FromCorners({5, 5}, {95, 95}), 42);  // Many cells.
-  const auto hits = grid.QueryIds(geo::BoundingBox::FromCorners({0, 0}, {100, 100}));
-  EXPECT_EQ(hits.size(), 1u);
+TEST(GridIndexTest, CellCertificationAgreesWithMemberTests) {
+  // Property: a bulk-accepted cell implies every member passes the scalar
+  // rectangle test; a skipped cell implies none does. Query() must agree
+  // with brute force, and its certification counters must account for
+  // every returned id.
+  stats::Rng rng(9);
+  const double extent = 1000.0;
+  const geo::BoundingBox region = geo::BoundingBox::FromCorners({0, 0},
+                                                                {extent, extent});
+  GridIndex grid(region, 8);
+  std::vector<PointEntry> entries;
+  for (int64_t i = 0; i < 400; ++i) {
+    entries.push_back(RandomPointEntry(rng, extent, 80.0, i));
+    grid.Insert(entries.back().center, entries.back().radius, i);
+  }
+  auto entry_by_id = [&](int64_t id) -> const PointEntry& {
+    return entries[static_cast<size_t>(id)];
+  };
+  for (int q = 0; q < 40; ++q) {
+    const geo::BoundingBox query = RandomBox(rng, extent, 200.0);
+    for (int cy = 0; cy < grid.cells_per_axis(); ++cy) {
+      for (int cx = 0; cx < grid.cells_per_axis(); ++cx) {
+        const auto members = grid.CellMembersForTest(cx, cy);
+        if (members.empty()) continue;
+        switch (grid.ClassifyCellForTest(cx, cy, query)) {
+          case GridIndex::CellCert::kBulkAccepted:
+            for (const int64_t id : members) {
+              EXPECT_TRUE(EntryHits(entry_by_id(id), query))
+                  << "bulk-accepted cell (" << cx << "," << cy
+                  << ") holds a non-matching member " << id;
+            }
+            break;
+          case GridIndex::CellCert::kSkipped:
+            for (const int64_t id : members) {
+              EXPECT_FALSE(EntryHits(entry_by_id(id), query))
+                  << "skipped cell (" << cx << "," << cy
+                  << ") holds a matching member " << id;
+            }
+            break;
+          case GridIndex::CellCert::kBoundary:
+            break;  // Per-member tests decide; covered by the query check.
+        }
+      }
+    }
+    grid.ResetStats();
+    const auto got = grid.QueryIds(query);
+    EXPECT_EQ(got, BruteForcePoints(entries, query)) << "query " << q;
+    const GridIndex::QueryStats& stats = grid.stats();
+    EXPECT_GE(stats.boundary_workers, 0);
+    // Every returned id came from a bulk-accepted cell or survived a
+    // boundary test; bulk cells contribute at least one id each.
+    EXPECT_GE(static_cast<int64_t>(got.size()), stats.cells_bulk_accepted);
+  }
+}
+
+TEST(GridIndexTest, RemoveCompactsAndReAddChurn) {
+  // Remove/re-add churn against a brute-force mirror: the compacted cell
+  // arrays must keep answering exactly, stay ascending, and Remove must be
+  // idempotent.
+  stats::Rng rng(10);
+  const double extent = 500.0;
+  const geo::BoundingBox region = geo::BoundingBox::FromCorners({0, 0},
+                                                                {extent, extent});
+  GridIndex grid(region, 6);
+  std::vector<PointEntry> live;
+  std::vector<PointEntry> pool;
+  for (int64_t i = 0; i < 200; ++i) {
+    pool.push_back(RandomPointEntry(rng, extent, 60.0, i));
+  }
+  for (const auto& e : pool) {
+    grid.Insert(e.center, e.radius, e.id);
+    live.push_back(e);
+  }
+  for (int step = 0; step < 300; ++step) {
+    const uint64_t op = rng.UniformInt(3);
+    if (op == 0 && live.empty()) continue;
+    if (op == 0) {
+      // Remove a random live id.
+      const auto k = static_cast<size_t>(rng.UniformInt(live.size()));
+      const int64_t id = live[k].id;
+      EXPECT_EQ(grid.Remove(id), 1u);
+      EXPECT_EQ(grid.Remove(id), 0u);  // Idempotent.
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+    } else if (op == 1) {
+      // Re-add an absent pool entry (possibly at a fresh location).
+      const auto k = static_cast<size_t>(rng.UniformInt(pool.size()));
+      const bool absent =
+          std::none_of(live.begin(), live.end(),
+                       [&](const PointEntry& e) { return e.id == pool[k].id; });
+      if (!absent) continue;
+      PointEntry e = pool[k];
+      e.center = {rng.UniformDouble(0, extent), rng.UniformDouble(0, extent)};
+      grid.Insert(e.center, e.radius, e.id);
+      live.push_back(e);
+    } else {
+      const geo::BoundingBox query = RandomBox(rng, extent, 120.0);
+      const auto got = grid.QueryIds(query);
+      EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+      EXPECT_EQ(got, BruteForcePoints(live, query)) << "step " << step;
+    }
+    EXPECT_EQ(grid.size(), live.size());
+  }
+}
+
+TEST(GridIndexTest, SparseIdsFallBackToRunMergeCorrectly) {
+  // Ids spread over a huge range disable the dense bitmap ordering; the
+  // run-merge fallback must produce the same ascending answers.
+  stats::Rng rng(21);
+  const geo::BoundingBox region = geo::BoundingBox::FromCorners({0, 0},
+                                                                {1000, 1000});
+  GridIndex grid(region, 8);
+  std::vector<PointEntry> entries;
+  for (int i = 0; i < 120; ++i) {
+    // Widely scattered ids, including negatives and near-2^40 values.
+    const int64_t id = (static_cast<int64_t>(i) << 33) - 4000000000LL +
+                       static_cast<int64_t>(rng.UniformInt(1000));
+    entries.push_back(RandomPointEntry(rng, 1000.0, 60.0, id));
+    grid.Insert(entries.back().center, entries.back().radius, id);
+  }
+  for (int q = 0; q < 30; ++q) {
+    const geo::BoundingBox query = RandomBox(rng, 1000.0, 200.0);
+    const auto got = grid.QueryIds(query);
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+    EXPECT_EQ(got, BruteForcePoints(entries, query)) << "query " << q;
+  }
+}
+
+TEST(GridIndexTest, DuplicateIdEmittedOnce) {
+  // An id inserted at two locations is reported once per query that reaches
+  // either entry — in both the dense-bitmap and the sparse-merge regimes.
+  const geo::BoundingBox region = geo::BoundingBox::FromCorners({0, 0},
+                                                                {1000, 1000});
+  const geo::BoundingBox everywhere = region;
+  {
+    GridIndex dense(region, 8);
+    dense.Insert({100, 100}, 10.0, 7);
+    dense.Insert({900, 900}, 10.0, 7);
+    const auto ids = dense.QueryIds(everywhere);
+    ASSERT_EQ(ids.size(), 1u);
+    EXPECT_EQ(ids[0], 7);
+    EXPECT_EQ(dense.Remove(7), 2u);
+  }
+  {
+    GridIndex sparse(region, 8);
+    sparse.Insert({100, 100}, 10.0, 7);
+    sparse.Insert({900, 900}, 10.0, 7);
+    sparse.Insert({500, 500}, 10.0, int64_t{1} << 40);  // Force sparse mode.
+    const auto ids = sparse.QueryIds(everywhere);
+    ASSERT_EQ(ids.size(), 2u);
+    EXPECT_EQ(ids[0], 7);
+    EXPECT_EQ(ids[1], int64_t{1} << 40);
+  }
 }
 
 // ---------------------------------------------------------------- Pruner
