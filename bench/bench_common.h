@@ -19,31 +19,103 @@
 #include "common/str_format.h"
 #include "obs/export.h"
 #include "obs/obs_config.h"
+#include "obs/recorder.h"
+#include "obs/trace_export.h"
 #include "reachability/model_cache.h"
 #include "runtime/thread_pool.h"
 #include "sim/defaults.h"
 #include "sim/experiment.h"
 #include "sim/table_printer.h"
 
+// Provenance stamped into every BENCH_*.json (bench/CMakeLists.txt passes
+// the real values; the fallbacks keep non-CMake builds compiling).
+#ifndef SCGUARD_GIT_SHA
+#define SCGUARD_GIT_SHA "unknown"
+#endif
+#ifndef SCGUARD_CXX_FLAGS
+#define SCGUARD_CXX_FLAGS ""
+#endif
+
 namespace scguard::bench {
 
 using scguard::FormatDouble;
 using scguard::StrCat;
 
-/// Observability switch for the bench binaries: SCGUARD_OBS=1 turns the
+/// True when `name` is set to a value starting with '1' in the
+/// environment.
+inline bool EnvFlag(const char* name) {
+  const char* env = std::getenv(name);
+  return env != nullptr && env[0] == '1';
+}
+
+/// Observability switches for the bench binaries: SCGUARD_OBS=1 turns the
 /// instrumentation layer on (stage-latency histograms, cache and engine
-/// counters land in the BENCH_<name>.json `metrics` block). Default off —
-/// the published numbers are from uninstrumented runs. Idempotent; every
-/// config entry point calls it.
+/// counters land in the BENCH_<name>.json `metrics` block);
+/// SCGUARD_OBS_TRACE=1 additionally turns the flight recorder on
+/// (recorder.h — per-event tracing and the privacy audit trail);
+/// SCGUARD_AUDIT_FULL=1 adds per-candidate U2E audit events (small runs
+/// only). Default all off — the published numbers are from uninstrumented
+/// runs. Idempotent; every config entry point calls it.
 inline void InitObsFromEnv() {
   static const bool initialized = [] {
-    const char* env = std::getenv("SCGUARD_OBS");
     obs::ObsConfig config;
-    config.enabled = env != nullptr && env[0] == '1';
+    config.enabled = EnvFlag("SCGUARD_OBS");
+    config.recorder = EnvFlag("SCGUARD_OBS_TRACE");
+    config.audit_full = EnvFlag("SCGUARD_AUDIT_FULL");
     obs::SetConfig(config);
     return true;
   }();
   (void)initialized;
+}
+
+/// First "model name" line of /proc/cpuinfo, or "unknown" off Linux.
+inline std::string CpuModelName() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        return std::string(StripAsciiWhitespace(line.substr(colon + 1)));
+      }
+    }
+  }
+  return "unknown";
+}
+
+/// The provenance block every BENCH_*.json carries: enough to tell whether
+/// two bench JSONs are comparable (same code? same compiler? same
+/// machine?) before tools/bench_compare.py flags a perf delta as a
+/// regression rather than a machine difference.
+inline std::string ProvenanceJson() {
+  return StrCat("{\"git_sha\":\"", JsonEscape(SCGUARD_GIT_SHA),
+                "\",\"compiler\":\"", JsonEscape(__VERSION__),
+                "\",\"cxx_flags\":\"", JsonEscape(SCGUARD_CXX_FLAGS),
+                "\",\"hardware_threads\":",
+                runtime::ThreadPool::HardwareThreads(), ",\"cpu\":\"",
+                JsonEscape(CpuModelName()), "\"}");
+}
+
+/// Drains the flight recorder into the per-run artifacts: TRACE_<name>.json
+/// (Chrome trace-event JSON — open in ui.perfetto.dev) and
+/// AUDIT_<name>.jsonl (one line per privacy-audit event plus a summary
+/// line). Returns the audit totals so the caller can reconcile them
+/// against its RunMetrics counters. Writes nothing useful (all zeros)
+/// while the recorder is off.
+inline obs::AuditTotals WriteFlightArtifacts(const std::string& name) {
+  auto& recorder = obs::FlightRecorder::Global();
+  const int64_t dropped = recorder.dropped();
+  const std::vector<obs::TraceEvent> events = recorder.Drain();
+  const std::vector<std::string> names = recorder.names();
+  {
+    std::ofstream out(StrCat("TRACE_", name, ".json"));
+    if (out) out << obs::ExportChromeTrace(events, names);
+  }
+  {
+    std::ofstream out(StrCat("AUDIT_", name, ".jsonl"));
+    if (out) out << obs::ExportAuditJsonl(events, names, dropped);
+  }
+  return obs::SummarizeAudit(events);
 }
 
 /// The paper's experimental setup (Sec. V-A): 500 workers, 500 tasks,
@@ -168,7 +240,8 @@ class JsonSeriesWriter {
     std::ofstream out(StrCat("BENCH_", name_, ".json"));
     if (!out) return;  // Read-only cwd: tables were printed, JSON is bonus.
     out.precision(std::numeric_limits<double>::max_digits10);
-    out << "{\"bench\":\"" << name_ << "\",\"points\":[";
+    out << "{\"bench\":\"" << name_ << "\",\"provenance\":"
+        << ProvenanceJson() << ",\"points\":[";
     for (size_t i = 0; i < points_.size(); ++i) {
       const auto& p = points_[i];
       if (i > 0) out << ',';

@@ -429,6 +429,91 @@ void BM_ScGuardAccuracyScan(benchmark::State& state) {
 }
 BENCHMARK(BM_ScGuardAccuracyScan)->Arg(1)->Arg(0);
 
+// ---- Flight recorder (DESIGN.md section 12) --------------------------
+// The U2U threshold hot loop with per-task recorder emission (one span
+// pair + one audit event per scan), recorder off (0) vs on (1). The off
+// arm measures the disabled path's branch-predicted no-op cost — the <1%
+// overhead contract the CI scale smoke gates end-to-end. Items/s = worker
+// decisions, comparable with BM_U2UFilterThreshold.
+void BM_RecorderU2uHotLoop(benchmark::State& state) {
+  const bool on = state.range(0) == 1;
+  obs::ObsConfig obs_config;
+  obs_config.recorder = on;
+  obs::SetConfig(obs_config);
+  auto& recorder = obs::FlightRecorder::Global();
+  recorder.Reset();
+  static const uint16_t span_id = recorder.InternName("bench.u2u_scan");
+
+  const size_t n = 5000;
+  FilterFixture f = MakeFilterFixture(n);
+  const reachability::AnalyticalModel model(kParams);
+  reachability::AlphaThresholdCache cache(&model, reachability::Stage::kU2U,
+                                          0.1);
+  f.soa.accept_below_sq.resize(n);
+  f.soa.reject_above_sq.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const reachability::AlphaThreshold& t = cache.For(f.soa.reach_radius_m[i]);
+    f.soa.accept_below_sq[i] = t.accept_below_sq;
+    f.soa.reject_above_sq[i] = t.reject_above_sq;
+  }
+  size_t t = 0;
+  int64_t scans_since_drain = 0;
+  for (auto _ : state) {
+    const geo::Point task = f.tasks[t++ % f.tasks.size()];
+    int64_t accepted = 0;
+    {
+      const obs::TimedEvent span(span_id);
+      for (size_t i = 0; i < n; ++i) {
+        const double dx = f.soa.x[i] - task.x;
+        const double dy = f.soa.y[i] - task.y;
+        const double d_sq = dx * dx + dy * dy;
+        accepted += d_sq <= f.soa.accept_below_sq[i]
+                        ? 1
+                        : (d_sq >= f.soa.reject_above_sq[i]
+                               ? 0
+                               : (cache.IsCandidate(
+                                      geo::Distance({f.soa.x[i], f.soa.y[i]},
+                                                    task),
+                                      f.soa.reach_radius_m[i])
+                                      ? 1
+                                      : 0));
+      }
+    }
+    obs::AuditU2eCandidates(static_cast<int64_t>(t), accepted, 0.7);
+    benchmark::DoNotOptimize(accepted);
+    // Keep the ring from wrapping: a consumer that keeps up, amortized.
+    if (on && ++scans_since_drain == 8192) {
+      recorder.Reset();
+      scans_since_drain = 0;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  obs::SetConfig({});
+  recorder.Reset();
+}
+BENCHMARK(BM_RecorderU2uHotLoop)->Arg(0)->Arg(1);
+
+// Round-trip event throughput: emit a batch of instants, then Drain()
+// them into the sorted stream. Items/s = events through the
+// produce-then-drain cycle (the export path's input rate).
+void BM_RecorderDrain(benchmark::State& state) {
+  obs::ObsConfig obs_config;
+  obs_config.recorder = true;
+  obs::SetConfig(obs_config);
+  auto& recorder = obs::FlightRecorder::Global();
+  recorder.Reset();
+  static const uint16_t id = recorder.InternName("bench.drain_event");
+  const int64_t batch = state.range(0);
+  for (auto _ : state) {
+    for (int64_t i = 0; i < batch; ++i) obs::EmitInstant(id, i);
+    benchmark::DoNotOptimize(recorder.Drain().size());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+  obs::SetConfig({});
+  recorder.Reset();
+}
+BENCHMARK(BM_RecorderDrain)->Arg(4096)->Arg(65536);
+
 }  // namespace
 }  // namespace scguard
 

@@ -47,9 +47,21 @@ std::vector<int64_t> ParseList(const char* env, const char* fallback) {
 int Main() {
   // The whole point of this bench is the per-stage breakdown, so the obs
   // layer is always on here (unlike the figure benches' SCGUARD_OBS gate).
+  // The flight recorder (per-event tracing + privacy audit, DESIGN.md
+  // section 12) stays opt-in: SCGUARD_OBS=1 or SCGUARD_OBS_TRACE=1 turns
+  // it on and the run additionally writes TRACE_scale.json (Perfetto) and
+  // AUDIT_scale.jsonl. CI compares a recorder-off against a recorder-on
+  // run of this bench for the <1% overhead gate.
   obs::ObsConfig obs_config;
   obs_config.enabled = true;
+  obs_config.recorder = EnvFlag("SCGUARD_OBS") || EnvFlag("SCGUARD_OBS_TRACE");
+  obs_config.audit_full = EnvFlag("SCGUARD_AUDIT_FULL");
   obs::SetConfig(obs_config);
+  if (obs_config.recorder) {
+    // Per-thread headroom for the default 3-size sweep: span + audit
+    // events stay well under this, so `dropped` must come back 0.
+    obs::FlightRecorder::Global().set_ring_capacity(size_t{1} << 19);
+  }
 
   const std::vector<int64_t> worker_counts = ParseList(
       std::getenv("SCGUARD_SCALE_WORKERS"), "10000,100000,1000000");
@@ -84,6 +96,11 @@ int Main() {
               "workers", "threads", "pruner", "assigned", "u2u_s", "total_s",
               "scan_first", "scan_last", "cells_bulk", "cells_skip",
               "boundary_w");
+
+  // Ground truth for the audit-trail reconciliation: the engine's own
+  // disclosure counters summed over every cell this process ran.
+  int64_t expected_disclosures = 0;
+  int64_t expected_candidates = 0;
 
   for (const int64_t num_workers : worker_counts) {
     // One workload per size, shared by every (threads, pruner) cell: the
@@ -124,6 +141,8 @@ int Main() {
         stats::Rng rng(42);
         const assign::MatchResult run = engine.Run(workload, rng);
         const sim::AggregatedMetrics agg = sim::Aggregate({run.metrics});
+        expected_disclosures += run.metrics.requester_to_worker_msgs;
+        expected_candidates += run.metrics.candidates_sum;
 
         const std::string series = StrCat(
             "threads=", threads, ",pruner=", use_pruner ? "grid" : "off");
@@ -148,6 +167,26 @@ int Main() {
   std::printf(
       "\nwrote BENCH_scale.json (u2u_seconds = thread-scaling curve;\n"
       "scan_last < scan_first = active-set compaction at work)\n");
+
+  if (obs::RecorderEnabled()) {
+    const obs::AuditTotals audit = WriteFlightArtifacts("scale");
+    const int64_t dropped = obs::FlightRecorder::Global().dropped();
+    std::printf(
+        "\naudit reconciliation (AUDIT_scale.jsonl vs engine metrics):\n"
+        "  e2e disclosures  %lld audit vs %lld metrics\n"
+        "  u2e candidates   %lld audit vs %lld metrics\n"
+        "  dropped events   %lld\n",
+        (long long)audit.e2e_disclosures, (long long)expected_disclosures,
+        (long long)audit.u2e_candidates_sum, (long long)expected_candidates,
+        (long long)dropped);
+    if (audit.e2e_disclosures != expected_disclosures ||
+        audit.u2e_candidates_sum != expected_candidates || dropped != 0) {
+      std::fprintf(stderr, "audit trail does not reconcile\n");
+      return 1;
+    }
+    std::printf("wrote TRACE_scale.json (ui.perfetto.dev) and "
+                "AUDIT_scale.jsonl\n");
+  }
   return 0;
 }
 

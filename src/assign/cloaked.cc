@@ -86,7 +86,7 @@ MatchResult CloakedMatcher::Run(const Workload& workload, stats::Rng& rng) {
           return true;
         },
         [&](size_t i) { return workload.workers[i].CanReach(task.location); },
-        m);
+        m, task.id, UnknownAdmitFilter{});
   }
   m.total_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)

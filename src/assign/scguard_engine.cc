@@ -11,6 +11,7 @@
 #include "common/str_format.h"
 #include "geo/point.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 
 namespace scguard::assign {
@@ -76,6 +77,31 @@ struct EngineObs {
   }
 };
 
+/// Pre-interned flight-recorder ids for the engine's per-task stage spans
+/// (recorder.h: interning is a mutex, so it happens once per process, not
+/// per task).
+struct EngineTraceIds {
+  uint16_t u2u;
+  uint16_t u2e;
+  uint16_t e2e;
+
+  static const EngineTraceIds& Get() {
+    auto& recorder = obs::FlightRecorder::Global();
+    static const EngineTraceIds ids = {
+        recorder.InternName("engine.u2u"),
+        recorder.InternName("engine.u2e"),
+        recorder.InternName("engine.e2e")};
+    return ids;
+  }
+};
+
+uint64_t ToNs(Clock::time_point t) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          t.time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 ScGuardEngine::ScGuardEngine(EnginePolicy policy) : policy_(std::move(policy)) {
@@ -99,8 +125,10 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
   // Observation never perturbs the protocol: no RNG draws, no reordering
   // — the bit-identity test in tests/obs_test.cc holds the engine to it.
   const bool obs_on = obs::Enabled();
+  const bool rec_on = obs::RecorderEnabled();
   const obs::Span run_span("engine.run");
   const EngineObs& eo = EngineObs::Get();
+  const EngineTraceIds& eti = EngineTraceIds::Get();
   int64_t obs_evaluated = 0;       // Workers the U2U filter actually scored.
   int64_t obs_alpha_rejections = 0;  // Scored but below alpha.
   int64_t obs_beta_cancels = 0;
@@ -144,7 +172,8 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
 
   U2eRankStage u2e(
       {.model = policy_.u2e_model, .rank = policy_.rank,
-       .kernel = policy_.kernel});
+       .kernel = policy_.kernel,
+       .audit_epsilon = policy_.worker_params.epsilon});
   const E2eContactStage e2e({.rank = policy_.rank, .beta = policy_.beta,
                              .beta_mode = policy_.beta_mode,
                              .redundancy_k = policy_.redundancy_k});
@@ -170,12 +199,17 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
     m.u2u_scanned_last_task = scan.scanned_last;
     ++task_index;
     {
-      const double u2u_elapsed = Elapsed(u2u_start);
+      // One end-of-stage clock read serves RunMetrics, the histogram, and
+      // the flight-recorder span — recording adds no extra clock cost.
+      const auto u2u_end = Clock::now();
+      const double u2u_elapsed =
+          std::chrono::duration<double>(u2u_end - u2u_start).count();
       m.u2u_seconds += u2u_elapsed;
       if (obs_on) {
         eo.u2u_seconds->Observe(u2u_elapsed);
         eo.u2u_scan_workers->Observe(static_cast<double>(scan.scanned_last));
       }
+      if (rec_on) obs::EmitSpanAt(eti.u2u, ToNs(u2u_start), ToNs(u2u_end));
     }
     m.candidates_sum += static_cast<int64_t>(candidates.size());
     m.server_to_requester_msgs += 1;
@@ -212,16 +246,26 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
     // Requester knows the exact task location and the candidates' noisy
     // locations; ranks them best-first.
     const auto u2e_start = Clock::now();
-    u2e.Rank(soa, candidates, task.location, random_rank.data(), ranked);
+    u2e.Rank(soa, candidates, task.location, random_rank.data(), ranked,
+             task.id);
     {
-      const double u2e_elapsed = Elapsed(u2e_start);
+      const auto u2e_end = Clock::now();
+      const double u2e_elapsed =
+          std::chrono::duration<double>(u2e_end - u2e_start).count();
       m.u2e_seconds += u2e_elapsed;
       if (obs_on) eo.u2e_seconds->Observe(u2e_elapsed);
+      if (rec_on) obs::EmitSpanAt(eti.u2e, ToNs(u2e_start), ToNs(u2e_end));
     }
 
     // ---- Stage 3: E2E (workers), interleaved with U2E re-ranking ----
     Clock::time_point stage_start;
-    if (obs_on) stage_start = Clock::now();
+    if (obs_on || rec_on) stage_start = Clock::now();
+    // Audit attribution of each disclosure's admitting U2U filter: with
+    // the alpha-threshold kernel on, a candidate inside the certain-accept
+    // band was admitted without a model evaluation; everything else (the
+    // uncertain band, or the kernel-off scan) was a direct eval. The SoA
+    // bands are only filled when the kernel is on.
+    const bool has_bands = soa.accept_below_sq.size() == n;
     const E2eContactStage::Outcome outcome = e2e.Run(
         ranked,
         [&](size_t i) {
@@ -235,9 +279,24 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
           return true;
         },
         [&](size_t i) { return workload.workers[i].CanReach(task.location); },
-        m);
+        m, task.id,
+        [&](size_t i) {
+          if (!has_bands) return obs::AuditFilter::kDirectEval;
+          const double dx = soa.x[i] - task.noisy_location.x;
+          const double dy = soa.y[i] - task.noisy_location.y;
+          return dx * dx + dy * dy <= soa.accept_below_sq[i]
+                     ? obs::AuditFilter::kAlphaBandAccept
+                     : obs::AuditFilter::kDirectEval;
+        });
     if (outcome.cancelled) ++obs_beta_cancels;
-    if (obs_on) eo.e2e_seconds->Observe(Elapsed(stage_start));
+    if (obs_on || rec_on) {
+      const auto e2e_end = Clock::now();
+      if (obs_on) {
+        eo.e2e_seconds->Observe(
+            std::chrono::duration<double>(e2e_end - stage_start).count());
+      }
+      if (rec_on) obs::EmitSpanAt(eti.e2e, ToNs(stage_start), ToNs(e2e_end));
+    }
   }
 
   m.total_seconds = Elapsed(run_start);

@@ -9,8 +9,19 @@
 #include "assign/matcher.h"
 #include "assign/metrics.h"
 #include "assign/stages/rank_stage.h"
+#include "obs/recorder.h"
 
 namespace scguard::assign {
+
+/// Default filter attribution for contact-audit events: call sites that
+/// cannot say which U2U filter admitted a candidate (protocol-party plans,
+/// variants) report kUnknown.
+struct UnknownAdmitFilter {
+  template <typename Id>
+  obs::AuditFilter operator()(const Id&) const {
+    return obs::AuditFilter::kUnknown;
+  }
+};
 
 /// Worker-side self-selection floor of the parallel-broadcast U2E variant
 /// (paper Sec. III-A): a candidate reveals its exact location to the
@@ -64,10 +75,19 @@ class E2eContactStage {
   /// Walks `ranked` (score-desc / id-asc pairs) with beta gating.
   /// `offer(id)` must disclose the task to the worker and return whether it
   /// accepted, performing the caller's accept bookkeeping.
-  template <typename Id, typename OfferFn>
+  ///
+  /// `audit_task_id` / `admit_filter` feed the flight recorder's privacy
+  /// audit trail (recorder.h): every disclosure emits a kAuditDisclosure
+  /// event tagged with the task, worker, score, accept outcome, and the
+  /// U2U filter that admitted the candidate (`admit_filter(id)`, consulted
+  /// only when the recorder is on). Call sites without task context use
+  /// the two-argument overload.
+  template <typename Id, typename OfferFn, typename FilterFn>
   Outcome Contact(const std::vector<std::pair<double, Id>>& ranked,
-                  OfferFn&& offer) const {
+                  OfferFn&& offer, int64_t audit_task_id,
+                  FilterFn&& admit_filter) const {
     Outcome o;
+    const bool audit = obs::RecorderEnabled();
     while (o.accepted < config_.redundancy_k && o.next < ranked.size()) {
       const auto& [score, id] = ranked[o.next++];
       // Beta thresholding (Alg. 2 Line 13): the requester cancels rather
@@ -82,43 +102,74 @@ class E2eContactStage {
       }
       // This is the protocol's only task-location disclosure point.
       ++o.disclosures;
-      if (offer(id)) {
+      const bool accepted = offer(id);
+      if (accepted) {
         ++o.accepted;
       } else {
         // The worker learned the task location yet rejects: a false hit.
         ++o.false_hits;
       }
+      if (audit) {
+        obs::AuditE2eDisclosure(audit_task_id, static_cast<int64_t>(id),
+                                score, accepted, admit_filter(id));
+      }
     }
     return o;
+  }
+
+  template <typename Id, typename OfferFn>
+  Outcome Contact(const std::vector<std::pair<double, Id>>& ranked,
+                  OfferFn&& offer) const {
+    return Contact(ranked, std::forward<OfferFn>(offer), obs::kAuditNoTask,
+                   UnknownAdmitFilter{});
   }
 
   /// As Contact for an already beta-filtered contact plan (the protocol
   /// parties rank and threshold on the requester device, then hand the
   /// coordinator a plain ordered list): no score gating, `offer` sees the
-  /// plan entry itself.
-  template <typename Entry, typename OfferFn>
-  Outcome ContactPlan(const std::vector<Entry>& plan, OfferFn&& offer) const {
+  /// plan entry itself. `id_of` projects the entry to the worker id for
+  /// the audit event (scores are not visible at this layer).
+  template <typename Entry, typename OfferFn, typename IdFn>
+  Outcome ContactPlan(const std::vector<Entry>& plan, OfferFn&& offer,
+                      int64_t audit_task_id, IdFn&& id_of) const {
     Outcome o;
+    const bool audit = obs::RecorderEnabled();
     while (o.accepted < config_.redundancy_k && o.next < plan.size()) {
       const Entry& entry = plan[o.next++];
       ++o.disclosures;
-      if (offer(entry)) {
+      const bool accepted = offer(entry);
+      if (accepted) {
         ++o.accepted;
       } else {
         ++o.false_hits;
       }
+      if (audit) {
+        obs::AuditE2eDisclosure(audit_task_id,
+                                static_cast<int64_t>(id_of(entry)),
+                                /*score=*/0.0, accepted,
+                                obs::AuditFilter::kUnknown);
+      }
     }
     return o;
+  }
+
+  template <typename Entry, typename OfferFn>
+  Outcome ContactPlan(const std::vector<Entry>& plan, OfferFn&& offer) const {
+    return ContactPlan(plan, std::forward<OfferFn>(offer), obs::kAuditNoTask,
+                       [](const Entry&) { return int64_t{-1}; });
   }
 
   /// Contact plus the engine-side RunMetrics fold: disclosure/false-hit
   /// counters, the assigned-task tally, and — for tasks that end
   /// unassigned — false-dismissal attribution against ground truth via
   /// `can_reach(id)`.
-  template <typename Id, typename OfferFn, typename ReachFn>
+  template <typename Id, typename OfferFn, typename ReachFn,
+            typename FilterFn>
   Outcome Run(const std::vector<std::pair<double, Id>>& ranked,
-              OfferFn&& offer, ReachFn&& can_reach, RunMetrics& m) const {
-    const Outcome o = Contact(ranked, offer);
+              OfferFn&& offer, ReachFn&& can_reach, RunMetrics& m,
+              int64_t audit_task_id, FilterFn&& admit_filter) const {
+    const Outcome o = Contact(ranked, offer, audit_task_id,
+                              std::forward<FilterFn>(admit_filter));
     m.requester_to_worker_msgs += o.disclosures;
     m.false_hits += o.false_hits;
     if (o.accepted >= config_.redundancy_k) {
@@ -132,6 +183,14 @@ class E2eContactStage {
       }
     }
     return o;
+  }
+
+  template <typename Id, typename OfferFn, typename ReachFn>
+  Outcome Run(const std::vector<std::pair<double, Id>>& ranked,
+              OfferFn&& offer, ReachFn&& can_reach, RunMetrics& m) const {
+    return Run(ranked, std::forward<OfferFn>(offer),
+               std::forward<ReachFn>(can_reach), m, obs::kAuditNoTask,
+               UnknownAdmitFilter{});
   }
 
   const Config& config() const { return config_; }

@@ -31,7 +31,8 @@ void U2eRankStage::Rank(const reachability::WorkerFilterSoA& soa,
                         const std::vector<uint32_t>& candidates,
                         geo::Point exact_task_location,
                         const double* random_rank,
-                        std::vector<std::pair<double, size_t>>& ranked) {
+                        std::vector<std::pair<double, size_t>>& ranked,
+                        int64_t audit_task_id) {
   ranked.clear();
   if (config_.rank == RankStrategy::kProbability) {
     // Batched scoring: gather candidate distances/radii into dense arrays,
@@ -60,6 +61,21 @@ void U2eRankStage::Rank(const reachability::WorkerFilterSoA& soa,
     }
   }
   SortRankedCandidates(ranked);
+
+  if (obs::RecorderEnabled()) {
+    // Each candidate's noisy location reached the requester: one aggregate
+    // audit event per ranking (reconciles with RunMetrics::candidates_sum),
+    // per-candidate lines only in full-audit mode — O(candidates) events
+    // per task is for small runs and tests, not the 1M bench.
+    obs::AuditU2eCandidates(audit_task_id,
+                            static_cast<int64_t>(candidates.size()),
+                            config_.audit_epsilon);
+    if (obs::AuditFullEnabled()) {
+      for (const auto& [score, i] : ranked) {
+        obs::AuditU2eCandidate(audit_task_id, static_cast<int64_t>(i), score);
+      }
+    }
+  }
 }
 
 }  // namespace scguard::assign

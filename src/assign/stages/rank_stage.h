@@ -9,6 +9,7 @@
 
 #include "assign/matcher.h"
 #include "geo/point.h"
+#include "obs/recorder.h"
 #include "reachability/kernel.h"
 #include "reachability/model.h"
 
@@ -76,6 +77,11 @@ class U2eRankStage {
     /// kernel.u2e_lut routes scoring through the bounded-error LUT
     /// (DESIGN.md section 8); off by default.
     reachability::KernelOptions kernel;
+    /// The epsilon the candidates' noisy locations were perturbed at —
+    /// recorded on the flight recorder's per-task U2E audit event
+    /// (recorder.h kAuditCandidates). Audit metadata only; never consulted
+    /// by scoring.
+    double audit_epsilon = 0.0;
   };
 
   explicit U2eRankStage(const Config& config);
@@ -84,10 +90,17 @@ class U2eRankStage {
   /// `exact_task_location` into `ranked` (score, worker index), sorted
   /// score-desc / id-asc. `random_rank` supplies the per-worker priorities
   /// for kRandom (may be nullptr otherwise).
+  ///
+  /// When the flight recorder is on, emits one kAuditCandidates event
+  /// (`audit_task_id`, candidate count, config.audit_epsilon) — every
+  /// candidate's noisy location is a worker-side disclosure to the
+  /// requester — plus one kAuditCandidate per ranked entry in full-audit
+  /// mode (obs::AuditFullEnabled).
   void Rank(const reachability::WorkerFilterSoA& soa,
             const std::vector<uint32_t>& candidates,
             geo::Point exact_task_location, const double* random_rank,
-            std::vector<std::pair<double, size_t>>& ranked);
+            std::vector<std::pair<double, size_t>>& ranked,
+            int64_t audit_task_id = obs::kAuditNoTask);
 
   /// Batched probability scoring of (observed distance, radius) pairs:
   /// out[i] = Pr(reachable at U2E | d[i], r[i]), through the LUT when

@@ -166,8 +166,9 @@ TaskOutcome ProtocolCoordinator::AssignTask(
   const assign::E2eContactStage contact(
       {.rank = assign::RankStrategy::kProbability, .beta = 0.0,
        .beta_mode = assign::BetaMode::kEveryContact, .redundancy_k = 1});
-  const assign::E2eContactStage::Outcome o =
-      contact.ContactPlan(plan, [&](const CandidateWorker& c) {
+  const assign::E2eContactStage::Outcome o = contact.ContactPlan(
+      plan,
+      [&](const CandidateWorker& c) {
         SCGUARD_CHECK(c.worker_id >= 0 &&
                       static_cast<size_t>(c.worker_id) < workers.size());
         const WorkerDevice& device = workers[static_cast<size_t>(c.worker_id)];
@@ -177,7 +178,8 @@ TaskOutcome ProtocolCoordinator::AssignTask(
         server_->MarkAssigned(c.worker_id);
         outcome.assigned_worker = c.worker_id;
         return true;
-      });
+      },
+      requester.task_id(), [](const CandidateWorker& c) { return c.worker_id; });
   trace_.task_location_disclosures += o.disclosures;
   trace_.rejections += o.false_hits;
   outcome.disclosures = o.disclosures;

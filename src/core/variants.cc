@@ -31,6 +31,7 @@ double WorkerSideEstimate(const reachability::ReachabilityModel& model,
 }
 
 VariantOutcome RunSequential(const RequesterDevice& requester,
+                             const TaskRequest& request,
                              const std::vector<CandidateWorker>& candidates,
                              const std::vector<WorkerDevice>& workers,
                              const reachability::ReachabilityModel& model,
@@ -38,15 +39,17 @@ VariantOutcome RunSequential(const RequesterDevice& requester,
   VariantOutcome outcome;
   const std::vector<CandidateWorker> plan =
       requester.RankCandidates(candidates, model, beta);
-  const auto o =
-      SequentialContact().ContactPlan(plan, [&](const CandidateWorker& c) {
+  const auto o = SequentialContact().ContactPlan(
+      plan,
+      [&](const CandidateWorker& c) {
         const WorkerDevice& device = workers[static_cast<size_t>(c.worker_id)];
         if (!device.HandleTaskOffer(requester.exact_task_location())) {
           return false;
         }
         outcome.assigned_worker = c.worker_id;
         return true;
-      });
+      },
+      request.task_id, [](const CandidateWorker& c) { return c.worker_id; });
   outcome.task_location_disclosures += o.disclosures;
   return outcome;
 }
@@ -76,14 +79,17 @@ VariantOutcome RunParallelBroadcast(
         c.worker_id);
   }
   assign::SortRankedCandidates(revealed);
-  const auto o = SequentialContact().Contact(revealed, [&](int64_t worker_id) {
-    const WorkerDevice& device = workers[static_cast<size_t>(worker_id)];
-    if (!device.HandleTaskOffer(requester.exact_task_location())) {
-      return false;
-    }
-    outcome.assigned_worker = worker_id;
-    return true;
-  });
+  const auto o = SequentialContact().Contact(
+      revealed,
+      [&](int64_t worker_id) {
+        const WorkerDevice& device = workers[static_cast<size_t>(worker_id)];
+        if (!device.HandleTaskOffer(requester.exact_task_location())) {
+          return false;
+        }
+        outcome.assigned_worker = worker_id;
+        return true;
+      },
+      request.task_id, assign::UnknownAdmitFilter{});
   outcome.task_location_disclosures += o.disclosures;
   return outcome;
 }
@@ -117,14 +123,17 @@ VariantOutcome RunServerRanked(const RequesterDevice& requester,
     scored.emplace_back(score, c.worker_id);
   }
   assign::SortRankedCandidates(scored);
-  const auto o = SequentialContact().Contact(scored, [&](int64_t worker_id) {
-    const WorkerDevice& device = workers[static_cast<size_t>(worker_id)];
-    if (!device.HandleTaskOffer(requester.exact_task_location())) {
-      return false;
-    }
-    outcome.assigned_worker = worker_id;
-    return true;
-  });
+  const auto o = SequentialContact().Contact(
+      scored,
+      [&](int64_t worker_id) {
+        const WorkerDevice& device = workers[static_cast<size_t>(worker_id)];
+        if (!device.HandleTaskOffer(requester.exact_task_location())) {
+          return false;
+        }
+        outcome.assigned_worker = worker_id;
+        return true;
+      },
+      request.task_id, assign::UnknownAdmitFilter{});
   outcome.task_location_disclosures += o.disclosures;
   return outcome;
 }
@@ -140,7 +149,8 @@ VariantOutcome RunU2eVariant(U2eVariant variant,
                              double beta, stats::Rng& rng) {
   switch (variant) {
     case U2eVariant::kSequential:
-      return RunSequential(requester, candidates, workers, model, beta);
+      return RunSequential(requester, request, candidates, workers, model,
+                           beta);
     case U2eVariant::kParallelBroadcast:
       return RunParallelBroadcast(requester, request, candidates, workers,
                                   model, beta);

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/str_format.h"
+#include "obs/recorder.h"
 
 namespace scguard::obs {
 
@@ -36,6 +37,7 @@ std::string PrometheusText() {
 void ResetGlobal() {
   MetricsRegistry::Global().ResetAll();
   Tracer::Global().Reset();
+  FlightRecorder::Global().Reset();
 }
 
 }  // namespace scguard::obs

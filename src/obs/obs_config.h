@@ -16,12 +16,28 @@ namespace scguard::obs {
 /// side-effect-free by construction.
 struct ObsConfig {
   bool enabled = false;
+  /// The flight recorder (recorder.h, DESIGN.md §12): event-level ring
+  /// buffers behind their own gate so aggregate metrics can stay on while
+  /// per-event recording stays off (benches: SCGUARD_OBS_TRACE=1).
+  bool recorder = false;
+  /// Full-audit mode: additionally emit one kAuditCandidate event per
+  /// ranked U2E candidate. O(candidates) events per task — meant for small
+  /// runs and tests, not the 1M bench (SCGUARD_AUDIT_FULL=1).
+  bool audit_full = false;
 };
 
 namespace internal {
 /// The process-wide gate flag. Relaxed is enough: callers only need a
 /// monotonic-ish view, not ordering against the data they instrument.
 inline std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+inline std::atomic<bool>& RecorderFlag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+inline std::atomic<bool>& AuditFullFlag() {
   static std::atomic<bool> flag{false};
   return flag;
 }
@@ -32,11 +48,25 @@ inline std::atomic<bool>& EnabledFlag() {
 /// in flight on other threads may straddle the change.
 inline void SetConfig(const ObsConfig& config) {
   internal::EnabledFlag().store(config.enabled, std::memory_order_relaxed);
+  internal::RecorderFlag().store(config.recorder, std::memory_order_relaxed);
+  internal::AuditFullFlag().store(config.audit_full,
+                                  std::memory_order_relaxed);
 }
 
 /// The hot-path check every instrument performs first.
 inline bool Enabled() {
   return internal::EnabledFlag().load(std::memory_order_relaxed);
+}
+
+/// The hot-path check every flight-recorder emission performs first.
+inline bool RecorderEnabled() {
+  return internal::RecorderFlag().load(std::memory_order_relaxed);
+}
+
+/// Whether per-candidate U2E audit events are wanted (callers must also
+/// check RecorderEnabled(); the helpers in recorder.h gate on it).
+inline bool AuditFullEnabled() {
+  return internal::AuditFullFlag().load(std::memory_order_relaxed);
 }
 
 }  // namespace scguard::obs

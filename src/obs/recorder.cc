@@ -1,0 +1,142 @@
+#include "obs/recorder.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace scguard::obs {
+
+EventRing::EventRing(size_t min_capacity) {
+  const size_t capacity = std::bit_ceil(std::max<size_t>(min_capacity, 1024));
+  buf_.resize(capacity);
+  mask_ = capacity - 1;
+}
+
+size_t EventRing::DrainInto(std::vector<TraceEvent>& out) {
+  const uint64_t tail = tail_.load(std::memory_order_relaxed);
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  const size_t n = static_cast<size_t>(head - tail);
+  out.reserve(out.size() + n);
+  for (uint64_t i = tail; i != head; ++i) {
+    out.push_back(buf_[i & mask_]);
+  }
+  tail_.store(head, std::memory_order_release);
+  return n;
+}
+
+FlightRecorder::FlightRecorder() {
+  // Fixed audit ids (kAudit*NameId): the interning order here is a contract
+  // with recorder.h — do not reorder.
+  InternName("audit.u2e_candidates");   // == kAuditU2eCandidatesNameId
+  InternName("audit.u2e_candidate");    // == kAuditU2eCandidateNameId
+  InternName("audit.e2e_disclosure");   // == kAuditE2eDisclosureNameId
+  InternName("audit.budget_spend");     // == kAuditBudgetSpendNameId
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+uint16_t FlightRecorder::InternName(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<uint16_t>(i);
+  }
+  names_.emplace_back(name);
+  return static_cast<uint16_t>(names_.size() - 1);
+}
+
+std::vector<std::string> FlightRecorder::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_;
+}
+
+namespace {
+/// Per-thread handle into the recorder's ring registry: one mutex
+/// acquisition per thread lifetime, none per event. tid is the ring's
+/// index in rings_ — stable, dense, assigned in registration order.
+struct ThreadHandle {
+  FlightRecorder* owner = nullptr;
+  EventRing* ring = nullptr;
+  uint32_t tid = 0;
+};
+thread_local ThreadHandle tls_handle;
+}  // namespace
+
+EventRing* FlightRecorder::RingForThisThread() {
+  if (tls_handle.owner != this) {
+    std::lock_guard<std::mutex> lock(mu_);
+    tls_handle.owner = this;
+    tls_handle.tid = static_cast<uint32_t>(rings_.size());
+    rings_.push_back(std::make_shared<EventRing>(ring_capacity_));
+    tls_handle.ring = rings_.back().get();
+  }
+  return tls_handle.ring;
+}
+
+void FlightRecorder::Emit(TraceEvent e) {
+  EmitAt(NowNs(), e);
+}
+
+void FlightRecorder::EmitAt(uint64_t ts_ns, TraceEvent e) {
+  EventRing* ring = RingForThisThread();
+  e.ts_ns = ts_ns;
+  e.tid = tls_handle.tid;
+  ring->TryPush(e);
+}
+
+std::vector<TraceEvent> FlightRecorder::Drain() {
+  std::vector<std::shared_ptr<EventRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings = rings_;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& ring : rings) {
+    ring->DrainInto(out);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+                     return a.tid < b.tid;
+                   });
+  return out;
+}
+
+int64_t FlightRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& ring : rings_) total += ring->dropped();
+  return total;
+}
+
+void FlightRecorder::Reset() {
+  std::vector<std::shared_ptr<EventRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings = rings_;
+  }
+  std::vector<TraceEvent> discard;
+  for (const auto& ring : rings) {
+    discard.clear();
+    ring->DrainInto(discard);
+    ring->reset_dropped();
+  }
+}
+
+void FlightRecorder::set_ring_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_capacity_ = std::bit_ceil(std::max<size_t>(capacity, 1024));
+}
+
+size_t FlightRecorder::ring_capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_capacity_;
+}
+
+size_t FlightRecorder::num_rings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rings_.size();
+}
+
+}  // namespace scguard::obs

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/str_format.h"
+#include "obs/recorder.h"
 
 namespace scguard::obs {
 namespace {
@@ -74,20 +75,34 @@ void Tracer::Reset() {
   spans_.clear();
 }
 
-Span::Span(std::string_view label) : active_(Enabled()) {
+Span::Span(std::string_view label)
+    : active_(Enabled()), rec_active_(RecorderEnabled()) {
+  if (rec_active_) {
+    auto& recorder = FlightRecorder::Global();
+    rec_name_id_ = recorder.InternName(label);
+    recorder.Emit({.name_id = rec_name_id_,
+                   .type = static_cast<uint8_t>(EventType::kSpanBegin)});
+  }
   if (!active_) return;
   ThreadPathStack().emplace_back(label);
   start_ = std::chrono::steady_clock::now();
 }
 
 Span::~Span() {
-  if (!active_) return;
-  const double seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
-          .count();
-  auto& stack = ThreadPathStack();
-  Tracer::Global().Record(JoinedPath(stack), seconds);
-  stack.pop_back();
+  if (active_) {
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    auto& stack = ThreadPathStack();
+    Tracer::Global().Record(JoinedPath(stack), seconds);
+    stack.pop_back();
+  }
+  if (rec_active_) {
+    FlightRecorder::Global().Emit(
+        {.name_id = rec_name_id_,
+         .type = static_cast<uint8_t>(EventType::kSpanEnd)});
+  }
 }
 
 }  // namespace scguard::obs

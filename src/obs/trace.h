@@ -61,6 +61,12 @@ class Tracer {
 /// duration under the '/'-joined path of enclosing labels. Everything is
 /// a no-op when observability is disabled at construction time.
 ///
+/// When the flight recorder is on (obs_config.h RecorderEnabled), a Span
+/// additionally emits begin/end trace events under its bare label — paying
+/// one name intern (a mutex) per construction, which is fine at the
+/// coarse stage/run granularity Spans are meant for. Hot per-task paths
+/// should use recorder.h's TimedEvent with a pre-interned id instead.
+///
 /// Labels must be stable literals following `<subsystem>.<region>`
 /// (DESIGN.md §7); dynamic strings would explode the aggregate key space.
 class Span {
@@ -73,6 +79,8 @@ class Span {
 
  private:
   bool active_;
+  bool rec_active_;
+  uint16_t rec_name_id_ = 0;
   std::chrono::steady_clock::time_point start_;
 };
 

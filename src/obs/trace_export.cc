@@ -1,0 +1,193 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "common/str_format.h"
+
+namespace scguard::obs {
+
+namespace {
+
+const char* PhaseFor(EventType type) {
+  switch (type) {
+    case EventType::kSpanBegin:
+      return "B";
+    case EventType::kSpanEnd:
+      return "E";
+    case EventType::kCounter:
+      return "C";
+    default:
+      return "i";
+  }
+}
+
+bool IsAudit(EventType type) {
+  return type == EventType::kAuditCandidates ||
+         type == EventType::kAuditCandidate ||
+         type == EventType::kAuditDisclosure ||
+         type == EventType::kAuditBudget;
+}
+
+const char* FilterName(AuditFilter filter) {
+  switch (filter) {
+    case AuditFilter::kAlphaBandAccept:
+      return "alpha_band";
+    case AuditFilter::kDirectEval:
+      return "direct_eval";
+    default:
+      return "unknown";
+  }
+}
+
+std::string NameOf(const std::vector<std::string>& names, uint16_t id) {
+  if (id < names.size()) return JsonEscape(names[id]);
+  return StrCat("name_", id);
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const std::vector<TraceEvent>& events,
+                              const std::vector<std::string>& names) {
+  uint64_t base_ns = std::numeric_limits<uint64_t>::max();
+  for (const TraceEvent& e : events) base_ns = std::min(base_ns, e.ts_ns);
+  if (events.empty()) base_ns = 0;
+
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    const auto type = static_cast<EventType>(e.type);
+    if (!first) os << ',';
+    first = false;
+    // Perfetto wants ts in microseconds; keep ns precision as a fraction.
+    const double ts_us = static_cast<double>(e.ts_ns - base_ns) / 1000.0;
+    os << "{\"name\":\"" << NameOf(names, e.name_id) << "\",\"ph\":\""
+       << PhaseFor(type) << "\",\"ts\":" << ts_us << ",\"pid\":1,\"tid\":"
+       << e.tid;
+    switch (type) {
+      case EventType::kSpanBegin:
+      case EventType::kSpanEnd:
+        break;
+      case EventType::kCounter:
+        os << ",\"args\":{\"value\":" << e.arg0 << '}';
+        break;
+      case EventType::kInstant:
+        os << ",\"s\":\"t\",\"args\":{\"arg0\":" << e.arg0 << ",\"value\":"
+           << e.value << '}';
+        break;
+      case EventType::kAuditCandidates:
+        os << ",\"s\":\"t\",\"args\":{\"task\":" << e.arg0 << ",\"candidates\":"
+           << e.arg1 << ",\"epsilon\":" << e.value << '}';
+        break;
+      case EventType::kAuditCandidate:
+        os << ",\"s\":\"t\",\"args\":{\"task\":" << e.arg0 << ",\"worker\":"
+           << e.arg1 << ",\"score\":" << e.value << '}';
+        break;
+      case EventType::kAuditDisclosure:
+        os << ",\"s\":\"t\",\"args\":{\"task\":" << e.arg0 << ",\"worker\":"
+           << e.arg1 << ",\"score\":" << e.value << ",\"accepted\":"
+           << (DisclosureAccepted(e.detail) ? "true" : "false")
+           << ",\"filter\":\"" << FilterName(DisclosureFilter(e.detail))
+           << "\"}";
+        break;
+      case EventType::kAuditBudget:
+        os << ",\"s\":\"t\",\"args\":{\"owner\":" << e.arg0 << ",\"epsilon\":"
+           << e.value << ",\"granted\":" << (e.detail ? "true" : "false")
+           << '}';
+        break;
+    }
+    os << '}';
+  }
+  os << "],\"displayTimeUnit\":\"ns\"}";
+  return os.str();
+}
+
+std::string ExportChromeTrace() {
+  auto& recorder = FlightRecorder::Global();
+  return ExportChromeTrace(recorder.Drain(), recorder.names());
+}
+
+AuditTotals SummarizeAudit(const std::vector<TraceEvent>& events) {
+  AuditTotals totals;
+  for (const TraceEvent& e : events) {
+    switch (static_cast<EventType>(e.type)) {
+      case EventType::kAuditCandidates:
+        ++totals.u2e_rankings;
+        totals.u2e_candidates_sum += e.arg1;
+        break;
+      case EventType::kAuditCandidate:
+        ++totals.u2e_candidate_lines;
+        break;
+      case EventType::kAuditDisclosure:
+        ++totals.e2e_disclosures;
+        if (DisclosureAccepted(e.detail)) ++totals.e2e_accepted;
+        break;
+      case EventType::kAuditBudget:
+        ++totals.budget_spends;
+        if (e.detail) {
+          totals.epsilon_spent += e.value;
+        } else {
+          ++totals.budget_refused;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return totals;
+}
+
+std::string ExportAuditJsonl(const std::vector<TraceEvent>& events,
+                             const std::vector<std::string>& names,
+                             int64_t dropped) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  for (const TraceEvent& e : events) {
+    const auto type = static_cast<EventType>(e.type);
+    if (!IsAudit(type)) continue;
+    os << "{\"ts_ns\":" << e.ts_ns << ",\"tid\":" << e.tid << ",\"event\":\""
+       << NameOf(names, e.name_id) << '"';
+    switch (type) {
+      case EventType::kAuditCandidates:
+        os << ",\"type\":\"u2e_candidates\",\"task\":" << e.arg0
+           << ",\"candidates\":" << e.arg1 << ",\"epsilon\":" << e.value;
+        break;
+      case EventType::kAuditCandidate:
+        os << ",\"type\":\"u2e_candidate\",\"task\":" << e.arg0
+           << ",\"worker\":" << e.arg1 << ",\"score\":" << e.value;
+        break;
+      case EventType::kAuditDisclosure:
+        os << ",\"type\":\"e2e_disclosure\",\"task\":" << e.arg0
+           << ",\"worker\":" << e.arg1 << ",\"score\":" << e.value
+           << ",\"accepted\":"
+           << (DisclosureAccepted(e.detail) ? "true" : "false")
+           << ",\"filter\":\"" << FilterName(DisclosureFilter(e.detail))
+           << '"';
+        break;
+      case EventType::kAuditBudget:
+        os << ",\"type\":\"budget_spend\",\"owner\":" << e.arg0
+           << ",\"epsilon\":" << e.value << ",\"granted\":"
+           << (e.detail ? "true" : "false");
+        break;
+      default:
+        break;
+    }
+    os << "}\n";
+  }
+  const AuditTotals totals = SummarizeAudit(events);
+  os << "{\"type\":\"summary\",\"u2e_rankings\":" << totals.u2e_rankings
+     << ",\"u2e_candidates_sum\":" << totals.u2e_candidates_sum
+     << ",\"u2e_candidate_lines\":" << totals.u2e_candidate_lines
+     << ",\"e2e_disclosures\":" << totals.e2e_disclosures
+     << ",\"e2e_accepted\":" << totals.e2e_accepted
+     << ",\"budget_spends\":" << totals.budget_spends
+     << ",\"budget_refused\":" << totals.budget_refused
+     << ",\"epsilon_spent\":" << totals.epsilon_spent
+     << ",\"dropped\":" << dropped << "}\n";
+  return os.str();
+}
+
+}  // namespace scguard::obs

@@ -1,0 +1,58 @@
+#ifndef SCGUARD_OBS_TRACE_EXPORT_H_
+#define SCGUARD_OBS_TRACE_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/recorder.h"
+
+namespace scguard::obs {
+
+/// Exporters for the flight recorder's drained event stream (DESIGN.md
+/// §12): Chrome trace-event JSON for ui.perfetto.dev / chrome://tracing,
+/// and the privacy-audit JSONL with its reconciliation summary.
+
+/// Renders `events` as a Chrome trace-event JSON document:
+/// `{"traceEvents":[...],"displayTimeUnit":"ns"}`. Span begin/end map to
+/// ph "B"/"E", instants to "i", counters to "C", and audit events to "i"
+/// instants with their payload under args — so a trace with audit events
+/// still opens in Perfetto. Timestamps are rebased to the earliest event
+/// and emitted in fractional microseconds. `names` comes from
+/// FlightRecorder::names() and must cover every name_id in `events`.
+std::string ExportChromeTrace(const std::vector<TraceEvent>& events,
+                              const std::vector<std::string>& names);
+
+/// Convenience: drains the global recorder and exports it.
+std::string ExportChromeTrace();
+
+/// Aggregate totals of the audit events in a drained stream — the bridge
+/// to assign/metrics.h counters. Reconciliation contract:
+///   u2e_candidates_sum == RunMetrics::candidates_sum (worker noisy-location
+///       disclosures to the requester at U2E), and
+///   e2e_disclosures == RunMetrics::requester_to_worker_msgs (task
+///       exact-location disclosures at E2E).
+struct AuditTotals {
+  int64_t u2e_rankings = 0;        ///< kAuditCandidates events.
+  int64_t u2e_candidates_sum = 0;  ///< Sum of their candidate counts.
+  int64_t u2e_candidate_lines = 0; ///< kAuditCandidate (full-audit) events.
+  int64_t e2e_disclosures = 0;     ///< kAuditDisclosure events.
+  int64_t e2e_accepted = 0;        ///< ...with the accepted flag set.
+  int64_t budget_spends = 0;       ///< kAuditBudget events.
+  int64_t budget_refused = 0;      ///< ...that the ledger refused.
+  double epsilon_spent = 0.0;      ///< Sum of granted spend epsilons.
+};
+
+AuditTotals SummarizeAudit(const std::vector<TraceEvent>& events);
+
+/// Renders the audit events in `events` as JSONL: one object per audit
+/// event plus a final `{"type":"summary",...}` line carrying AuditTotals
+/// and `dropped` (so consumers can tell a complete record from a
+/// truncated one). Non-audit events are skipped.
+std::string ExportAuditJsonl(const std::vector<TraceEvent>& events,
+                             const std::vector<std::string>& names,
+                             int64_t dropped);
+
+}  // namespace scguard::obs
+
+#endif  // SCGUARD_OBS_TRACE_EXPORT_H_

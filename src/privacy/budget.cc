@@ -3,6 +3,7 @@
 #include "common/check.h"
 #include "common/str_format.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 
 namespace scguard::privacy {
 
@@ -42,6 +43,7 @@ Status BudgetLedger::Spend(double epsilon) {
   }
   if (!CanSpend(epsilon)) {
     BudgetTelemetry::Get().refused_spends->Increment();
+    obs::AuditBudgetSpend(audit_owner_, epsilon, /*granted=*/false);
     return Status::FailedPrecondition(
         StrCat("privacy budget exhausted: spent ", spent_, " of ", total_,
                ", requested ", epsilon));
@@ -49,6 +51,7 @@ Status BudgetLedger::Spend(double epsilon) {
   spent_ += epsilon;
   BudgetTelemetry::Get().spends->Increment();
   BudgetTelemetry::Get().epsilon_spent->Add(epsilon);
+  obs::AuditBudgetSpend(audit_owner_, epsilon, /*granted=*/true);
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #ifndef SCGUARD_PRIVACY_BUDGET_H_
 #define SCGUARD_PRIVACY_BUDGET_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/result.h"
@@ -36,9 +37,16 @@ class BudgetLedger {
   /// Returns 0 when the budget is exhausted.
   double UniformEpsilonFor(int releases) const;
 
+  /// Owner id stamped on the flight recorder's per-spend audit events
+  /// (recorder.h kAuditBudget) — typically the worker id the ledger
+  /// belongs to. Defaults to -1 (unattributed).
+  void set_audit_owner(int64_t owner) { audit_owner_ = owner; }
+  int64_t audit_owner() const { return audit_owner_; }
+
  private:
   double total_;
   double spent_ = 0.0;
+  int64_t audit_owner_ = -1;
 };
 
 }  // namespace scguard::privacy

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "stats/rng.h"
 
@@ -97,6 +98,9 @@ Result<std::shared_ptr<const EmpiricalModel>> ModelCache::GetOrBuild(
     if (it != models_.end()) {
       ++stats_.hits;
       CacheCounters::Get().hits->Increment();
+      static const uint16_t rec_hit_id =
+          obs::FlightRecorder::Global().InternName("model_cache.hit");
+      obs::EmitInstant(rec_hit_id);
       return it->second;
     }
     cache_dir = cache_dir_;
@@ -140,12 +144,15 @@ Result<std::shared_ptr<const EmpiricalModel>> ModelCache::GetOrBuild(
   }
 
   std::lock_guard<std::mutex> lock(mu_);
+  static const uint16_t rec_miss_id =
+      obs::FlightRecorder::Global().InternName("model_cache.miss");
   if (from_disk) {
     ++stats_.disk_loads;
     CacheCounters::Get().disk_loads->Increment();
   } else {
     ++stats_.misses;
     CacheCounters::Get().misses->Increment();
+    obs::EmitInstant(rec_miss_id);
   }
   // First insert wins so every caller shares one instance.
   const auto [it, inserted] = models_.emplace(key, std::move(model));

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "runtime/task_group.h"
 
 namespace scguard::runtime {
@@ -32,6 +33,17 @@ Status ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
       obs::MetricsRegistry::Global().GetCounter(
           "scguard.runtime.parallel_for.nested_serial_sections");
   chunks_counter->Increment(num_chunks);
+  // Flight-recorder span per invocation plus a chunk-count sample, so a
+  // Perfetto trace shows where the fan-outs sit inside the engine's stage
+  // spans. Ids intern once per process; the whole block is a no-op branch
+  // while the recorder is off.
+  static const uint16_t rec_span_id =
+      obs::FlightRecorder::Global().InternName("runtime.parallel_for");
+  static const uint16_t rec_chunks_id =
+      obs::FlightRecorder::Global().InternName(
+          "runtime.parallel_for.num_chunks");
+  const obs::TimedEvent rec_span(rec_span_id);
+  obs::EmitCounter(rec_chunks_id, num_chunks);
   const auto chunk_bounds = [&](int64_t c) {
     const int64_t lo = begin + c * grain;
     return std::pair<int64_t, int64_t>{lo, std::min(end, lo + grain)};

@@ -10,6 +10,7 @@
 #include "common/check.h"
 #include "data/beijing.h"
 #include "data/trip_model.h"
+#include "obs/trace.h"
 #include "privacy/planar_laplace.h"
 #include "reachability/analytical_model.h"
 
@@ -77,7 +78,7 @@ std::vector<DynamicRoundMetrics> RunDynamicWorkers(const DynamicConfig& config,
   }
   assign::U2eRankStage u2e(
       {.model = &model, .rank = assign::RankStrategy::kProbability,
-       .kernel = {}});
+       .kernel = {}, .audit_epsilon = per_report.epsilon});
   const assign::E2eContactStage contact(
       {.rank = assign::RankStrategy::kProbability, .beta = config.beta,
        .beta_mode = assign::BetaMode::kEveryContact, .redundancy_k = 1});
@@ -118,21 +119,30 @@ std::vector<DynamicRoundMetrics> RunDynamicWorkers(const DynamicConfig& config,
     DynamicRoundMetrics metrics;
     metrics.round = round;
     double travel_sum = 0;
+    const obs::Span round_span("sim.dynamic_round");
     for (int t = 0; t < config.tasks_per_round; ++t) {
+      // Synthetic task id for the audit trail: stable for a fixed config,
+      // unique across the whole run.
+      const int64_t task_id =
+          static_cast<int64_t>(round) * config.tasks_per_round + t;
       const geo::Point task = demand.Sample(rng);
       const geo::Point task_noisy = task + task_laplace.Sample(rng);
       // U2U over reported locations, U2E against the exact task location.
       const std::vector<uint32_t>& candidates = u2u.Collect(task_noisy);
-      u2e.Rank(u2u.soa(), candidates, task, /*random_rank=*/nullptr, ranked);
-      const auto outcome = contact.Contact(ranked, [&](size_t i) {
-        const double d_true = geo::Distance(workers[i].location, task);
-        if (d_true > workers[i].reach) return false;
-        u2u.MarkMatched(static_cast<uint32_t>(i));
-        workers[i].location = task;  // Completes the task, ends up there.
-        metrics.assigned += 1;
-        travel_sum += d_true;
-        return true;
-      });
+      u2e.Rank(u2u.soa(), candidates, task, /*random_rank=*/nullptr, ranked,
+               task_id);
+      const auto outcome = contact.Contact(
+          ranked,
+          [&](size_t i) {
+            const double d_true = geo::Distance(workers[i].location, task);
+            if (d_true > workers[i].reach) return false;
+            u2u.MarkMatched(static_cast<uint32_t>(i));
+            workers[i].location = task;  // Completes the task, ends up there.
+            metrics.assigned += 1;
+            travel_sum += d_true;
+            return true;
+          },
+          task_id, assign::UnknownAdmitFilter{});
       metrics.false_hits += static_cast<double>(outcome.false_hits);
     }
     metrics.travel_m = metrics.assigned > 0 ? travel_sum / metrics.assigned : 0;

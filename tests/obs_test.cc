@@ -119,6 +119,74 @@ TEST_F(ObsTest, HistogramQuantilesInterpolate) {
   EXPECT_EQ(h->Quantile(0.5), 0.0);
 }
 
+// Satellite (ISSUE 7): pin `SpanStats::min_seconds` semantics. The first
+// Record *seeds* min and max with the observed duration — min must never
+// stick at the zero-initialized default, or every span would report a
+// bogus 0s minimum forever.
+TEST_F(ObsTest, TracerMinSecondsSeedsFromFirstSample) {
+  Tracer tracer;
+  tracer.Record("pin", 2.0);
+  auto spans = tracer.Snapshot();
+  EXPECT_EQ(spans.at("pin").min_seconds, 2.0);
+  EXPECT_EQ(spans.at("pin").max_seconds, 2.0);
+  tracer.Record("pin", 0.5);
+  tracer.Record("pin", 3.0);
+  spans = tracer.Snapshot();
+  EXPECT_EQ(spans.at("pin").count, 3);
+  EXPECT_EQ(spans.at("pin").min_seconds, 0.5);
+  EXPECT_EQ(spans.at("pin").max_seconds, 3.0);
+  EXPECT_EQ(spans.at("pin").total_seconds, 5.5);
+  // A span that is genuinely instantaneous still pins min to 0 via a real
+  // observation, not via the default initializer.
+  tracer.Record("pin", 0.0);
+  EXPECT_EQ(tracer.Snapshot().at("pin").min_seconds, 0.0);
+}
+
+// Satellite (ISSUE 7): quantile boundary behavior. Observations landing
+// exactly on a bucket bound count into that bucket (lower_bound), ranks
+// landing exactly on a bucket edge interpolate to the bound itself, and
+// the overflow bucket saturates at the last finite bound.
+TEST_F(ObsTest, HistogramQuantileBoundaries) {
+  Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "test.quantile.boundaries", {1.0, 2.0, 4.0});
+
+  // A single sample exactly on a bound lands in the bucket it closes.
+  h->Observe(1.0);
+  ASSERT_EQ(h->BucketCounts()[0], 1);
+  EXPECT_NEAR(h->Quantile(0.5), 0.5, 1e-12);  // Interpolates within (0, 1].
+  EXPECT_NEAR(h->Quantile(1.0), 1.0, 1e-12);
+  EXPECT_EQ(h->Quantile(0.0), 0.0);
+
+  // 100 samples in (1, 2]: p50/p95/p99 interpolate linearly, p100 hits
+  // the upper bound exactly.
+  h->Reset();
+  for (int i = 0; i < 100; ++i) h->Observe(1.5);
+  EXPECT_NEAR(h->Quantile(0.5), 1.5, 1e-12);
+  EXPECT_NEAR(h->Quantile(0.95), 1.95, 1e-12);
+  EXPECT_NEAR(h->Quantile(0.99), 1.99, 1e-12);
+  EXPECT_NEAR(h->Quantile(1.0), 2.0, 1e-12);
+
+  // Rank exactly on a bucket edge: 50 below 1.0, 50 in (1, 2]. The median
+  // is the shared edge, not a value from either side.
+  h->Reset();
+  for (int i = 0; i < 50; ++i) h->Observe(0.5);
+  for (int i = 0; i < 50; ++i) h->Observe(1.5);
+  EXPECT_NEAR(h->Quantile(0.5), 1.0, 1e-12);
+  EXPECT_NEAR(h->Quantile(0.75), 1.5, 1e-12);
+
+  // Overflow saturates: any rank landing in the overflow bucket reports
+  // the last finite bound rather than extrapolating.
+  h->Reset();
+  h->Observe(0.5);
+  h->Observe(1e9);
+  EXPECT_EQ(h->Quantile(0.99), 4.0);
+  EXPECT_EQ(h->Quantile(1.0), 4.0);
+
+  // Out-of-range q clamps instead of crashing.
+  EXPECT_EQ(h->Quantile(-1.0), h->Quantile(0.0));
+  EXPECT_EQ(h->Quantile(2.0), h->Quantile(1.0));
+}
+
 TEST_F(ObsTest, SpanNestingBuildsPaths) {
   {
     Span outer("outer");
