@@ -346,6 +346,96 @@ void BM_U2UFilterThreshold(benchmark::State& state) {
 }
 BENCHMARK(BM_U2UFilterThreshold)->Arg(5000);
 
+// ---- Cell-major mirror kernels (DESIGN.md section 13) ----------------
+// The same certain-band trichotomy over the same workers, as the pruned
+// path's scattered gather (indices into a large SoA, one cache line per
+// worker) vs the mirror path's contiguous range (cell-major rows, packed
+// column loads). Items/s = worker decisions; the gap is pure memory
+// traffic, since both arms take bit-identical decisions.
+
+struct MirrorFixture {
+  reachability::WorkerFilterSoA soa;     // Large id-major pool.
+  std::vector<uint32_t> indices;         // Sorted ~10% sample of the pool.
+  reachability::CellMajorMirror mirror;  // The sampled workers, contiguous.
+  std::vector<geo::Point> tasks;
+};
+
+MirrorFixture MakeMirrorFixture(size_t pool, size_t sample_every) {
+  MirrorFixture f;
+  stats::Rng rng(13);
+  const geo::BoundingBox region = data::BeijingRegion();
+  const double radii[] = {800.0, 1400.0, 2000.0, 2800.0};
+  const reachability::AnalyticalModel model(kParams);
+  reachability::AlphaThresholdCache cache(&model, reachability::Stage::kU2U,
+                                          0.1);
+  f.soa.Resize(pool);
+  f.soa.accept_below_sq.resize(pool);
+  f.soa.reject_above_sq.resize(pool);
+  for (size_t i = 0; i < pool; ++i) {
+    f.soa.x[i] = rng.UniformDouble(region.min_x, region.max_x);
+    f.soa.y[i] = rng.UniformDouble(region.min_y, region.max_y);
+    f.soa.reach_radius_m[i] = radii[i % 4];
+    const reachability::AlphaThreshold& t = cache.For(f.soa.reach_radius_m[i]);
+    f.soa.accept_below_sq[i] = t.accept_below_sq;
+    f.soa.reject_above_sq[i] = t.reject_above_sq;
+  }
+  for (size_t i = 0; i < pool; i += sample_every) {
+    f.indices.push_back(static_cast<uint32_t>(i));
+  }
+  f.mirror.Resize(f.indices.size());
+  for (size_t k = 0; k < f.indices.size(); ++k) {
+    const uint32_t i = f.indices[k];
+    f.mirror.id[k] = i;
+    f.mirror.x[k] = f.soa.x[i];
+    f.mirror.y[k] = f.soa.y[i];
+    f.mirror.expanded_r[k] = f.soa.reach_radius_m[i];
+    f.mirror.accept_below_sq[k] = f.soa.accept_below_sq[i];
+    f.mirror.reject_above_sq[k] = f.soa.reject_above_sq[i];
+  }
+  for (int t = 0; t < 64; ++t) {
+    f.tasks.push_back({rng.UniformDouble(region.min_x, region.max_x),
+                       rng.UniformDouble(region.min_y, region.max_y)});
+  }
+  return f;
+}
+
+void BM_ClassifyGather(benchmark::State& state) {
+  const MirrorFixture f =
+      MakeMirrorFixture(static_cast<size_t>(state.range(0)), 10);
+  std::vector<uint32_t> accept, band;
+  size_t t = 0;
+  for (auto _ : state) {
+    const geo::Point task = f.tasks[t++ % f.tasks.size()];
+    accept.clear();
+    band.clear();
+    reachability::ClassifyCertainBand(f.soa, f.indices.data(),
+                                      f.indices.size(), task.x, task.y,
+                                      accept, band);
+    benchmark::DoNotOptimize(accept.size() + band.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.indices.size()));
+}
+BENCHMARK(BM_ClassifyGather)->Arg(200000);
+
+void BM_ClassifyRange(benchmark::State& state) {
+  const MirrorFixture f =
+      MakeMirrorFixture(static_cast<size_t>(state.range(0)), 10);
+  std::vector<uint32_t> accept, band;
+  size_t t = 0;
+  for (auto _ : state) {
+    const geo::Point task = f.tasks[t++ % f.tasks.size()];
+    accept.clear();
+    band.clear();
+    reachability::ClassifyCertainBandRange(f.mirror, 0, f.mirror.size(),
+                                           task.x, task.y, accept, band);
+    benchmark::DoNotOptimize(accept.size() + band.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.mirror.size()));
+}
+BENCHMARK(BM_ClassifyRange)->Arg(200000);
+
 // ProbReachableBatch per model over a dense SoA slab.
 void BM_ProbReachableBatch(benchmark::State& state) {
   const size_t n = 4096;

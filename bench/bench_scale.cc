@@ -92,10 +92,11 @@ int Main() {
     std::printf("%s%lld", i > 0 ? "," : "", (long long)thread_counts[i]);
   }
   std::printf("} (hardware=%d)\n\n", runtime::ThreadPool::HardwareThreads());
-  std::printf("%10s %8s %7s %10s %10s %10s %12s %12s %11s %11s %11s\n",
+  std::printf("%10s %8s %7s %10s %10s %10s %12s %12s %11s %11s %11s %12s "
+              "%11s\n",
               "workers", "threads", "pruner", "assigned", "u2u_s", "total_s",
               "scan_first", "scan_last", "cells_bulk", "cells_skip",
-              "boundary_w");
+              "boundary_w", "gather_MiB", "cells_direct");
 
   // Ground truth for the audit-trail reconciliation: the engine's own
   // disclosure counters summed over every cell this process ran.
@@ -148,10 +149,14 @@ int Main() {
             "threads=", threads, ",pruner=", use_pruner ? "grid" : "off");
         json.Add(series, static_cast<double>(num_workers), agg,
                  {{"threads", static_cast<double>(threads)},
-                  {"pruner", use_pruner ? 1.0 : 0.0}});
+                  {"pruner", use_pruner ? 1.0 : 0.0},
+                  {"u2u_gather_bytes",
+                   static_cast<double>(run.metrics.u2u_gather_bytes)},
+                  {"cells_emitted_direct",
+                   static_cast<double>(run.metrics.cells_emitted_direct)}});
         std::printf(
             "%10lld %8lld %7s %10lld %10.3f %10.3f %12lld %12lld %11lld "
-            "%11lld %11lld\n",
+            "%11lld %11lld %12.1f %11lld\n",
             (long long)num_workers, (long long)threads,
             use_pruner ? "grid" : "off",
             (long long)run.metrics.assigned_tasks, run.metrics.u2u_seconds,
@@ -160,7 +165,9 @@ int Main() {
             (long long)run.metrics.u2u_scanned_last_task,
             (long long)run.metrics.cells_bulk_accepted,
             (long long)run.metrics.cells_skipped,
-            (long long)run.metrics.boundary_workers);
+            (long long)run.metrics.boundary_workers,
+            static_cast<double>(run.metrics.u2u_gather_bytes) / (1 << 20),
+            (long long)run.metrics.cells_emitted_direct);
       }
     }
   }

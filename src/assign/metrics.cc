@@ -24,6 +24,8 @@ void RunMetrics::Accumulate(const RunMetrics& other) {
   cells_bulk_accepted += other.cells_bulk_accepted;
   cells_skipped += other.cells_skipped;
   boundary_workers += other.boundary_workers;
+  u2u_gather_bytes += other.u2u_gather_bytes;
+  cells_emitted_direct += other.cells_emitted_direct;
 }
 
 std::ostream& operator<<(std::ostream& os, const RunMetrics& m) {

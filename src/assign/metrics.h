@@ -71,6 +71,16 @@ struct RunMetrics {
   int64_t cells_skipped = 0;
   int64_t boundary_workers = 0;
 
+  /// Modeled scoring-side memory traffic of the U2U scan, bytes summed over
+  /// the run (DESIGN.md §13 / EXPERIMENTS.md): scattered cache lines for
+  /// gathered workers, packed streams for brute and mirror scans, id runs
+  /// only for certificate-direct cells. A traffic model — comparable across
+  /// configurations, not a hardware counter.
+  int64_t u2u_gather_bytes = 0;
+  /// Cells the mirror path resolved purely by a whole-cell alpha
+  /// certificate, with zero per-worker loads (zero off the mirror path).
+  int64_t cells_emitted_direct = 0;
+
   double MeanTravelM() const {
     return accepted_assignments > 0
                ? travel_sum_m / static_cast<double>(accepted_assignments)

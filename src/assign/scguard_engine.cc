@@ -45,6 +45,8 @@ struct EngineObs {
   obs::Counter* cells_bulk_accepted;
   obs::Counter* cells_skipped;
   obs::Counter* boundary_workers;
+  obs::Counter* u2u_gather_bytes;
+  obs::Counter* cells_emitted_direct;
   obs::Histogram* u2u_seconds;
   obs::Histogram* u2e_seconds;
   obs::Histogram* e2e_seconds;
@@ -69,6 +71,8 @@ struct EngineObs {
         registry.GetCounter("scguard.engine.cells_bulk_accepted"),
         registry.GetCounter("scguard.engine.cells_skipped"),
         registry.GetCounter("scguard.engine.boundary_workers"),
+        registry.GetCounter("scguard.engine.u2u_gather_bytes"),
+        registry.GetCounter("scguard.engine.cells_emitted_direct"),
         registry.GetHistogram("scguard.engine.u2u_seconds"),
         registry.GetHistogram("scguard.engine.u2e_seconds"),
         registry.GetHistogram("scguard.engine.e2e_seconds"),
@@ -309,6 +313,10 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
     m.cells_skipped = gs->cells_skipped;
     m.boundary_workers = gs->boundary_workers;
   }
+  // Scoring-side traffic accounting, cumulative over the stage's life like
+  // the certification counters above.
+  m.u2u_gather_bytes = u2u.stats().gather_bytes;
+  m.cells_emitted_direct = u2u.stats().cells_emitted_direct;
 
   // One atomic flush per counter per run; no-ops while disabled.
   eo.tasks->Increment(m.num_tasks);
@@ -327,6 +335,8 @@ MatchResult ScGuardEngine::Run(const Workload& workload, stats::Rng& rng) {
   eo.cells_bulk_accepted->Increment(m.cells_bulk_accepted);
   eo.cells_skipped->Increment(m.cells_skipped);
   eo.boundary_workers->Increment(m.boundary_workers);
+  eo.u2u_gather_bytes->Increment(m.u2u_gather_bytes);
+  eo.cells_emitted_direct->Increment(m.cells_emitted_direct);
   return result;
 }
 

@@ -1,6 +1,7 @@
 #include "assign/stages/candidate_stage.h"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <utility>
 
@@ -33,8 +34,12 @@ uint32_t U2uCandidateStage::AddWorker(geo::Point noisy_location,
   soa_.reach_radius_m.push_back(reach_radius_m);
   soa_.matched.push_back(0);
   // A registration after Prepare invalidates a built pruning index; it is
-  // rebuilt over the full worker set at the next Collect.
-  if (config_.pruning.has_value()) pruner_.reset();
+  // rebuilt over the full worker set at the next Collect. The mirror must
+  // let go of the dying grid first.
+  if (config_.pruning.has_value()) {
+    mirror_.ForgetGrid();
+    pruner_.reset();
+  }
   return static_cast<uint32_t>(i);
 }
 
@@ -44,8 +49,12 @@ void U2uCandidateStage::UpdateWorkerLocation(uint32_t worker,
   soa_.y[worker] = noisy_location.y;
   // The certain-band bounds depend only on the (unchanged) reach radius,
   // so the threshold prewarm stays valid; only a pruning index (rectangles
-  // anchored at the old location) must be rebuilt.
-  if (config_.pruning.has_value()) pruner_.reset();
+  // anchored at the old location) must be rebuilt, and the mirror detached
+  // before its grid dies.
+  if (config_.pruning.has_value()) {
+    mirror_.ForgetGrid();
+    pruner_.reset();
+  }
 }
 
 void U2uCandidateStage::RebuildShards() {
@@ -71,6 +80,7 @@ void U2uCandidateStage::ResetAvailability() {
   std::fill(soa_.matched.begin(), soa_.matched.end(), uint8_t{0});
   if (config_.pruning.has_value()) {
     // Matched workers were removed from the index; rebuild it fresh.
+    mirror_.ForgetGrid();
     pruner_.reset();
   } else if (prepared_) {
     RebuildShards();
@@ -126,6 +136,13 @@ void U2uCandidateStage::Prepare() {
     // reads.
     const auto shard_size = static_cast<size_t>(config_.runtime.shard_size);
     shards_.resize(n > 0 ? (n + shard_size - 1) / shard_size : 0);
+    // The mirror attaches after the threshold prewarm above (it copies the
+    // per-worker certain bands) and after the grid is final for this
+    // Prepare. A pruner rebuilt since the last attach has a fresh grid, so
+    // re-attach whenever the association is gone (ForgetGrid cleared it).
+    if (UseMirror() && mirror_.grid() != pruner_->grid()) {
+      mirror_.Attach(pruner_->grid(), &soa_);
+    }
   } else if (warm_ == 0) {
     RebuildShards();
   } else {
@@ -194,6 +211,162 @@ void U2uCandidateStage::ScanIndices(geo::Point task_noisy, const uint32_t* idx,
   }
 }
 
+bool U2uCandidateStage::UseMirror() const {
+  return config_.runtime.cell_mirror && config_.runtime.active_set &&
+         config_.kernel.alpha_thresholds && config_.pruning.has_value() &&
+         config_.pruning->backend == index::PrunerBackend::kGrid;
+}
+
+void U2uCandidateStage::ScanMirrorChunk(geo::Point task_noisy,
+                                        const geo::BoundingBox& query,
+                                        size_t begin, size_t end,
+                                        ShardScratch& sc) const {
+  sc.accept.clear();
+  sc.band.clear();
+  sc.scanned = 0;
+  sc.gather_bytes = 0;
+  sc.cells_direct = 0;
+  const reachability::CellMajorMirror& m = mirror_.rows();
+  for (size_t v = begin; v < end; ++v) {
+    const index::GridIndex::CellVisit& visit = visits_[v];
+    if (v + 1 < end) {
+      // The next cell's slice is a known contiguous address; start pulling
+      // its first lines while this cell classifies.
+      const size_t nx = visits_[v + 1].begin;
+      __builtin_prefetch(m.x.data() + nx);
+      __builtin_prefetch(m.y.data() + nx);
+      __builtin_prefetch(m.accept_below_sq.data() + nx);
+    }
+    if (visit.cert == index::GridIndex::CellCert::kBulkAccepted) {
+      // Every member is rectangle-admitted; the cell-level alpha
+      // certificate can settle the whole slice without touching a row.
+      sc.scanned += static_cast<int64_t>(visit.count);
+      const CellScoreMirror::CellAlpha alpha =
+          mirror_.Certify(visit.slot, task_noisy.x, task_noisy.y);
+      if (alpha == CellScoreMirror::CellAlpha::kAllAccept) {
+        const auto from =
+            m.id.begin() + static_cast<std::ptrdiff_t>(visit.begin);
+        sc.accept.insert(sc.accept.end(), from, from + visit.count);
+        sc.gather_bytes += static_cast<int64_t>(visit.count) * 4;
+        ++sc.cells_direct;
+      } else if (alpha == CellScoreMirror::CellAlpha::kAllReject) {
+        ++sc.cells_direct;
+      } else {
+        reachability::ClassifyCertainBandRange(m, visit.begin, visit.count,
+                                               task_noisy.x, task_noisy.y,
+                                               sc.accept, sc.band);
+        sc.gather_bytes += static_cast<int64_t>(visit.count) * 36;
+      }
+    } else {
+      const size_t admitted = reachability::ClassifyCertainBandRangeRect(
+          m, visit.begin, visit.count, task_noisy.x, task_noisy.y,
+          query.min_x, query.min_y, query.max_x, query.max_y, sc.accept,
+          sc.band);
+      sc.scanned += static_cast<int64_t>(admitted);
+      sc.gather_bytes += static_cast<int64_t>(visit.count) * 44;
+    }
+  }
+  // Band resolution — the same per-worker decision as ScanIndices, so the
+  // mirror and gather paths agree bit for bit (and count the same
+  // band_evals).
+  size_t kept = 0;
+  for (const uint32_t i : sc.band) {
+    const reachability::AlphaThreshold* t =
+        thresholds_->Lookup(soa_.reach_radius_m[i]);
+    SCGUARD_CHECK(t != nullptr);
+    const double d = geo::Distance({soa_.x[i], soa_.y[i]}, task_noisy);
+    bool is_candidate;
+    if (d <= t->accept_below_m) {
+      is_candidate = true;
+    } else if (d >= t->reject_above_m) {
+      is_candidate = false;
+    } else {
+      ++sc.band_evals;
+      is_candidate =
+          config_.model->ProbReachable(reachability::Stage::kU2U, d,
+                                       soa_.reach_radius_m[i]) >=
+          config_.alpha;
+    }
+    sc.band[kept] = i;
+    kept += is_candidate ? 1 : 0;
+  }
+  sc.band.resize(kept);
+  // Chunk output order is irrelevant (the bitmap union restores ascending
+  // order), so survivors just append.
+  sc.accept.insert(sc.accept.end(), sc.band.begin(), sc.band.end());
+}
+
+void U2uCandidateStage::CollectMirror(geo::Point task_noisy_location) {
+  const size_t n = soa_.size();
+  const EngineRuntime& rt = config_.runtime;
+  const geo::BoundingBox query = pruner_->TaskQueryBox(task_noisy_location);
+  index::GridIndex* grid = pruner_->grid();
+  grid->VisitQueryCells(query, visits_);
+
+  // Cut the visit list into chunks of >= shard_size members. Boundaries
+  // depend only on the walk and shard_size — never the pool — so per-chunk
+  // outputs and counters are reproducible; at most one chunk more than the
+  // brute scan's shard count exists, hence the resize.
+  const auto shard_size = static_cast<size_t>(rt.shard_size);
+  mirror_chunks_.clear();
+  size_t chunk_begin = 0;
+  size_t acc = 0;
+  for (size_t v = 0; v < visits_.size(); ++v) {
+    acc += visits_[v].count;
+    if (acc >= shard_size) {
+      mirror_chunks_.push_back({chunk_begin, v + 1});
+      chunk_begin = v + 1;
+      acc = 0;
+    }
+  }
+  if (chunk_begin < visits_.size()) {
+    mirror_chunks_.push_back({chunk_begin, visits_.size()});
+  }
+  if (shards_.size() < mirror_chunks_.size()) {
+    shards_.resize(mirror_chunks_.size());
+  }
+
+  const Status scan_status = runtime::ParallelFor(
+      rt.pool, 0, static_cast<int64_t>(mirror_chunks_.size()), /*grain=*/1,
+      [&](int64_t lo, int64_t hi) -> Status {
+        for (int64_t j = lo; j < hi; ++j) {
+          const MirrorChunk& chunk = mirror_chunks_[static_cast<size_t>(j)];
+          ScanMirrorChunk(task_noisy_location, query, chunk.begin, chunk.end,
+                          shards_[static_cast<size_t>(j)]);
+        }
+        return Status::OK();
+      });
+  SCGUARD_CHECK(scan_status.ok());
+
+  // Union the chunks' accepted ids through a dense bitmap and read it back
+  // in word order: an order-independent set union, so the ascending result
+  // equals the gather path's ascending concatenation no matter how cells
+  // were chunked.
+  mirror_bits_.assign((n + 63) / 64, 0);
+  size_t hits = 0;
+  for (size_t j = 0; j < mirror_chunks_.size(); ++j) {
+    const ShardScratch& sc = shards_[j];
+    for (const uint32_t i : sc.accept) {
+      mirror_bits_[i >> 6] |= uint64_t{1} << (i & 63);
+    }
+    hits += sc.accept.size();
+    stats_.scanned_last += sc.scanned;
+    stats_.gather_bytes += sc.gather_bytes;
+    stats_.cells_emitted_direct += sc.cells_direct;
+  }
+  stats_.pruned_last = static_cast<int64_t>(n) - stats_.scanned_last;
+  candidates_.reserve(hits);
+  for (size_t w = 0; w < mirror_bits_.size(); ++w) {
+    uint64_t bits = mirror_bits_[w];
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      candidates_.push_back(
+          static_cast<uint32_t>((w << 6) + static_cast<size_t>(b)));
+      bits &= bits - 1;
+    }
+  }
+}
+
 const std::vector<uint32_t>& U2uCandidateStage::Collect(
     geo::Point task_noisy_location) {
   Prepare();
@@ -202,6 +375,11 @@ const std::vector<uint32_t>& U2uCandidateStage::Collect(
   candidates_.clear();
   stats_.scanned_last = 0;
   stats_.pruned_last = 0;
+
+  if (pruner_ != nullptr && UseMirror()) {
+    CollectMirror(task_noisy_location);
+    return candidates_;
+  }
 
   if (pruner_ != nullptr) {
     // The index query itself stays serial (sub-linear, and it owns mutable
@@ -259,6 +437,9 @@ const std::vector<uint32_t>& U2uCandidateStage::Collect(
       const ShardScratch& sc = shards_[seg.shard];
       candidates_.insert(candidates_.end(), sc.out.begin(), sc.out.end());
       stats_.scanned_last += sc.scanned;
+      // Traffic model: each gathered worker touches one scattered cache
+      // line per SoA stream (x, y, accept_sq, reject_sq).
+      stats_.gather_bytes += sc.scanned * 256;
     }
     return candidates_;
   }
@@ -301,6 +482,8 @@ const std::vector<uint32_t>& U2uCandidateStage::Collect(
   for (const ShardScratch& sc : shards_) {
     candidates_.insert(candidates_.end(), sc.out.begin(), sc.out.end());
     stats_.scanned_last += sc.scanned;
+    // Traffic model: the brute scan streams the four packed doubles.
+    stats_.gather_bytes += sc.scanned * 32;
   }
   return candidates_;
 }

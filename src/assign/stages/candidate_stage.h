@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "assign/stages/cell_mirror.h"
 #include "geo/bbox.h"
 #include "geo/point.h"
 #include "index/pruning.h"
@@ -47,6 +48,16 @@ struct EngineRuntime {
   /// check, the legacy full-scan path; kept as a toggle for the
   /// equivalence test and the scale bench.
   bool active_set = true;
+
+  /// Score pruned scans through the cell-major mirror (DESIGN.md §13):
+  /// candidates come from contiguous mirror slices (range kernels +
+  /// whole-cell alpha certificates) instead of scattered SoA gathers over
+  /// the index's id list. Engages only for the grid pruning backend with
+  /// alpha thresholds and active_set on; every other configuration keeps
+  /// the gather path. Decisions, metrics, and candidate order are
+  /// bit-identical either way; the toggle exists for the equivalence test
+  /// and A/B benching.
+  bool cell_mirror = true;
 };
 
 /// The server-side U2U candidate stage (paper Alg. 1/2 Lines 1-8, DESIGN.md
@@ -96,6 +107,17 @@ class U2uCandidateStage {
   struct Stats {
     int64_t scanned_last = 0;  ///< Workers scored by the last Collect.
     int64_t pruned_last = 0;   ///< Workers the index skipped last Collect.
+    /// Modeled scoring-side memory traffic, cumulative over the stage's
+    /// life (a traffic model, not a hardware counter — see EXPERIMENTS.md):
+    /// gathered workers cost one scattered cache line per SoA stream (4 x
+    /// 64 B), brute sequential scans cost the packed 32 B, mirror range
+    /// scans cost the contiguous rows actually streamed (36 B bulk / 44 B
+    /// boundary), and certificate-direct cells cost only their emitted id
+    /// run (4 B per id, 0 for whole-cell rejects).
+    int64_t gather_bytes = 0;
+    /// Cells resolved purely by a whole-cell alpha certificate (accept or
+    /// reject) with zero per-worker loads, cumulative.
+    int64_t cells_emitted_direct = 0;
   };
 
   explicit U2uCandidateStage(Config config);
@@ -175,6 +197,8 @@ class U2uCandidateStage {
     int64_t scanned = 0;           ///< Workers scored for the current task.
     int64_t band_evals = 0;        ///< Direct model evals, run cumulative.
     int64_t compactions = 0;       ///< Active-set rebuilds, run cumulative.
+    int64_t gather_bytes = 0;      ///< Mirror-chunk traffic, current task.
+    int64_t cells_direct = 0;      ///< Certificate-direct cells, this task.
   };
 
   /// Scores `count` workers (an ascending index list with no matched
@@ -185,12 +209,34 @@ class U2uCandidateStage {
   void ScanIndices(geo::Point task_noisy, const uint32_t* idx, size_t count,
                    ShardScratch& sc) const;
 
+  /// True when Collect routes through the cell-major mirror: grid pruning
+  /// backend + alpha thresholds + active_set + the cell_mirror knob. The
+  /// gather path handles everything else (non-grid pruners never yield cell
+  /// slices; without active_set the mirror would rescan matched workers;
+  /// without thresholds there are no certain bands to mirror).
+  bool UseMirror() const;
+
+  /// The mirror Collect: certified cell walk, chunked range classification
+  /// over contiguous mirror slices, bitmap union back to ascending order.
+  void CollectMirror(geo::Point task_noisy);
+
+  /// Classifies the visits [begin, end) of the current walk against the
+  /// task, leaving this chunk's accepted worker ids (unordered across
+  /// cells) in sc.accept and its admitted/traffic accounting in sc. Safe to
+  /// run concurrently on distinct scratches.
+  void ScanMirrorChunk(geo::Point task_noisy, const geo::BoundingBox& query,
+                       size_t begin, size_t end, ShardScratch& sc) const;
+
   void RebuildShards();
 
   Config config_;
   reachability::WorkerFilterSoA soa_;
   std::optional<reachability::AlphaThresholdCache> thresholds_;
   std::unique_ptr<index::UncertainRegionPruner> pruner_;
+  /// Cell-major scoring mirror over the grid backend's member layout.
+  /// Declared after pruner_ and detached (ForgetGrid) at every
+  /// pruner_.reset() site, so it never holds a dangling grid pointer.
+  CellScoreMirror mirror_;
   /// Workers [0, warm_) have prewarmed thresholds and shard slots.
   size_t warm_ = 0;
   /// Set once Prepare ran; a later AddWorker/UpdateWorkerLocation drops a
@@ -215,10 +261,22 @@ class U2uCandidateStage {
     size_t end;
   };
 
+  /// One mirror chunk: the visit range [begin, end) of the current walk.
+  /// Chunks are cut by cumulative member count against shard_size alone —
+  /// pool-independent, like Segment boundaries — so chunk contents (and
+  /// with them every per-chunk counter) are identical on any pool.
+  struct MirrorChunk {
+    size_t begin;
+    size_t end;
+  };
+
   // Reused per-Collect scratch.
   std::vector<uint32_t> candidates_;
   std::vector<int64_t> pruner_ids_;
   std::vector<Segment> segments_;
+  std::vector<index::GridIndex::CellVisit> visits_;
+  std::vector<MirrorChunk> mirror_chunks_;
+  std::vector<uint64_t> mirror_bits_;  ///< Accept bitmap, one bit per worker.
   Stats stats_;
 };
 

@@ -1,0 +1,99 @@
+#ifndef SCGUARD_ASSIGN_STAGES_CELL_MIRROR_H_
+#define SCGUARD_ASSIGN_STAGES_CELL_MIRROR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/grid_index.h"
+#include "reachability/kernel.h"
+
+namespace scguard::assign {
+
+/// The cell-major scoring mirror (DESIGN.md §13): a CellMajorMirror whose
+/// rows shadow a GridIndex's flat member arrays position for position —
+/// same CSR cell slices, same headroom, same ascending in-slice id order —
+/// plus a per-cell aggregate that certifies whole cells against the alpha
+/// filter. It registers as the index's SliceChangeListener, so the index's
+/// in-slice erases (MarkMatched removals), inserts, and rebuilds keep the
+/// mirror in sync in O(cell) per mutation without re-reading the index.
+///
+/// Contract with the stage:
+///  * Attach after the per-worker certain bands are prewarmed (the mirror
+///    copies accept/reject_sq by worker id at build and insert time) and
+///    after the grid is built.
+///  * Call ForgetGrid() *before* the grid is destroyed (the stage does this
+///    wherever it resets its pruner). The mirror's destructor never touches
+///    the grid, so a mirror whose grid died after ForgetGrid is safe — but
+///    a grid must never mutate after its listener died without detaching.
+///
+/// Not thread-safe for mutation; the concurrent Collect scan only reads.
+class CellScoreMirror final : public index::GridIndex::SliceChangeListener {
+ public:
+  /// Conservative cell-level alpha certificate for one task location:
+  /// kAllAccept / kAllReject mean *every* member of the cell lands in the
+  /// scalar kernel's certain-accept / certain-reject region, so the cell
+  /// resolves with zero per-worker loads and zero band evaluations —
+  /// exactly what the per-member trichotomy would have decided. kMixed
+  /// means the cell must be classified member by member.
+  enum class CellAlpha { kMixed, kAllAccept, kAllReject };
+
+  CellScoreMirror() = default;
+  ~CellScoreMirror() override = default;
+  CellScoreMirror(const CellScoreMirror&) = delete;
+  CellScoreMirror& operator=(const CellScoreMirror&) = delete;
+
+  /// Rebuilds the mirror over `grid`'s current layout and registers as its
+  /// slice-change listener (displacing any previous listener). `soa` must
+  /// have accept_below_sq / reject_above_sq filled for every id the grid
+  /// holds, and both pointers must stay valid while attached.
+  void Attach(index::GridIndex* grid,
+              const reachability::WorkerFilterSoA* soa);
+
+  /// Detaches from the grid (clears its listener registration) and forgets
+  /// the pointer. Must run before the grid dies; idempotent.
+  void ForgetGrid();
+
+  const index::GridIndex* grid() const { return grid_; }
+  const reachability::CellMajorMirror& rows() const { return rows_; }
+
+  /// Certifies cell `slot` against the task location. The bounds are
+  /// floating-point conservative: each member's kernel d_sq (computed as
+  /// fl(fl(dx^2) + fl(dy^2)) with dx = fl(x - task_x)) is bracketed by the
+  /// corner distances of the cell's member bounding box evaluated with the
+  /// same operations — rounding is monotone, so no slack is needed — and
+  /// compared against the cell's min accept / max reject bound.
+  CellAlpha Certify(size_t slot, double task_x, double task_y) const;
+
+  // index::GridIndex::SliceChangeListener:
+  void OnSliceErase(size_t slot, size_t pos, size_t end) override;
+  void OnSliceInsert(size_t slot, size_t pos, size_t end) override;
+  void OnRebuild() override;
+
+  /// Per-cell member aggregate (test support): the member x/y bounding box
+  /// and the cell-wide worst-case certain-band bounds.
+  struct CellAgg {
+    double min_x = 0.0, max_x = -1.0;  // Empty sentinel: max < min.
+    double min_y = 0.0, max_y = -1.0;
+    double min_accept_sq = 0.0;
+    double max_reject_sq = 0.0;
+  };
+  const CellAgg& CellAggForTest(size_t slot) const { return aggs_[slot]; }
+
+ private:
+  /// Copies grid row `pos` (id/x/y/expanded_r) plus the id's certain bands
+  /// from the soa into mirror row `pos`.
+  void FillRow(size_t pos);
+  /// Rebuilds cell `slot`'s aggregate from its mirror rows.
+  void RecomputeAgg(size_t slot);
+  /// Full rebuild from the grid's current layout.
+  void Resync();
+
+  index::GridIndex* grid_ = nullptr;          // Not owned.
+  const reachability::WorkerFilterSoA* soa_ = nullptr;  // Not owned.
+  reachability::CellMajorMirror rows_;
+  std::vector<CellAgg> aggs_;
+};
+
+}  // namespace scguard::assign
+
+#endif  // SCGUARD_ASSIGN_STAGES_CELL_MIRROR_H_

@@ -27,6 +27,21 @@ void U2eRankStage::ScoreBatch(const double* observed_distance_m,
                                     out);
 }
 
+U2eRankStage::BatchInputs U2eRankStage::StageScoreInputs(size_t n) {
+  if (d_.size() < n) {
+    d_.resize(n);
+    r_.resize(n);
+  }
+  if (p_.size() < n) p_.resize(n);
+  return {d_.data(), r_.data()};
+}
+
+const double* U2eRankStage::ScoreStagedInputs(size_t n) {
+  SCGUARD_CHECK(d_.size() >= n && r_.size() >= n && p_.size() >= n);
+  ScoreBatch(d_.data(), r_.data(), n, p_.data());
+  return p_.data();
+}
+
 void U2eRankStage::Rank(const reachability::WorkerFilterSoA& soa,
                         const std::vector<uint32_t>& candidates,
                         geo::Point exact_task_location,

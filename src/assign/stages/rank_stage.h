@@ -109,6 +109,21 @@ class U2eRankStage {
   void ScoreBatch(const double* observed_distance_m,
                   const double* reach_radius_m, size_t n, double* out);
 
+  /// Staged variant of ScoreBatch for AoS call sites (the protocol device
+  /// ranks CandidateWorker lists): write the i-th candidate's observed
+  /// distance / radius into the arrays StageScoreInputs(n) returns, then
+  /// ScoreStagedInputs(n) scores them and returns the probabilities. Both
+  /// point into the stage's batching scratch, so a caller ranking
+  /// repeatedly through one stage allocates nothing once the high-water
+  /// capacity is reached. Pointers are invalidated by the next
+  /// StageScoreInputs or Rank call.
+  struct BatchInputs {
+    double* observed_distance_m;
+    double* reach_radius_m;
+  };
+  BatchInputs StageScoreInputs(size_t n);
+  const double* ScoreStagedInputs(size_t n);
+
  private:
   Config config_;
   std::optional<reachability::KernelLut> lut_;

@@ -51,30 +51,34 @@ std::vector<CandidateWorker> RequesterDevice::RankCandidates(
     const reachability::ReachabilityModel& model, double beta) const {
   // The shared U2E stage scores the whole candidate list with one batched
   // model call (bit-identical to per-candidate ProbReachable, see
-  // kernel_test); the device keeps only the message marshalling.
-  assign::U2eRankStage stage(
-      {.model = &model, .rank = assign::RankStrategy::kProbability,
-       .kernel = {}});
-  const size_t n = candidates.size();
-  std::vector<double> d(n);
-  std::vector<double> r(n);
-  std::vector<double> p(n);
-  for (size_t i = 0; i < n; ++i) {
-    d[i] = geo::Distance(candidates[i].noisy_location, true_task_location_);
-    r[i] = candidates[i].reach_radius_m;
+  // kernel_test); the device keeps only the message marshalling. The stage
+  // and its staging buffers live on the device so back-to-back rankings
+  // reuse them instead of reallocating per task.
+  if (!stage_.has_value() || stage_model_ != &model) {
+    stage_.emplace(assign::U2eRankStage::Config{
+        .model = &model, .rank = assign::RankStrategy::kProbability,
+        .kernel = {}});
+    stage_model_ = &model;
   }
-  stage.ScoreBatch(d.data(), r.data(), n, p.data());
-  std::vector<std::pair<double, const CandidateWorker*>> scored;
-  scored.reserve(n);
+  const size_t n = candidates.size();
+  const assign::U2eRankStage::BatchInputs in = stage_->StageScoreInputs(n);
+  for (size_t i = 0; i < n; ++i) {
+    in.observed_distance_m[i] =
+        geo::Distance(candidates[i].noisy_location, true_task_location_);
+    in.reach_radius_m[i] = candidates[i].reach_radius_m;
+  }
+  const double* p = stage_->ScoreStagedInputs(n);
+  scored_.clear();
+  scored_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     if (p[i] < beta) continue;  // Below the disclosure threshold.
-    scored.emplace_back(p[i], &candidates[i]);
+    scored_.emplace_back(p[i], &candidates[i]);
   }
   assign::SortRankedCandidates(
-      scored, [](const CandidateWorker* c) { return c->worker_id; });
+      scored_, [](const CandidateWorker* c) { return c->worker_id; });
   std::vector<CandidateWorker> plan;
-  plan.reserve(scored.size());
-  for (const auto& [score, c] : scored) plan.push_back(*c);
+  plan.reserve(scored_.size());
+  for (const auto& [score, c] : scored_) plan.push_back(*c);
   return plan;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "assign/stages/candidate_stage.h"
+#include "assign/stages/rank_stage.h"
 #include "geo/point.h"
 #include "privacy/privacy_params.h"
 #include "reachability/kernel.h"
@@ -89,6 +90,14 @@ class RequesterDevice {
   int64_t task_id_;
   geo::Point true_task_location_;
   privacy::PrivacyParams params_;
+  /// Lazily built U2E stage plus ranking scratch, reused across
+  /// RankCandidates calls so the per-task hot path stops allocating once
+  /// capacities settle; rebuilt if a caller switches models. Mutable
+  /// because ranking is logically const (the device's observable state —
+  /// task id, location, budget — never changes).
+  mutable std::optional<assign::U2eRankStage> stage_;
+  mutable const reachability::ReachabilityModel* stage_model_ = nullptr;
+  mutable std::vector<std::pair<double, const CandidateWorker*>> scored_;
 };
 
 /// The untrusted SC server: sees only registrations and task requests

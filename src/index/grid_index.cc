@@ -111,6 +111,7 @@ void GridIndex::Rebuild() {
   xs_.swap(new_xs);
   ys_.swap(new_ys);
   rs_.swap(new_rs);
+  if (listener_ != nullptr) listener_->OnRebuild();
 }
 
 void GridIndex::Insert(geo::Point center, double expanded_radius_m,
@@ -145,6 +146,9 @@ void GridIndex::Insert(geo::Point center, double expanded_radius_m,
   rs_[pos] = expanded_radius_m;
   ++c.count;
   aggs_[slot].Accumulate(center.x, center.y, expanded_radius_m);
+  if (listener_ != nullptr) {
+    listener_->OnSliceInsert(slot, pos, c.begin + c.count);
+  }
   cells_of_id_[id].push_back(static_cast<uint32_t>(slot));
   max_radius_ = std::max(max_radius_, expanded_radius_m);
   if (max_id_ < min_id_) {
@@ -175,10 +179,8 @@ GridIndex::CellCert GridIndex::Classify(const Agg& agg,
   return CellCert::kBoundary;
 }
 
-void GridIndex::Query(const geo::BoundingBox& query,
-                      std::vector<int64_t>& out) const {
-  out.clear();
-  if (live_ == 0 || query.empty()) return;
+GridIndex::CellRange GridIndex::QueryRange(
+    const geo::BoundingBox& query) const {
   // A member's rectangle can reach at most max_radius_ beyond its center,
   // so widening the query by the radius high-water mark bounds the cells
   // whose members could intersect. The extra +-1 cell absorbs the ulp-level
@@ -194,6 +196,14 @@ void GridIndex::Query(const geo::BoundingBox& query,
   range.y0 = std::max(0, range.y0 - 1);
   range.x1 = std::min(cells_ - 1, range.x1 + 1);
   range.y1 = std::min(cells_ - 1, range.y1 + 1);
+  return range;
+}
+
+void GridIndex::Query(const geo::BoundingBox& query,
+                      std::vector<int64_t>& out) const {
+  out.clear();
+  if (live_ == 0 || query.empty()) return;
+  const CellRange range = QueryRange(query);
 
   // Output-ordering strategy. When the inserted id range is dense relative
   // to the live count (the engine's ids are exactly [0, n)), accepted ids
@@ -318,6 +328,40 @@ void GridIndex::MergeRuns(std::vector<int64_t>& out) const {
   }
 }
 
+size_t GridIndex::VisitQueryCells(const geo::BoundingBox& query,
+                                  std::vector<CellVisit>& out) const {
+  // The cell walk of Query, with identical certification accounting, minus
+  // the id materialization: each surviving cell is reported as its flat
+  // member-array slice so a cell-major mirror can do the scoring-side work
+  // over contiguous rows.
+  out.clear();
+  if (live_ == 0 || query.empty()) return 0;
+  const CellRange range = QueryRange(query);
+  size_t total = 0;
+  for (int cy = range.y0; cy <= range.y1; ++cy) {
+    for (int cx = range.x0; cx <= range.x1; ++cx) {
+      const size_t slot = CellSlot(cx, cy);
+      const Agg& agg = aggs_[slot];
+      const CellCert cert = Classify(agg, query);
+      if (cert == CellCert::kSkipped) {
+        if (agg.cover_max_x != -kInf) ++stats_.cells_skipped;
+        continue;
+      }
+      const CellRef& c = cells_ref_[slot];
+      if (cert == CellCert::kBulkAccepted) {
+        ++stats_.cells_bulk_accepted;
+      } else {
+        ++stats_.cells_boundary;
+        stats_.boundary_workers += static_cast<int64_t>(c.count);
+      }
+      out.push_back(CellVisit{c.begin, c.count, static_cast<uint32_t>(slot),
+                              cert});
+      total += c.count;
+    }
+  }
+  return total;
+}
+
 std::vector<int64_t> GridIndex::QueryIds(const geo::BoundingBox& query) const {
   std::vector<int64_t> out;
   Query(query, out);
@@ -346,6 +390,10 @@ size_t GridIndex::Remove(int64_t id) {
     std::move(rs_.begin() + k + 1, rs_.begin() + slice_end, rs_.begin() + k);
     --c.count;
     RecomputeAggregates(slot);
+    if (listener_ != nullptr) {
+      listener_->OnSliceErase(slot, static_cast<size_t>(k),
+                              c.begin + c.count);
+    }
     ++count;
   }
   cells_of_id_.erase(it);

@@ -38,6 +38,29 @@ namespace scguard::index {
 /// so the U2U pruner can use either (ablated in bench_ablation_pruning).
 class GridIndex {
  public:
+  /// Observer of in-place mutations of the flat member arrays, so a derived
+  /// cell-major view (the scoring mirror of DESIGN.md §13) can stay in sync
+  /// without re-reading the whole index. Every callback fires *after* the
+  /// index mutated, with absolute member-array positions; `end` is the
+  /// owning slice's post-mutation end (`begin + count`). The listener is
+  /// not owned and may outlive the index — the index never calls it from
+  /// its destructor.
+  class SliceChangeListener {
+   public:
+    virtual ~SliceChangeListener() = default;
+    /// The member at position `pos` of cell `slot` was erased and the slice
+    /// tail shifted down one: rows [pos, end) now hold what [pos+1, end+1)
+    /// held before the erase.
+    virtual void OnSliceErase(size_t slot, size_t pos, size_t end) = 0;
+    /// A member was inserted at position `pos` of cell `slot` (the former
+    /// [pos, end-1) rows shifted up one). Read the new member through the
+    /// member accessors below.
+    virtual void OnSliceInsert(size_t slot, size_t pos, size_t end) = 0;
+    /// The flat member arrays were re-laid wholesale (slice offsets and
+    /// capacities changed); the view must rebuild from the accessors.
+    virtual void OnRebuild() = 0;
+  };
+
   /// Cumulative query-side certification accounting (reset with
   /// ResetStats). Mutable scratch: queries on one index must not run
   /// concurrently (the pruner queries serially; shard fan-out happens on
@@ -71,6 +94,46 @@ class GridIndex {
 
   /// As above, returning a fresh vector (test convenience).
   std::vector<int64_t> QueryIds(const geo::BoundingBox& query) const;
+
+  /// One surviving cell of a query's certified walk: the member-array slice
+  /// [begin, begin + count) and how the cell certified. Skipped cells are
+  /// never emitted (they contribute no members).
+  struct CellVisit {
+    size_t begin = 0;
+    uint32_t count = 0;
+    uint32_t slot = 0;
+    CellCert cert = CellCert::kBoundary;
+  };
+
+  /// The cell walk of Query without materializing member ids: appends one
+  /// CellVisit per surviving (non-empty, non-skipped) cell in row-major
+  /// order, with QueryStats accounting identical to Query's on the same
+  /// box. A caller holding a cell-major mirror classifies the slices
+  /// itself; a kBulkAccepted visit means every member's rectangle
+  /// intersects `query`, a kBoundary visit means the caller must apply the
+  /// per-member rectangle test (`FromCircle(center, r).Intersects(query)`
+  /// bit-identically) before admitting a member. Returns the total member
+  /// count across the appended visits. Not thread-safe (stats).
+  size_t VisitQueryCells(const geo::BoundingBox& query,
+                         std::vector<CellVisit>& out) const;
+
+  /// Registers (or clears, with nullptr) the slice-change listener; at most
+  /// one at a time. The index never owns it.
+  void SetSliceChangeListener(SliceChangeListener* listener) {
+    listener_ = listener;
+  }
+
+  // Flat-layout accessors for cell-major mirrors (DESIGN.md §13). Rows
+  // outside a cell's [cell_begin, cell_begin + cell_count) slice are
+  // headroom whose contents are unspecified.
+  size_t num_cell_slots() const { return cells_ref_.size(); }
+  size_t member_rows() const { return ids_.size(); }
+  size_t cell_begin(size_t slot) const { return cells_ref_[slot].begin; }
+  uint32_t cell_count(size_t slot) const { return cells_ref_[slot].count; }
+  int64_t member_id(size_t pos) const { return ids_[pos]; }
+  double member_x(size_t pos) const { return xs_[pos]; }
+  double member_y(size_t pos) const { return ys_[pos]; }
+  double member_r(size_t pos) const { return rs_[pos]; }
 
   /// Removes every live entry inserted under `id`. The cell arrays are
   /// compacted in place (ordered erase, so they stay ascending) and the
@@ -134,6 +197,9 @@ class GridIndex {
     int x0, x1, y0, y1;  // Inclusive cell coordinates.
   };
   CellRange CellsFor(const geo::BoundingBox& box) const;
+  /// The widened, clamped cell range Query visits for `query` (the
+  /// max_radius_ reach expansion plus the +-1 ulp guard band).
+  CellRange QueryRange(const geo::BoundingBox& query) const;
   size_t CellSlot(int cx, int cy) const {
     return static_cast<size_t>(cy) * static_cast<size_t>(cells_) +
            static_cast<size_t>(cx);
@@ -174,6 +240,7 @@ class GridIndex {
   int64_t min_id_ = 0;
   int64_t max_id_ = -1;
   size_t live_ = 0;
+  SliceChangeListener* listener_ = nullptr;  // Not owned.
 
   mutable QueryStats stats_;
   mutable std::vector<uint64_t> bitmap_;    // Dense-id accept bitmap.

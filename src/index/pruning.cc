@@ -70,8 +70,7 @@ std::vector<int64_t> UncertainRegionPruner::Candidates(
 void UncertainRegionPruner::Candidates(geo::Point task_noisy_location,
                                        std::vector<int64_t>& out) const {
   out.clear();
-  const geo::BoundingBox task_box =
-      geo::BoundingBox::FromCircle(task_noisy_location, r_r_task_);
+  const geo::BoundingBox task_box = TaskQueryBox(task_noisy_location);
   switch (backend_) {
     case PrunerBackend::kLinearScan:
       // Emits in insertion order; when construction passed ids in ascending

@@ -74,6 +74,18 @@ class UncertainRegionPruner {
   /// linear and R-tree backends filter at query time.
   void Remove(int64_t worker_id);
 
+  /// The query rectangle Candidates builds for a task observation
+  /// (`FromCircle(task, task_confidence_radius_m)`), exposed so the
+  /// cell-major mirror path can drive the grid's cell walk itself with the
+  /// exact box the id query would use.
+  geo::BoundingBox TaskQueryBox(geo::Point task_noisy_location) const {
+    return geo::BoundingBox::FromCircle(task_noisy_location, r_r_task_);
+  }
+
+  /// The grid backend's index (nullptr for other backends); the cell-major
+  /// scoring mirror attaches to it. Stays owned by the pruner.
+  GridIndex* grid() const { return grid_.get(); }
+
   /// Confidence radius applied to worker observations.
   double worker_confidence_radius_m() const { return r_r_worker_; }
   /// Confidence radius applied to task observations.

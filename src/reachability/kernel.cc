@@ -320,17 +320,103 @@ void ClassifyCertainBandScalar(const WorkerFilterSoA& soa,
   band.resize(num_band);
 }
 
+void ClassifyCertainBandRangeScalar(const CellMajorMirror& m, size_t begin,
+                                    size_t count, double task_x,
+                                    double task_y,
+                                    std::vector<uint32_t>& accept,
+                                    std::vector<uint32_t>& band) {
+  // Append semantics: resize ahead by the worst case, shrink to the
+  // survivors. Same branch-free trichotomy as ClassifyCertainBandScalar,
+  // but every column load is a contiguous stream through the mirror rows.
+  const size_t accept_base = accept.size();
+  const size_t band_base = band.size();
+  accept.resize(accept_base + count);
+  band.resize(band_base + count);
+  const uint32_t* const id = m.id.data() + begin;
+  const double* const x = m.x.data() + begin;
+  const double* const y = m.y.data() + begin;
+  const double* const accept_sq = m.accept_below_sq.data() + begin;
+  const double* const reject_sq = m.reject_above_sq.data() + begin;
+  uint32_t* const accept_out = accept.data() + accept_base;
+  uint32_t* const band_out = band.data() + band_base;
+  size_t num_accept = 0;
+  size_t num_band = 0;
+  for (size_t k = 0; k < count; ++k) {
+    const double dx = x[k] - task_x;
+    const double dy = y[k] - task_y;
+    const double d_sq = dx * dx + dy * dy;
+    const bool in_accept = d_sq <= accept_sq[k];
+    const bool in_band = (d_sq > accept_sq[k]) & (d_sq < reject_sq[k]);
+    accept_out[num_accept] = id[k];
+    num_accept += in_accept ? 1 : 0;
+    band_out[num_band] = id[k];
+    num_band += in_band ? 1 : 0;
+  }
+  accept.resize(accept_base + num_accept);
+  band.resize(band_base + num_band);
+}
+
+size_t ClassifyCertainBandRangeRectScalar(
+    const CellMajorMirror& m, size_t begin, size_t count, double task_x,
+    double task_y, double q_min_x, double q_min_y, double q_max_x,
+    double q_max_y, std::vector<uint32_t>& accept,
+    std::vector<uint32_t>& band) {
+  const size_t accept_base = accept.size();
+  const size_t band_base = band.size();
+  accept.resize(accept_base + count);
+  band.resize(band_base + count);
+  const uint32_t* const id = m.id.data() + begin;
+  const double* const x = m.x.data() + begin;
+  const double* const y = m.y.data() + begin;
+  const double* const er = m.expanded_r.data() + begin;
+  const double* const accept_sq = m.accept_below_sq.data() + begin;
+  const double* const reject_sq = m.reject_above_sq.data() + begin;
+  uint32_t* const accept_out = accept.data() + accept_base;
+  uint32_t* const band_out = band.data() + band_base;
+  size_t num_accept = 0;
+  size_t num_band = 0;
+  size_t admitted = 0;
+  for (size_t k = 0; k < count; ++k) {
+    // Bit-identical to GridIndex::Query's boundary member test.
+    const bool admit = (x[k] - er[k] <= q_max_x) & (q_min_x <= x[k] + er[k]) &
+                       (y[k] - er[k] <= q_max_y) & (q_min_y <= y[k] + er[k]);
+    const double dx = x[k] - task_x;
+    const double dy = y[k] - task_y;
+    const double d_sq = dx * dx + dy * dy;
+    const bool in_accept = admit & (d_sq <= accept_sq[k]);
+    const bool in_band =
+        admit & (d_sq > accept_sq[k]) & (d_sq < reject_sq[k]);
+    accept_out[num_accept] = id[k];
+    num_accept += in_accept ? 1 : 0;
+    band_out[num_band] = id[k];
+    num_band += in_band ? 1 : 0;
+    admitted += admit ? 1 : 0;
+  }
+  accept.resize(accept_base + num_accept);
+  band.resize(band_base + num_band);
+  return admitted;
+}
+
 namespace {
 
 using ClassifyFn = void (*)(const WorkerFilterSoA&, const uint32_t*, size_t,
                             double, double, std::vector<uint32_t>&,
                             std::vector<uint32_t>&);
+using ClassifyRangeFn = void (*)(const CellMajorMirror&, size_t, size_t,
+                                 double, double, std::vector<uint32_t>&,
+                                 std::vector<uint32_t>&);
+using ClassifyRangeRectFn = size_t (*)(const CellMajorMirror&, size_t, size_t,
+                                       double, double, double, double, double,
+                                       double, std::vector<uint32_t>&,
+                                       std::vector<uint32_t>&);
 
 /// nullptr = not resolved yet; the first call (or an explicit
 /// ActiveClassifySimd / SetClassifySimd) resolves via CPUID. Relaxed atomics
 /// suffice: every resolution writes the same value and the pointed-to
 /// functions are immutable code.
 std::atomic<ClassifyFn> g_classify{nullptr};
+std::atomic<ClassifyRangeFn> g_classify_range{nullptr};
+std::atomic<ClassifyRangeRectFn> g_classify_range_rect{nullptr};
 
 ClassifyFn ResolveClassify() {
 #if defined(SCGUARD_HAVE_AVX2)
@@ -344,6 +430,35 @@ ClassifyFn LoadOrResolve() {
   if (fn == nullptr) {
     fn = ResolveClassify();
     g_classify.store(fn, std::memory_order_relaxed);
+  }
+  return fn;
+}
+
+ClassifyRangeFn LoadOrResolveRange() {
+  ClassifyRangeFn fn = g_classify_range.load(std::memory_order_relaxed);
+  if (fn == nullptr) {
+#if defined(SCGUARD_HAVE_AVX2)
+    fn = CpuSupportsAvx2() ? &ClassifyCertainBandRangeAvx2
+                           : &ClassifyCertainBandRangeScalar;
+#else
+    fn = &ClassifyCertainBandRangeScalar;
+#endif
+    g_classify_range.store(fn, std::memory_order_relaxed);
+  }
+  return fn;
+}
+
+ClassifyRangeRectFn LoadOrResolveRangeRect() {
+  ClassifyRangeRectFn fn =
+      g_classify_range_rect.load(std::memory_order_relaxed);
+  if (fn == nullptr) {
+#if defined(SCGUARD_HAVE_AVX2)
+    fn = CpuSupportsAvx2() ? &ClassifyCertainBandRangeRectAvx2
+                           : &ClassifyCertainBandRangeRectScalar;
+#else
+    fn = &ClassifyCertainBandRangeRectScalar;
+#endif
+    g_classify_range_rect.store(fn, std::memory_order_relaxed);
   }
   return fn;
 }
@@ -365,6 +480,24 @@ void ClassifyCertainBand(const WorkerFilterSoA& soa, const uint32_t* indices,
   LoadOrResolve()(soa, indices, count, task_x, task_y, accept, band);
 }
 
+void ClassifyCertainBandRange(const CellMajorMirror& m, size_t begin,
+                              size_t count, double task_x, double task_y,
+                              std::vector<uint32_t>& accept,
+                              std::vector<uint32_t>& band) {
+  LoadOrResolveRange()(m, begin, count, task_x, task_y, accept, band);
+}
+
+size_t ClassifyCertainBandRangeRect(const CellMajorMirror& m, size_t begin,
+                                    size_t count, double task_x,
+                                    double task_y, double q_min_x,
+                                    double q_min_y, double q_max_x,
+                                    double q_max_y,
+                                    std::vector<uint32_t>& accept,
+                                    std::vector<uint32_t>& band) {
+  return LoadOrResolveRangeRect()(m, begin, count, task_x, task_y, q_min_x,
+                                  q_min_y, q_max_x, q_max_y, accept, band);
+}
+
 ClassifySimd ActiveClassifySimd() {
   const ClassifyFn fn = LoadOrResolve();
 #if defined(SCGUARD_HAVE_AVX2)
@@ -378,15 +511,25 @@ void SetClassifySimd(ClassifySimd simd) {
 #if defined(SCGUARD_HAVE_AVX2)
   if (simd == ClassifySimd::kAvx2 && CpuSupportsAvx2()) {
     g_classify.store(&ClassifyCertainBandAvx2, std::memory_order_relaxed);
+    g_classify_range.store(&ClassifyCertainBandRangeAvx2,
+                           std::memory_order_relaxed);
+    g_classify_range_rect.store(&ClassifyCertainBandRangeRectAvx2,
+                                std::memory_order_relaxed);
     return;
   }
 #endif
   (void)simd;
   g_classify.store(&ClassifyCertainBandScalar, std::memory_order_relaxed);
+  g_classify_range.store(&ClassifyCertainBandRangeScalar,
+                         std::memory_order_relaxed);
+  g_classify_range_rect.store(&ClassifyCertainBandRangeRectScalar,
+                              std::memory_order_relaxed);
 }
 
 void ResetClassifySimd() {
   g_classify.store(nullptr, std::memory_order_relaxed);
+  g_classify_range.store(nullptr, std::memory_order_relaxed);
+  g_classify_range_rect.store(nullptr, std::memory_order_relaxed);
 }
 
 }  // namespace scguard::reachability

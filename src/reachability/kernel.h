@@ -245,6 +245,92 @@ void ClassifyCertainBandAvx2(const WorkerFilterSoA& soa,
                              std::vector<uint32_t>& band);
 #endif  // SCGUARD_HAVE_AVX2
 
+/// Cell-major mirror of the scoring-side worker state (DESIGN.md §13): the
+/// same per-worker columns the U2U filter reads, but laid out in a
+/// GridIndex's CSR cell order (including the per-slice headroom rows), so a
+/// cell's members are one contiguous run instead of a scattered gather
+/// through `indices`. `id` maps each row back to the engine worker index;
+/// `expanded_r` is the pruner's expanded rectangle radius, carried so
+/// boundary cells can fuse the rectangle admission test with the band
+/// classification. Rows outside the owning index's live slices are headroom
+/// with unspecified contents. Owned and synced by assign::CellScoreMirror.
+struct CellMajorMirror {
+  std::vector<uint32_t> id;
+  std::vector<double> x;
+  std::vector<double> y;
+  std::vector<double> expanded_r;
+  std::vector<double> accept_below_sq;
+  std::vector<double> reject_above_sq;
+
+  void Resize(size_t n) {
+    id.resize(n);
+    x.resize(n);
+    y.resize(n);
+    expanded_r.resize(n);
+    accept_below_sq.resize(n);
+    reject_above_sq.resize(n);
+  }
+  size_t size() const { return id.size(); }
+};
+
+/// ClassifyCertainBand over the contiguous mirror rows [begin, begin+count)
+/// instead of a gathered index list: same trichotomy, same rounding (no
+/// FMA), but every load is sequential. **Appends** the surviving rows' `id`
+/// values to `accept` / `band` (existing contents are preserved — the
+/// mirror path accumulates several cells into one output), in row order,
+/// which for a live index slice is ascending id order. Dispatches through
+/// the same CPUID mechanism as ClassifyCertainBand; bit-identical decisions
+/// to running the scalar gather loop over the same workers.
+void ClassifyCertainBandRange(const CellMajorMirror& m, size_t begin,
+                              size_t count, double task_x, double task_y,
+                              std::vector<uint32_t>& accept,
+                              std::vector<uint32_t>& band);
+
+/// Range classification for *boundary* cells: fuses the per-member pruner
+/// rectangle admission test — bit-identical to GridIndex::Query's
+/// `(x - er <= q.max_x) & (q.min_x <= x + er) & (y - er <= q.max_y) &
+/// (q.min_y <= y + er)` member test, reading `expanded_r` — with the alpha
+/// trichotomy, so rectangle-rejected members never produce a d_sq
+/// classification. Appends like ClassifyCertainBandRange and returns the
+/// number of rows the rectangle admitted (the gather path's "scanned"
+/// contribution for the cell). The query box is passed as four doubles to
+/// keep the kernel layer free of geo types.
+size_t ClassifyCertainBandRangeRect(const CellMajorMirror& m, size_t begin,
+                                    size_t count, double task_x,
+                                    double task_y, double q_min_x,
+                                    double q_min_y, double q_max_x,
+                                    double q_max_y,
+                                    std::vector<uint32_t>& accept,
+                                    std::vector<uint32_t>& band);
+
+/// Portable reference implementations (bit-identity anchors; same
+/// unconditional-write/predicated-increment discipline as
+/// ClassifyCertainBandScalar).
+void ClassifyCertainBandRangeScalar(const CellMajorMirror& m, size_t begin,
+                                    size_t count, double task_x,
+                                    double task_y,
+                                    std::vector<uint32_t>& accept,
+                                    std::vector<uint32_t>& band);
+size_t ClassifyCertainBandRangeRectScalar(
+    const CellMajorMirror& m, size_t begin, size_t count, double task_x,
+    double task_y, double q_min_x, double q_min_y, double q_max_x,
+    double q_max_y, std::vector<uint32_t>& accept, std::vector<uint32_t>& band);
+
+#if defined(SCGUARD_HAVE_AVX2)
+/// 4-lane AVX2 range variants (kernel_avx2.cc): contiguous _mm256_loadu_pd
+/// column loads replace the index gathers, ids left-pack through the same
+/// shuffle LUT as ClassifyCertainBandAvx2. Bit-identical outputs to the
+/// scalar range loops; only callable on AVX2 CPUs.
+void ClassifyCertainBandRangeAvx2(const CellMajorMirror& m, size_t begin,
+                                  size_t count, double task_x, double task_y,
+                                  std::vector<uint32_t>& accept,
+                                  std::vector<uint32_t>& band);
+size_t ClassifyCertainBandRangeRectAvx2(
+    const CellMajorMirror& m, size_t begin, size_t count, double task_x,
+    double task_y, double q_min_x, double q_min_y, double q_max_x,
+    double q_max_y, std::vector<uint32_t>& accept, std::vector<uint32_t>& band);
+#endif  // SCGUARD_HAVE_AVX2
+
 /// Which ClassifyCertainBand implementation the dispatcher resolves to.
 enum class ClassifySimd { kScalar, kAvx2 };
 

@@ -1,0 +1,628 @@
+// The cell-major scoring mirror (DESIGN.md section 13): bit-identity of the
+// mirror Collect path against the gather path across models, pruner
+// backends, SIMD dispatch, and thread pools; incremental slice-sync under
+// index churn; and the range classification kernels against their scalar
+// references.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "assign/scguard_engine.h"
+#include "assign/stages/candidate_stage.h"
+#include "assign/stages/cell_mirror.h"
+#include "data/workload.h"
+#include "geo/bbox.h"
+#include "index/grid_index.h"
+#include "index/pruning.h"
+#include "reachability/analytical_model.h"
+#include "reachability/binary_model.h"
+#include "reachability/empirical_model.h"
+#include "reachability/kernel.h"
+#include "runtime/thread_pool.h"
+#include "stats/rng.h"
+
+namespace scguard::assign {
+namespace {
+
+using privacy::PrivacyParams;
+
+constexpr PrivacyParams kDefault{0.7, 800.0};
+
+Workload NoisyWorkload(int n, uint64_t seed) {
+  const geo::BoundingBox region =
+      geo::BoundingBox::FromCorners({0, 0}, {20000, 20000});
+  data::WorkloadConfig config;
+  config.num_workers = n;
+  config.num_tasks = n;
+  stats::Rng rng(seed);
+  Workload w = data::MakeUniformWorkload(region, config, rng);
+  data::PerturbWorkload(kDefault, kDefault, rng, w);
+  return w;
+}
+
+/// Full decision-level equality: assignment sequence, every decision-derived
+/// metric, and (unlike the parallel test) the mirror traffic counters —
+/// which must also be pool/SIMD invariant within one mirror setting.
+void ExpectBitIdentical(const MatchResult& a, const MatchResult& b,
+                        bool compare_traffic, const std::string& label) {
+  ASSERT_EQ(a.assignments.size(), b.assignments.size()) << label;
+  for (size_t i = 0; i < a.assignments.size(); ++i) {
+    EXPECT_EQ(a.assignments[i].task_id, b.assignments[i].task_id) << label;
+    EXPECT_EQ(a.assignments[i].worker_id, b.assignments[i].worker_id) << label;
+    EXPECT_EQ(a.assignments[i].travel_m, b.assignments[i].travel_m) << label;
+  }
+  EXPECT_EQ(a.metrics.assigned_tasks, b.metrics.assigned_tasks) << label;
+  EXPECT_EQ(a.metrics.candidates_sum, b.metrics.candidates_sum) << label;
+  EXPECT_EQ(a.metrics.false_hits, b.metrics.false_hits) << label;
+  EXPECT_EQ(a.metrics.false_dismissals, b.metrics.false_dismissals) << label;
+  EXPECT_EQ(a.metrics.requester_to_worker_msgs,
+            b.metrics.requester_to_worker_msgs)
+      << label;
+  EXPECT_EQ(a.metrics.precision_sum, b.metrics.precision_sum) << label;
+  EXPECT_EQ(a.metrics.recall_sum, b.metrics.recall_sum) << label;
+  EXPECT_EQ(a.metrics.u2u_scanned, b.metrics.u2u_scanned) << label;
+  EXPECT_EQ(a.metrics.u2u_scanned_first_task, b.metrics.u2u_scanned_first_task)
+      << label;
+  EXPECT_EQ(a.metrics.u2u_scanned_last_task, b.metrics.u2u_scanned_last_task)
+      << label;
+  if (compare_traffic) {
+    EXPECT_EQ(a.metrics.u2u_gather_bytes, b.metrics.u2u_gather_bytes) << label;
+    EXPECT_EQ(a.metrics.cells_emitted_direct, b.metrics.cells_emitted_direct)
+        << label;
+  }
+}
+
+// The ISSUE 8 acceptance sweep: for three models and every pruner backend,
+// the mirror path must reproduce the gather path's MatchResult and caller
+// RNG stream bit for bit under forced-scalar and auto SIMD dispatch and
+// pools {serial, 1, 8}; and within one mirror setting the traffic counters
+// themselves must be pool/SIMD invariant.
+TEST(MirrorEngineSweepTest, BitIdenticalAcrossModelPrunerSimdPoolMirror) {
+  const reachability::AnalyticalModel analytical(kDefault);
+  const reachability::BinaryModel binary;
+  reachability::EmpiricalModelConfig econfig;
+  econfig.region = geo::BoundingBox::FromCorners({0, 0}, {20000, 20000});
+  econfig.num_samples = 20000;
+  stats::Rng build_rng(20260809);
+  const auto empirical =
+      reachability::EmpiricalModel::Build(econfig, kDefault, build_rng);
+
+  const Workload workload = NoisyWorkload(160, 20260808);
+
+  std::vector<std::unique_ptr<runtime::ThreadPool>> pools;
+  pools.push_back(nullptr);  // Serial.
+  for (const int threads : {1, 8}) {
+    pools.push_back(std::make_unique<runtime::ThreadPool>(threads));
+  }
+
+  struct ModelCase {
+    const char* name;
+    const reachability::ReachabilityModel* model;
+  };
+  const ModelCase models[] = {
+      {"analytical", &analytical},
+      {"binary", &binary},
+      {"empirical", &*empirical},
+  };
+  struct PrunerCase {
+    const char* name;
+    std::optional<double> gamma;
+    index::PrunerBackend backend;
+  };
+  const PrunerCase pruners[] = {
+      {"off", std::nullopt, index::PrunerBackend::kGrid},
+      {"grid", 0.9, index::PrunerBackend::kGrid},
+      {"rtree", 0.9, index::PrunerBackend::kRTree},
+  };
+
+  for (const ModelCase& mc : models) {
+    for (const PrunerCase& pc : pruners) {
+      EnginePolicy base;
+      base.u2u_model = mc.model;
+      base.u2e_model = mc.model;
+      base.alpha = 0.1;
+      base.beta = 0.25;
+      base.rank = RankStrategy::kProbability;
+      base.worker_params = kDefault;
+      base.task_params = kDefault;
+      base.pruning_gamma = pc.gamma;
+      base.pruning_backend = pc.backend;
+
+      // Per-mirror-setting baselines: serial, forced-scalar.
+      MatchResult expected[2];
+      double expected_next_draw[2];
+      for (const bool mirror : {false, true}) {
+        EnginePolicy policy = base;
+        policy.runtime.cell_mirror = mirror;
+        reachability::SetClassifySimd(reachability::ClassifySimd::kScalar);
+        ScGuardEngine engine(policy);
+        stats::Rng rng(7);
+        expected[mirror ? 1 : 0] = engine.Run(workload, rng);
+        expected_next_draw[mirror ? 1 : 0] = rng.UniformDouble();
+        reachability::ResetClassifySimd();
+      }
+      ASSERT_GT(expected[0].metrics.assigned_tasks, 0)
+          << mc.name << "/" << pc.name;
+      // Mirror on vs off: identical decisions; only the traffic model of
+      // the counters differs.
+      ExpectBitIdentical(expected[0], expected[1], /*compare_traffic=*/false,
+                         std::string(mc.name) + "/" + pc.name +
+                             " mirror on-vs-off baseline");
+      EXPECT_EQ(expected_next_draw[0], expected_next_draw[1]);
+
+      for (const bool mirror : {false, true}) {
+        for (const bool force_scalar : {true, false}) {
+          for (const auto& pool : pools) {
+            EnginePolicy policy = base;
+            policy.runtime.cell_mirror = mirror;
+            policy.runtime.pool = pool.get();
+            policy.runtime.shard_size = 64;  // Multiple chunks per task.
+            if (force_scalar) {
+              reachability::SetClassifySimd(
+                  reachability::ClassifySimd::kScalar);
+            }
+            ScGuardEngine engine(policy);
+            stats::Rng rng(7);
+            const MatchResult result = engine.Run(workload, rng);
+            reachability::ResetClassifySimd();
+            const std::string label =
+                std::string(mc.name) + "/" + pc.name +
+                " mirror=" + (mirror ? "on" : "off") +
+                " simd=" + (force_scalar ? "scalar" : "auto") +
+                " threads=" + std::to_string(pool ? pool->num_threads() : 0);
+            ExpectBitIdentical(expected[mirror ? 1 : 0], result,
+                               /*compare_traffic=*/true, label);
+            EXPECT_EQ(expected_next_draw[mirror ? 1 : 0], rng.UniformDouble())
+                << label;
+          }
+        }
+      }
+    }
+  }
+}
+
+// A dense grid-pruned run must actually exercise the certificate-direct
+// path (cells emitted with zero per-worker loads), and the mirror's traffic
+// must come in under the gather model's for the same scanned workers.
+TEST(MirrorEngineSweepTest, MirrorEngagesAndReducesTraffic) {
+  const reachability::AnalyticalModel model(kDefault);
+  const Workload workload = NoisyWorkload(2000, 20260810);
+
+  EnginePolicy policy;
+  policy.u2u_model = &model;
+  policy.u2e_model = &model;
+  policy.alpha = 0.1;
+  policy.beta = 0.25;
+  policy.worker_params = kDefault;
+  policy.task_params = kDefault;
+  policy.compute_accuracy_metrics = false;
+  policy.pruning_gamma = 0.9;
+  policy.pruning_backend = index::PrunerBackend::kGrid;
+
+  EnginePolicy off = policy;
+  off.runtime.cell_mirror = false;
+  ScGuardEngine engine_on(policy);
+  ScGuardEngine engine_off(off);
+  stats::Rng rng_on(3);
+  stats::Rng rng_off(3);
+  const MatchResult r_on = engine_on.Run(workload, rng_on);
+  const MatchResult r_off = engine_off.Run(workload, rng_off);
+  ExpectBitIdentical(r_on, r_off, /*compare_traffic=*/false, "dense grid");
+
+  EXPECT_GT(r_on.metrics.cells_emitted_direct, 0);
+  EXPECT_EQ(r_off.metrics.cells_emitted_direct, 0);
+  // Gather model: 4 scattered 64 B lines per scanned worker. The mirror
+  // streams at most 44 B per scanned worker plus id runs, so it must come
+  // in strictly below.
+  ASSERT_GT(r_off.metrics.u2u_gather_bytes, 0);
+  EXPECT_LT(r_on.metrics.u2u_gather_bytes, r_off.metrics.u2u_gather_bytes);
+}
+
+// ---- Incremental slice sync under churn ------------------------------
+
+/// Reference recomputation of one cell's aggregate straight off the mirror
+/// rows (plain fmin/fmax), the invariant the incremental updates maintain.
+CellScoreMirror::CellAgg ReferenceAgg(const reachability::CellMajorMirror& m,
+                                      size_t begin, uint32_t count) {
+  CellScoreMirror::CellAgg agg;  // Empty sentinel: max < min.
+  if (count == 0) return agg;
+  agg.min_x = agg.max_x = m.x[begin];
+  agg.min_y = agg.max_y = m.y[begin];
+  agg.min_accept_sq = m.accept_below_sq[begin];
+  agg.max_reject_sq = m.reject_above_sq[begin];
+  for (size_t k = begin + 1; k < begin + count; ++k) {
+    agg.min_x = std::fmin(agg.min_x, m.x[k]);
+    agg.max_x = std::fmax(agg.max_x, m.x[k]);
+    agg.min_y = std::fmin(agg.min_y, m.y[k]);
+    agg.max_y = std::fmax(agg.max_y, m.y[k]);
+    agg.min_accept_sq = std::fmin(agg.min_accept_sq, m.accept_below_sq[k]);
+    agg.max_reject_sq = std::fmax(agg.max_reject_sq, m.reject_above_sq[k]);
+  }
+  return agg;
+}
+
+/// Asserts the mirror shadows the grid position for position: every live
+/// slice row equals the index's member arrays plus the soa's bands for that
+/// id, and every cell aggregate equals its reference recomputation.
+void ExpectMirrorInSync(const index::GridIndex& grid,
+                        const CellScoreMirror& mirror,
+                        const reachability::WorkerFilterSoA& soa,
+                        const std::string& label) {
+  const reachability::CellMajorMirror& rows = mirror.rows();
+  ASSERT_GE(rows.size(), grid.member_rows()) << label;
+  for (size_t slot = 0; slot < grid.num_cell_slots(); ++slot) {
+    const size_t begin = grid.cell_begin(slot);
+    const uint32_t count = grid.cell_count(slot);
+    for (size_t pos = begin; pos < begin + count; ++pos) {
+      const auto id = static_cast<uint32_t>(grid.member_id(pos));
+      ASSERT_EQ(rows.id[pos], id) << label << " slot=" << slot;
+      EXPECT_EQ(rows.x[pos], grid.member_x(pos)) << label;
+      EXPECT_EQ(rows.y[pos], grid.member_y(pos)) << label;
+      EXPECT_EQ(rows.expanded_r[pos], grid.member_r(pos)) << label;
+      EXPECT_EQ(rows.accept_below_sq[pos], soa.accept_below_sq[id]) << label;
+      EXPECT_EQ(rows.reject_above_sq[pos], soa.reject_above_sq[id]) << label;
+    }
+    const CellScoreMirror::CellAgg expected = ReferenceAgg(rows, begin, count);
+    const CellScoreMirror::CellAgg& got = mirror.CellAggForTest(slot);
+    if (count == 0) {
+      EXPECT_LT(got.max_x, got.min_x) << label << " slot=" << slot;
+      continue;
+    }
+    EXPECT_EQ(got.min_x, expected.min_x) << label << " slot=" << slot;
+    EXPECT_EQ(got.max_x, expected.max_x) << label << " slot=" << slot;
+    EXPECT_EQ(got.min_y, expected.min_y) << label << " slot=" << slot;
+    EXPECT_EQ(got.max_y, expected.max_y) << label << " slot=" << slot;
+    EXPECT_EQ(got.min_accept_sq, expected.min_accept_sq) << label;
+    EXPECT_EQ(got.max_reject_sq, expected.max_reject_sq) << label;
+  }
+}
+
+TEST(CellScoreMirrorChurnTest, RemoveReAddAndRebuildKeepMirrorInSync) {
+  const geo::BoundingBox region =
+      geo::BoundingBox::FromCorners({0, 0}, {10000, 10000});
+  stats::Rng rng(17);
+
+  const size_t n = 200;
+  reachability::WorkerFilterSoA soa;
+  soa.Resize(n);
+  soa.accept_below_sq.resize(n);
+  soa.reject_above_sq.resize(n);
+  std::vector<double> radii(n);
+  for (size_t i = 0; i < n; ++i) {
+    soa.x[i] = rng.UniformDouble(0.0, 10000.0);
+    soa.y[i] = rng.UniformDouble(0.0, 10000.0);
+    soa.reach_radius_m[i] = rng.UniformDouble(500.0, 2000.0);
+    radii[i] = soa.reach_radius_m[i] + 300.0;  // Expanded rectangle radius.
+    const double accept = rng.UniformDouble(0.0, 5000.0);
+    soa.accept_below_sq[i] = accept * accept;
+    const double reject = accept + rng.UniformDouble(0.0, 3000.0);
+    soa.reject_above_sq[i] = reject * reject;
+  }
+
+  index::GridIndex grid(region, 8);
+  for (size_t i = 0; i < n; ++i) {
+    grid.Insert({soa.x[i], soa.y[i]}, radii[i], static_cast<int64_t>(i));
+  }
+  CellScoreMirror mirror;
+  mirror.Attach(&grid, &soa);
+  ExpectMirrorInSync(grid, mirror, soa, "after attach");
+
+  // Interleaved removals (MarkMatched) and re-adds, checking sync at every
+  // step; the erase path shifts slice tails down, the insert path shifts
+  // them up (or triggers a rebuild when a slice fills).
+  std::vector<uint32_t> removed;
+  for (int step = 0; step < 120; ++step) {
+    const bool remove = removed.size() < 60 &&
+                        (removed.empty() || rng.UniformDouble() < 0.7);
+    if (remove) {
+      const auto victim =
+          static_cast<uint32_t>(rng.UniformDouble() * static_cast<double>(n));
+      if (grid.Remove(victim) > 0) removed.push_back(victim);
+    } else {
+      const uint32_t back = removed.back();
+      removed.pop_back();
+      grid.Insert({soa.x[back], soa.y[back]}, radii[back],
+                  static_cast<int64_t>(back));
+    }
+    ExpectMirrorInSync(grid, mirror, soa,
+                       "churn step " + std::to_string(step));
+  }
+
+  // Location churn (UpdateWorkerLocation): remove + re-insert elsewhere.
+  for (int step = 0; step < 20; ++step) {
+    const auto id =
+        static_cast<uint32_t>(rng.UniformDouble() * static_cast<double>(n));
+    grid.Remove(id);
+    soa.x[id] = rng.UniformDouble(0.0, 10000.0);
+    soa.y[id] = rng.UniformDouble(0.0, 10000.0);
+    grid.Insert({soa.x[id], soa.y[id]}, radii[id], static_cast<int64_t>(id));
+    ExpectMirrorInSync(grid, mirror, soa,
+                       "relocate step " + std::to_string(step));
+  }
+
+  // Forced rebuild: pile inserts into one cell until its slice headroom
+  // runs out, which re-lays the whole member array (OnRebuild -> resync).
+  const size_t rows_before = grid.member_rows();
+  for (size_t i = n; i < n + 64; ++i) {
+    soa.Resize(i + 1);
+    soa.accept_below_sq.resize(i + 1, 1.0);
+    soa.reject_above_sq.resize(i + 1, 2.0);
+    soa.x[i] = 1234.5;
+    soa.y[i] = 1234.5;
+    soa.reach_radius_m[i] = 600.0;
+    soa.accept_below_sq[i] = 1.0e6;
+    soa.reject_above_sq[i] = 4.0e6;
+    grid.Insert({soa.x[i], soa.y[i]}, 900.0, static_cast<int64_t>(i));
+  }
+  EXPECT_GT(grid.member_rows(), rows_before);  // At least one rebuild.
+  ExpectMirrorInSync(grid, mirror, soa, "after forced rebuild");
+
+  // Certificates after all that churn: a whole-cell verdict must agree
+  // with the per-member trichotomy it replaces.
+  for (int t = 0; t < 32; ++t) {
+    const double tx = rng.UniformDouble(0.0, 10000.0);
+    const double ty = rng.UniformDouble(0.0, 10000.0);
+    for (size_t slot = 0; slot < grid.num_cell_slots(); ++slot) {
+      const uint32_t count = grid.cell_count(slot);
+      if (count == 0) continue;
+      const auto cert = mirror.Certify(slot, tx, ty);
+      if (cert == CellScoreMirror::CellAlpha::kMixed) continue;
+      const size_t begin = grid.cell_begin(slot);
+      for (size_t pos = begin; pos < begin + count; ++pos) {
+        const double dx = mirror.rows().x[pos] - tx;
+        const double dy = mirror.rows().y[pos] - ty;
+        const double d_sq = dx * dx + dy * dy;
+        if (cert == CellScoreMirror::CellAlpha::kAllAccept) {
+          EXPECT_LE(d_sq, mirror.rows().accept_below_sq[pos])
+              << "slot=" << slot << " pos=" << pos;
+        } else {
+          EXPECT_GE(d_sq, mirror.rows().reject_above_sq[pos])
+              << "slot=" << slot << " pos=" << pos;
+        }
+      }
+    }
+  }
+
+  mirror.ForgetGrid();
+}
+
+// Stage-level churn: a mirror-on and a mirror-off stage driven through the
+// same AddWorker / Collect / MarkMatched / UpdateWorkerLocation sequence
+// must emit identical candidate lists and scan accounting throughout.
+TEST(MirrorStageChurnTest, MirrorOnOffAgreeThroughChurn) {
+  const reachability::AnalyticalModel model(kDefault);
+  const geo::BoundingBox region =
+      geo::BoundingBox::FromCorners({0, 0}, {20000, 20000});
+
+  U2uCandidateStage::Config config;
+  config.model = &model;
+  config.alpha = 0.1;
+  config.pruning = U2uCandidateStage::Pruning{
+      0.9, index::PrunerBackend::kGrid, kDefault, kDefault, region};
+  U2uCandidateStage::Config config_off = config;
+  config_off.runtime.cell_mirror = false;
+
+  U2uCandidateStage on(config);
+  U2uCandidateStage off(config_off);
+
+  stats::Rng rng(23);
+  const size_t n = 500;
+  std::vector<geo::Point> locs(n);
+  for (size_t i = 0; i < n; ++i) {
+    locs[i] = {rng.UniformDouble(0.0, 20000.0),
+               rng.UniformDouble(0.0, 20000.0)};
+    const double r = rng.UniformDouble(800.0, 2500.0);
+    on.AddWorker(locs[i], r);
+    off.AddWorker(locs[i], r);
+  }
+
+  for (int step = 0; step < 60; ++step) {
+    const geo::Point task{rng.UniformDouble(0.0, 20000.0),
+                          rng.UniformDouble(0.0, 20000.0)};
+    const std::vector<uint32_t> got_on = on.Collect(task);
+    const std::vector<uint32_t> got_off = off.Collect(task);
+    const std::string label = "step " + std::to_string(step);
+    EXPECT_EQ(got_on, got_off) << label;
+    EXPECT_EQ(on.stats().scanned_last + on.stats().pruned_last,
+              off.stats().scanned_last + off.stats().pruned_last)
+        << label;
+    EXPECT_EQ(on.stats().scanned_last, off.stats().scanned_last) << label;
+
+    if (!got_on.empty()) {
+      // Match the best candidate, as the engine would.
+      on.MarkMatched(got_on.front());
+      off.MarkMatched(got_on.front());
+    }
+    if (step % 7 == 3) {
+      const auto mover =
+          static_cast<uint32_t>(rng.UniformDouble() * static_cast<double>(n));
+      const geo::Point moved{rng.UniformDouble(0.0, 20000.0),
+                             rng.UniformDouble(0.0, 20000.0)};
+      on.UpdateWorkerLocation(mover, moved);
+      off.UpdateWorkerLocation(mover, moved);
+    }
+    if (step == 40) {
+      on.ResetAvailability();
+      off.ResetAvailability();
+    }
+  }
+  EXPECT_EQ(on.band_evals(), off.band_evals());
+  EXPECT_GT(on.stats().cells_emitted_direct + on.stats().gather_bytes, 0);
+}
+
+// ---- Range kernels vs references -------------------------------------
+
+/// A mirror whose bounds cover every trichotomy shape, like kernel_test's
+/// ClassifierSoA: mode 0 mixed, 1 empty band, 2 all-accept, 3 all-reject.
+reachability::CellMajorMirror ClassifierMirror(size_t n, int mode,
+                                               stats::Rng& rng) {
+  reachability::CellMajorMirror m;
+  m.Resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    m.id[i] = static_cast<uint32_t>(1000 + i * 3);  // Arbitrary id values.
+    m.x[i] = rng.UniformDouble(0.0, 20000.0);
+    m.y[i] = rng.UniformDouble(0.0, 20000.0);
+    m.expanded_r[i] = rng.UniformDouble(500.0, 4000.0);
+    switch (mode) {
+      case 0: {
+        const double accept = rng.UniformDouble(0.0, 10000.0);
+        m.accept_below_sq[i] = accept * accept;
+        const double reject = accept + rng.UniformDouble(0.0, 8000.0);
+        m.reject_above_sq[i] = reject * reject;
+        break;
+      }
+      case 1: {
+        const double edge = rng.UniformDouble(0.0, 15000.0);
+        m.accept_below_sq[i] = edge * edge;
+        m.reject_above_sq[i] = edge * edge;
+        break;
+      }
+      case 2:
+        m.accept_below_sq[i] = 1e18;
+        m.reject_above_sq[i] = 2e18;
+        break;
+      default:
+        m.accept_below_sq[i] = -1.0;
+        m.reject_above_sq[i] = 0.0;
+        break;
+    }
+  }
+  return m;
+}
+
+/// Branchy reference of the range trichotomy (same arithmetic order).
+void ReferenceRange(const reachability::CellMajorMirror& m, size_t begin,
+                    size_t count, double tx, double ty,
+                    std::vector<uint32_t>& accept,
+                    std::vector<uint32_t>& band) {
+  for (size_t k = begin; k < begin + count; ++k) {
+    const double dx = m.x[k] - tx;
+    const double dy = m.y[k] - ty;
+    const double d_sq = dx * dx + dy * dy;
+    if (d_sq <= m.accept_below_sq[k]) {
+      accept.push_back(m.id[k]);
+    } else if (d_sq < m.reject_above_sq[k]) {
+      band.push_back(m.id[k]);
+    }
+  }
+}
+
+/// Branchy reference of the fused rectangle + trichotomy boundary kernel.
+size_t ReferenceRangeRect(const reachability::CellMajorMirror& m, size_t begin,
+                          size_t count, double tx, double ty, double q_min_x,
+                          double q_min_y, double q_max_x, double q_max_y,
+                          std::vector<uint32_t>& accept,
+                          std::vector<uint32_t>& band) {
+  size_t admitted = 0;
+  for (size_t k = begin; k < begin + count; ++k) {
+    const double er = m.expanded_r[k];
+    const bool admit = m.x[k] - er <= q_max_x && q_min_x <= m.x[k] + er &&
+                       m.y[k] - er <= q_max_y && q_min_y <= m.y[k] + er;
+    if (!admit) continue;
+    ++admitted;
+    const double dx = m.x[k] - tx;
+    const double dy = m.y[k] - ty;
+    const double d_sq = dx * dx + dy * dy;
+    if (d_sq <= m.accept_below_sq[k]) {
+      accept.push_back(m.id[k]);
+    } else if (d_sq < m.reject_above_sq[k]) {
+      band.push_back(m.id[k]);
+    }
+  }
+  return admitted;
+}
+
+TEST(RangeKernelTest, ScalarMatchesReferenceAndAppends) {
+  stats::Rng rng(20260811);
+  for (const size_t count : {size_t{0}, size_t{1}, size_t{3}, size_t{4},
+                             size_t{5}, size_t{8}, size_t{13}, size_t{64},
+                             size_t{257}}) {
+    for (int mode = 0; mode < 4; ++mode) {
+      const auto m = ClassifierMirror(count + 8, mode, rng);
+      const size_t begin = count > 2 ? 3 : 0;  // Off-origin range starts.
+      const double tx = rng.UniformDouble(0.0, 20000.0);
+      const double ty = rng.UniformDouble(0.0, 20000.0);
+      // Pre-populated outputs: the range kernels append.
+      std::vector<uint32_t> accept_ref = {111}, band_ref = {222};
+      std::vector<uint32_t> accept = {111}, band = {222};
+      ReferenceRange(m, begin, count, tx, ty, accept_ref, band_ref);
+      reachability::ClassifyCertainBandRangeScalar(m, begin, count, tx, ty,
+                                                   accept, band);
+      const std::string label =
+          "count=" + std::to_string(count) + " mode=" + std::to_string(mode);
+      EXPECT_EQ(accept, accept_ref) << label;
+      EXPECT_EQ(band, band_ref) << label;
+
+      const double q_min_x = tx - 4000.0, q_max_x = tx + 4000.0;
+      const double q_min_y = ty - 4000.0, q_max_y = ty + 4000.0;
+      accept_ref.assign({111});
+      band_ref.assign({222});
+      accept.assign({111});
+      band.assign({222});
+      const size_t admitted_ref =
+          ReferenceRangeRect(m, begin, count, tx, ty, q_min_x, q_min_y,
+                             q_max_x, q_max_y, accept_ref, band_ref);
+      const size_t admitted = reachability::ClassifyCertainBandRangeRectScalar(
+          m, begin, count, tx, ty, q_min_x, q_min_y, q_max_x, q_max_y, accept,
+          band);
+      EXPECT_EQ(admitted, admitted_ref) << label;
+      EXPECT_EQ(accept, accept_ref) << label;
+      EXPECT_EQ(band, band_ref) << label;
+    }
+  }
+}
+
+#if defined(SCGUARD_HAVE_AVX2)
+TEST(RangeKernelTest, Avx2MatchesScalarBitIdentically) {
+  if (!reachability::CpuSupportsAvx2()) {
+    GTEST_SKIP() << "host CPU lacks AVX2";
+  }
+  stats::Rng rng(20260812);
+  for (const size_t count : {size_t{0}, size_t{1}, size_t{2}, size_t{3},
+                             size_t{4}, size_t{5}, size_t{7}, size_t{8},
+                             size_t{13}, size_t{16}, size_t{33}, size_t{64},
+                             size_t{257}}) {
+    for (int mode = 0; mode < 4; ++mode) {
+      const auto m = ClassifierMirror(count + 8, mode, rng);
+      const size_t begin = count > 2 ? 5 : 0;  // Unaligned range starts.
+      const double tx = rng.UniformDouble(0.0, 20000.0);
+      const double ty = rng.UniformDouble(0.0, 20000.0);
+      std::vector<uint32_t> accept_s = {7}, band_s = {9};
+      std::vector<uint32_t> accept_v = {7}, band_v = {9};
+      reachability::ClassifyCertainBandRangeScalar(m, begin, count, tx, ty,
+                                                   accept_s, band_s);
+      reachability::ClassifyCertainBandRangeAvx2(m, begin, count, tx, ty,
+                                                 accept_v, band_v);
+      const std::string label =
+          "count=" + std::to_string(count) + " mode=" + std::to_string(mode);
+      EXPECT_EQ(accept_s, accept_v) << label;
+      EXPECT_EQ(band_s, band_v) << label;
+
+      const double q_min_x = tx - 3000.0, q_max_x = tx + 3000.0;
+      const double q_min_y = ty - 3000.0, q_max_y = ty + 3000.0;
+      accept_s.assign({7});
+      band_s.assign({9});
+      accept_v.assign({7});
+      band_v.assign({9});
+      const size_t admitted_s =
+          reachability::ClassifyCertainBandRangeRectScalar(
+              m, begin, count, tx, ty, q_min_x, q_min_y, q_max_x, q_max_y,
+              accept_s, band_s);
+      const size_t admitted_v = reachability::ClassifyCertainBandRangeRectAvx2(
+          m, begin, count, tx, ty, q_min_x, q_min_y, q_max_x, q_max_y,
+          accept_v, band_v);
+      EXPECT_EQ(admitted_s, admitted_v) << label;
+      EXPECT_EQ(accept_s, accept_v) << label;
+      EXPECT_EQ(band_s, band_v) << label;
+    }
+  }
+}
+#endif  // SCGUARD_HAVE_AVX2
+
+}  // namespace
+}  // namespace scguard::assign
