@@ -123,6 +123,43 @@ BENCHMARK(BM_PrunerCandidates)
     ->Args({1, 100000})  // Grid at engine scale.
     ->Args({2, 100000});  // R-tree at engine scale.
 
+// One worker re-report against a prepared, grid-pruned stage: the service's
+// apply-phase hot path. Before GridIndex::Relocate this dropped the whole
+// pruner + mirror and the follow-up Prepare() rebuilt both — O(workers) per
+// report, which is the pathology this measures; the incremental path keeps
+// Prepare a no-op and relocates in O(cell).
+void BM_UpdateWorkerLocation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const reachability::AnalyticalModel model(kParams);
+  assign::U2uCandidateStage::Config config;
+  config.model = &model;
+  config.alpha = 0.1;
+  config.pruning = assign::U2uCandidateStage::Pruning{
+      0.9, index::PrunerBackend::kGrid, kParams, kParams,
+      data::BeijingRegion()};
+  assign::U2uCandidateStage stage(std::move(config));
+  const geo::BoundingBox region = data::BeijingRegion();
+  stats::Rng rng(11);
+  stage.ReserveWorkers(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    stage.AddWorker({rng.UniformDouble(region.min_x, region.max_x),
+                     rng.UniformDouble(region.min_y, region.max_y)},
+                    rng.UniformDouble(1000.0, 3000.0));
+  }
+  stage.Prepare();
+  uint32_t w = 0;
+  for (auto _ : state) {
+    // ±25 m jitter: mostly same-cell moves, the courier-drift common case.
+    const geo::Point p{stage.soa().x[w] + rng.UniformDouble(-25.0, 25.0),
+                       stage.soa().y[w] + rng.UniformDouble(-25.0, 25.0)};
+    stage.UpdateWorkerLocation(w, p);
+    stage.Prepare();
+    w = (w + 9973) % static_cast<uint32_t>(n);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UpdateWorkerLocation)->Arg(100000)->Arg(1000000);
+
 void BM_KdTreeNearest(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   stats::Rng rng(7);

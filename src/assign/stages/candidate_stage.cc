@@ -48,12 +48,40 @@ void U2uCandidateStage::UpdateWorkerLocation(uint32_t worker,
   soa_.x[worker] = noisy_location.x;
   soa_.y[worker] = noisy_location.y;
   // The certain-band bounds depend only on the (unchanged) reach radius,
-  // so the threshold prewarm stays valid; only a pruning index (rectangles
-  // anchored at the old location) must be rebuilt, and the mirror detached
-  // before its grid dies.
+  // so the threshold prewarm stays valid. A pruning index anchors its
+  // rectangle at the old location: the grid and linear backends relocate
+  // the entry in place (O(cell) with the mirror kept in sync through the
+  // slice listener — the mutation the service loop amortizes, DESIGN.md
+  // §14); only backends without native relocation drop the index for a
+  // lazy rebuild at the next Prepare.
   if (config_.pruning.has_value()) {
+    if (pruner_ != nullptr &&
+        pruner_->Relocate(static_cast<int64_t>(worker), noisy_location)) {
+      return;
+    }
     mirror_.ForgetGrid();
     pruner_.reset();
+  }
+}
+
+void U2uCandidateStage::MarkAvailable(uint32_t worker) {
+  if (!soa_.matched[worker]) return;
+  soa_.matched[worker] = 0;
+  if (!config_.runtime.active_set) return;
+  // Undo MarkMatched's active-set maintenance: re-insert into the pruning
+  // index, or splice the id back into its shard's ascending active list.
+  if (pruner_ != nullptr) {
+    if (!pruner_->Restore(static_cast<int64_t>(worker))) {
+      mirror_.ForgetGrid();
+      pruner_.reset();  // Rebuilt over current data at the next Prepare.
+    }
+  } else if (prepared_ && !config_.pruning.has_value()) {
+    std::vector<uint32_t>& active =
+        shard_active_[worker / static_cast<size_t>(config_.runtime.shard_size)];
+    const auto pos = std::lower_bound(active.begin(), active.end(), worker);
+    // A pending dirty compaction may not have erased the id yet; keep the
+    // list duplicate-free either way.
+    if (pos == active.end() || *pos != worker) active.insert(pos, worker);
   }
 }
 

@@ -162,6 +162,13 @@ class U2uCandidateStage {
   /// (or removes it from the pruning index).
   void MarkMatched(uint32_t worker);
 
+  /// Clears one worker's matched mark so it reappears in future Collect
+  /// results (service-side reactivation when a matched worker re-reports;
+  /// the whole-run analog is ResetAvailability). With active_set, restores
+  /// the worker in the pruning index / its shard's active list. No-op for
+  /// workers that are not matched.
+  void MarkAvailable(uint32_t worker);
+
   bool is_matched(uint32_t worker) const {
     return soa_.matched[worker] != 0;
   }

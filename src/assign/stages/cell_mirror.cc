@@ -139,6 +139,15 @@ void CellScoreMirror::OnSliceInsert(size_t slot, size_t pos, size_t end) {
   RecomputeAgg(slot);
 }
 
+void CellScoreMirror::OnSliceUpdate(size_t slot, size_t pos, size_t end) {
+  // Same-cell relocate: one row changed in place, no shifting. Re-copying
+  // the row also refreshes the certain bands by id (they are unchanged —
+  // the radius is fixed — but FillRow is the single source of truth).
+  (void)end;
+  FillRow(pos);
+  RecomputeAgg(slot);
+}
+
 void CellScoreMirror::OnRebuild() { Resync(); }
 
 }  // namespace scguard::assign

@@ -67,6 +67,7 @@ class CellScoreMirror final : public index::GridIndex::SliceChangeListener {
   // index::GridIndex::SliceChangeListener:
   void OnSliceErase(size_t slot, size_t pos, size_t end) override;
   void OnSliceInsert(size_t slot, size_t pos, size_t end) override;
+  void OnSliceUpdate(size_t slot, size_t pos, size_t end) override;
   void OnRebuild() override;
 
   /// Per-cell member aggregate (test support): the member x/y bounding box

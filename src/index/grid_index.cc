@@ -401,6 +401,44 @@ size_t GridIndex::Remove(int64_t id) {
   return count;
 }
 
+size_t GridIndex::Relocate(int64_t id, geo::Point new_center) {
+  const auto it = cells_of_id_.find(id);
+  if (it == cells_of_id_.end()) return 0;
+  const size_t new_slot = CellSlotFor(new_center);
+  if (it->second.size() == 1 && it->second[0] == new_slot) {
+    // Same-cell move: the slice stays ascending (id unchanged), so only
+    // the coordinates and the cell's certification aggregates change.
+    CellRef& c = cells_ref_[new_slot];
+    const auto begin = ids_.begin() + static_cast<std::ptrdiff_t>(c.begin);
+    const auto end = begin + static_cast<std::ptrdiff_t>(c.count);
+    const auto pos = std::lower_bound(begin, end, id);
+    SCGUARD_CHECK(pos != end && *pos == id);
+    const auto k = static_cast<size_t>(pos - ids_.begin());
+    xs_[k] = new_center.x;
+    ys_[k] = new_center.y;
+    RecomputeAggregates(new_slot);
+    if (listener_ != nullptr) {
+      listener_->OnSliceUpdate(new_slot, k, c.begin + c.count);
+    }
+    return 1;
+  }
+  // Cross-cell (or multi-entry) move: collect each entry's radius, then
+  // erase and re-insert through the ordinary mutation paths so listeners
+  // see the usual erase/insert (or rebuild) sequence.
+  radius_scratch_.clear();
+  for (const uint32_t slot : it->second) {
+    const CellRef& c = cells_ref_[slot];
+    const auto begin = ids_.begin() + static_cast<std::ptrdiff_t>(c.begin);
+    const auto end = begin + static_cast<std::ptrdiff_t>(c.count);
+    const auto pos = std::lower_bound(begin, end, id);
+    SCGUARD_CHECK(pos != end && *pos == id);
+    radius_scratch_.push_back(rs_[static_cast<size_t>(pos - ids_.begin())]);
+  }
+  const size_t moved = Remove(id);
+  for (const double r : radius_scratch_) Insert(new_center, r, id);
+  return moved;
+}
+
 GridIndex::CellCert GridIndex::ClassifyCellForTest(
     int cx, int cy, const geo::BoundingBox& query) const {
   return Classify(aggs_[CellSlot(cx, cy)], query);

@@ -56,6 +56,10 @@ class GridIndex {
     /// [pos, end-1) rows shifted up one). Read the new member through the
     /// member accessors below.
     virtual void OnSliceInsert(size_t slot, size_t pos, size_t end) = 0;
+    /// The member at position `pos` of cell `slot` changed in place
+    /// (same-cell Relocate: new center, same id and radius, no shifting).
+    /// Re-read the row through the member accessors.
+    virtual void OnSliceUpdate(size_t slot, size_t pos, size_t end) = 0;
     /// The flat member arrays were re-laid wholesale (slice offsets and
     /// capacities changed); the view must rebuild from the accessors.
     virtual void OnRebuild() = 0;
@@ -144,6 +148,20 @@ class GridIndex {
   /// removal is idempotent. A later Insert with the same id makes the id
   /// live again.
   size_t Remove(int64_t id);
+
+  /// Moves every live entry of `id` to `new_center`, keeping each entry's
+  /// expanded radius — the hot mutation of dynamic re-reporting. A move
+  /// that stays inside its cell updates the row in place (one O(cell)
+  /// aggregate recompute, no shifting, listener OnSliceUpdate); a move
+  /// that crosses cells erases and re-inserts through the normal listener
+  /// callbacks. Returns the number of entries moved — 0 when the id is
+  /// absent (never inserted, or currently removed).
+  size_t Relocate(int64_t id, geo::Point new_center);
+
+  /// True when at least one live entry of `id` is stored.
+  bool Contains(int64_t id) const {
+    return cells_of_id_.find(id) != cells_of_id_.end();
+  }
 
   /// Live (inserted and not removed) entries.
   size_t size() const { return live_; }
@@ -241,6 +259,8 @@ class GridIndex {
   int64_t max_id_ = -1;
   size_t live_ = 0;
   SliceChangeListener* listener_ = nullptr;  // Not owned.
+
+  std::vector<double> radius_scratch_;  // Relocate's per-entry radii.
 
   mutable QueryStats stats_;
   mutable std::vector<uint64_t> bitmap_;    // Dense-id accept bitmap.

@@ -114,4 +114,51 @@ void UncertainRegionPruner::Remove(int64_t worker_id) {
   removed_.insert(worker_id);
 }
 
+UncertainRegionPruner::WorkerRegion* UncertainRegionPruner::FindWorker(
+    int64_t worker_id) {
+  if (worker_id >= 0 &&
+      static_cast<size_t>(worker_id) < workers_.size() &&
+      workers_[static_cast<size_t>(worker_id)].worker_id == worker_id) {
+    return &workers_[static_cast<size_t>(worker_id)];
+  }
+  for (auto& w : workers_) {
+    if (w.worker_id == worker_id) return &w;
+  }
+  return nullptr;
+}
+
+bool UncertainRegionPruner::Relocate(int64_t worker_id,
+                                     geo::Point new_noisy_location) {
+  WorkerRegion* w = FindWorker(worker_id);
+  if (w == nullptr) return false;
+  w->noisy_location = new_noisy_location;
+  switch (backend_) {
+    case PrunerBackend::kLinearScan:
+      return true;  // Candidates scans the updated region directly.
+    case PrunerBackend::kGrid:
+      // 0 entries moved means the worker is currently Removed (matched);
+      // the record update above makes a later Restore insert at the new
+      // location, which is all a removed worker needs.
+      grid_->Relocate(worker_id, new_noisy_location);
+      return true;
+    case PrunerBackend::kRTree:
+      return false;  // Bulk-loaded; the caller rebuilds.
+  }
+  return false;
+}
+
+bool UncertainRegionPruner::Restore(int64_t worker_id) {
+  WorkerRegion* w = FindWorker(worker_id);
+  if (w == nullptr) return false;
+  if (backend_ == PrunerBackend::kGrid) {
+    if (!grid_->Contains(worker_id)) {
+      grid_->Insert(w->noisy_location, r_r_worker_ + w->reach_radius_m,
+                    worker_id);
+    }
+    return true;
+  }
+  removed_.erase(worker_id);
+  return true;
+}
+
 }  // namespace scguard::index

@@ -74,6 +74,21 @@ class UncertainRegionPruner {
   /// linear and R-tree backends filter at query time.
   void Remove(int64_t worker_id);
 
+  /// Re-centers a worker's expanded disk at a new noisy location (dynamic
+  /// re-reporting; the reach radius stays fixed). The grid backend moves
+  /// the entry incrementally (GridIndex::Relocate — O(cell) for the common
+  /// same-cell move); the linear backend updates the stored region, which
+  /// Candidates scans directly. Returns false for the R-tree backend
+  /// (bulk-loaded, no native relocation) and for unknown ids — callers
+  /// fall back to a full index rebuild. A worker currently Removed keeps
+  /// its new location for a later Restore.
+  bool Relocate(int64_t worker_id, geo::Point new_noisy_location);
+
+  /// Reverses a Remove: the worker rejoins future Candidates results at
+  /// its current recorded location (reactivation when a matched worker
+  /// re-reports). Idempotent; returns false for unknown ids.
+  bool Restore(int64_t worker_id);
+
   /// The query rectangle Candidates builds for a task observation
   /// (`FromCircle(task, task_confidence_radius_m)`), exposed so the
   /// cell-major mirror path can drive the grid's cell walk itself with the
@@ -99,6 +114,11 @@ class UncertainRegionPruner {
   }
 
  private:
+  /// The stored region of `worker_id`, or nullptr when unknown. O(1) for
+  /// the engine's dense registration order (workers_[id].worker_id == id),
+  /// linear probe otherwise.
+  WorkerRegion* FindWorker(int64_t worker_id);
+
   std::vector<WorkerRegion> workers_;
   double r_r_worker_;
   double r_r_task_;

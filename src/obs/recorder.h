@@ -73,7 +73,7 @@ static_assert(sizeof(TraceEvent) == 40, "keep events cache-friendly");
 /// Packing of TraceEvent::detail for kAuditDisclosure events.
 inline uint8_t PackDisclosureDetail(bool accepted, AuditFilter filter) {
   return static_cast<uint8_t>((accepted ? 1u : 0u) |
-                              (static_cast<uint8_t>(filter) << 1));
+                              (static_cast<uint32_t>(filter) << 1));
 }
 inline bool DisclosureAccepted(uint8_t detail) { return (detail & 1u) != 0; }
 inline AuditFilter DisclosureFilter(uint8_t detail) {

@@ -1,0 +1,53 @@
+#ifndef SCGUARD_RUNTIME_BACKOFF_H_
+#define SCGUARD_RUNTIME_BACKOFF_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
+namespace scguard::runtime {
+
+/// Progressive idle backoff for spin-then-sleep consumer loops (the
+/// assignment service's drain loop): a burst of pause instructions keeps
+/// sub-microsecond wakeups cheap, a yield band gives up the core to
+/// runnable peers, and a growing sleep caps idle CPU burn at ~1ms latency
+/// once the queue has been empty for a while. Reset() on any successful
+/// pop restores full responsiveness.
+class IdleBackoff {
+ public:
+  void Reset() { spins_ = 0; }
+
+  void Pause() {
+    ++spins_;
+    if (spins_ <= kSpinLimit) {
+#if defined(__x86_64__) || defined(_M_X64)
+      _mm_pause();
+#else
+      std::this_thread::yield();
+#endif
+      return;
+    }
+    if (spins_ <= kYieldLimit) {
+      std::this_thread::yield();
+      return;
+    }
+    // Exponential 1us -> ~1ms, then flat: an idle service wakes within a
+    // millisecond of new work without burning a core while empty.
+    const uint32_t exp = spins_ - kYieldLimit;
+    const uint32_t us = exp < 10 ? (1u << exp) : 1000u;
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+
+ private:
+  static constexpr uint32_t kSpinLimit = 16;
+  static constexpr uint32_t kYieldLimit = 64;
+  uint32_t spins_ = 0;
+};
+
+}  // namespace scguard::runtime
+
+#endif  // SCGUARD_RUNTIME_BACKOFF_H_

@@ -1,0 +1,106 @@
+#ifndef SCGUARD_SERVICE_MPSC_QUEUE_H_
+#define SCGUARD_SERVICE_MPSC_QUEUE_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+
+namespace scguard::service {
+
+/// Bounded lock-free multi-producer queue with a single consumer (the
+/// assignment loop), after Vyukov's bounded MPMC design: each slot carries
+/// a sequence number producers and the consumer rendezvous on, so an
+/// enqueue is one CAS on the tail plus a release store, and a dequeue
+/// (single consumer) needs no CAS at all — one acquire load and two plain
+/// stores. TryPush returns false when the ring is full; that is the
+/// service's backpressure signal, never a block.
+///
+/// Capacity is rounded up to a power of two. `T` must be movable; slots
+/// are default-constructed up front, so keep T cheap to hold (the service
+/// stores a small POD event).
+template <typename T>
+class MpscQueue {
+ public:
+  explicit MpscQueue(size_t capacity_hint)
+      : capacity_(std::bit_ceil(capacity_hint < 2 ? size_t{2} : capacity_hint)),
+        mask_(capacity_ - 1),
+        slots_(std::make_unique<Slot[]>(capacity_)) {
+    for (size_t i = 0; i < capacity_; ++i) {
+      slots_[i].seq.store(static_cast<uint64_t>(i), std::memory_order_relaxed);
+    }
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Producer side; safe from any number of threads concurrently. Returns
+  /// false when the queue is full (the value is untouched).
+  bool TryPush(T value) {
+    uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<int64_t>(seq) - static_cast<int64_t>(pos);
+      if (dif == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          slot.value = std::move(value);
+          slot.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS refreshed `pos`; retry with the new tail.
+      } else if (dif < 0) {
+        // The slot still holds an unconsumed value from one lap ago: full.
+        return false;
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Consumer side; single thread only. Returns false when empty.
+  bool TryPop(T& out) {
+    const uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    Slot& slot = slots_[pos & mask_];
+    const uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    if (static_cast<int64_t>(seq) - static_cast<int64_t>(pos + 1) < 0) {
+      return false;  // Producer hasn't published this slot yet.
+    }
+    out = std::move(slot.value);
+    slot.seq.store(pos + mask_ + 1, std::memory_order_release);
+    dequeue_pos_.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Racy depth estimate for the ingest_queue_depth gauge (may briefly
+  /// read torn head/tail pairs; clamped to [0, capacity]).
+  size_t ApproxDepth() const {
+    const uint64_t tail = enqueue_pos_.load(std::memory_order_relaxed);
+    const uint64_t head = dequeue_pos_.load(std::memory_order_relaxed);
+    const uint64_t depth = tail >= head ? tail - head : 0;
+    return depth > capacity_ ? capacity_ : static_cast<size_t>(depth);
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> seq{0};
+    T value{};
+  };
+
+  const size_t capacity_;
+  const uint64_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  alignas(64) std::atomic<uint64_t> enqueue_pos_{0};
+  alignas(64) std::atomic<uint64_t> dequeue_pos_{0};
+};
+
+}  // namespace scguard::service
+
+#endif  // SCGUARD_SERVICE_MPSC_QUEUE_H_

@@ -1,0 +1,403 @@
+#include "service/service.h"
+
+#include <chrono>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+#include "geo/point.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/trace.h"
+#include "runtime/backoff.h"
+
+namespace scguard::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+/// Service metric set (DESIGN.md section 14), resolved once per process
+/// like the engine's. Counters accumulate in consumer locals and flush at
+/// loop exit; only the two staleness gauges and the latency histogram are
+/// touched per batch / per task, and only while obs is enabled.
+struct ServiceObs {
+  obs::Counter* tasks;
+  obs::Counter* reports;
+  obs::Counter* tasks_rejected;
+  obs::Counter* reports_rejected;
+  obs::Counter* epochs;
+  obs::Gauge* queue_depth;
+  obs::Gauge* epoch_lag;
+  obs::Histogram* admission_to_assignment;
+
+  static const ServiceObs& Get() {
+    auto& registry = obs::MetricsRegistry::Global();
+    static const ServiceObs o = {
+        registry.GetCounter("scguard.service.tasks"),
+        registry.GetCounter("scguard.service.reports"),
+        registry.GetCounter("scguard.service.tasks_rejected"),
+        registry.GetCounter("scguard.service.reports_rejected"),
+        registry.GetCounter("scguard.service.epochs"),
+        registry.GetGauge("scguard.service.ingest_queue_depth"),
+        registry.GetGauge("scguard.service.epoch_lag"),
+        registry.GetHistogram(
+            "scguard.service.admission_to_assignment_seconds")};
+    return o;
+  }
+};
+
+/// Pre-interned span names for the service's flight-recorder family.
+struct ServiceTraceIds {
+  uint16_t apply;
+  uint16_t scan;
+  uint16_t drain;
+
+  static const ServiceTraceIds& Get() {
+    auto& recorder = obs::FlightRecorder::Global();
+    static const ServiceTraceIds ids = {recorder.InternName("service.apply"),
+                                        recorder.InternName("service.scan"),
+                                        recorder.InternName("service.drain")};
+    return ids;
+  }
+};
+
+assign::U2uCandidateStage::Config MakeU2uConfig(const ServiceConfig& c) {
+  assign::U2uCandidateStage::Config u2u_config;
+  u2u_config.model = c.u2u_model;
+  u2u_config.alpha = c.alpha;
+  u2u_config.kernel = c.kernel;
+  u2u_config.runtime = c.runtime;
+  if (c.pruning_gamma.has_value()) {
+    u2u_config.pruning = assign::U2uCandidateStage::Pruning{
+        *c.pruning_gamma, c.pruning_backend, c.worker_params, c.task_params,
+        c.region};
+  }
+  return u2u_config;
+}
+
+}  // namespace
+
+AssignmentService::AssignmentService(ServiceConfig config)
+    : config_(std::move(config)),
+      queue_(config_.queue_capacity),
+      rank_rng_(config_.rank_seed),
+      u2u_(MakeU2uConfig(config_)),
+      u2e_({.model = config_.u2e_model, .rank = config_.rank,
+            .kernel = config_.kernel,
+            .audit_epsilon = config_.worker_params.epsilon}),
+      e2e_({.rank = config_.rank, .beta = config_.beta,
+            .beta_mode = config_.beta_mode,
+            .redundancy_k = config_.redundancy_k}) {
+  SCGUARD_CHECK(config_.u2u_model != nullptr);
+  if (config_.rank == assign::RankStrategy::kProbability) {
+    SCGUARD_CHECK(config_.u2e_model != nullptr);
+  }
+  SCGUARD_CHECK(config_.max_batch >= 1);
+}
+
+AssignmentService::~AssignmentService() {
+  if (started_ && !stopped_) Stop(StopMode::kAbandon);
+}
+
+uint32_t AssignmentService::RegisterWorker(const assign::Worker& w) {
+  SCGUARD_CHECK(!started_);
+  const size_t i = workers_.size();
+  SCGUARD_CHECK(i < std::numeric_limits<uint32_t>::max());
+  workers_.push_back(w);
+  random_rank_.push_back(rank_rng_.UniformDouble());
+  u2u_.AddWorker(w.noisy_location, w.reach_radius_m);
+  return static_cast<uint32_t>(i);
+}
+
+void AssignmentService::Start() {
+  SCGUARD_CHECK(!started_ && !stopped_);
+  started_ = true;
+  metrics_.num_workers = static_cast<int64_t>(workers_.size());
+  // Threshold prewarm, pruning-index build, mirror attach: done here so
+  // the consumer's first scan measures only the scan.
+  u2u_.Prepare();
+  ranked_.reserve(workers_.size());
+  consumer_ = std::thread([this] { ConsumerLoop(); });
+}
+
+bool AssignmentService::SubmitTask(const assign::Task& t) {
+  ServiceEvent ev;
+  ev.kind = ServiceEvent::Kind::kTask;
+  ev.task_id = t.id;
+  ev.exact = t.location;
+  ev.noisy = t.noisy_location;
+  ev.submit_ns = NowNs();
+  if (!queue_.TryPush(ev)) {
+    tasks_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  tasks_pushed_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool AssignmentService::ReportLocation(uint32_t worker,
+                                       geo::Point exact_location,
+                                       geo::Point noisy_location) {
+  SCGUARD_CHECK(worker < workers_.size());
+  ServiceEvent ev;
+  ev.kind = ServiceEvent::Kind::kReport;
+  ev.worker = worker;
+  ev.exact = exact_location;
+  ev.noisy = noisy_location;
+  ev.submit_ns = NowNs();
+  if (!queue_.TryPush(ev)) {
+    reports_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  reports_pushed_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void AssignmentService::Stop(StopMode mode) {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  const auto drain_start = Clock::now();
+  if (mode == StopMode::kAbandon) {
+    abandon_.store(true, std::memory_order_release);
+  } else {
+    draining_.store(true, std::memory_order_release);
+  }
+  consumer_.join();
+  drain_seconds_ =
+      std::chrono::duration<double>(Clock::now() - drain_start).count();
+  if (mode == StopMode::kDrain && obs::RecorderEnabled()) {
+    const uint64_t end_ns = NowNs();
+    obs::EmitSpanAt(
+        ServiceTraceIds::Get().drain,
+        end_ns - static_cast<uint64_t>(drain_seconds_ * 1e9), end_ns);
+  }
+}
+
+void AssignmentService::Replay(const std::vector<ServiceEvent>& log) {
+  SCGUARD_CHECK(!started_ && !stopped_);
+  stopped_ = true;  // Results become readable; Start is now invalid.
+  metrics_.num_workers = static_cast<int64_t>(workers_.size());
+  u2u_.Prepare();
+  ranked_.reserve(workers_.size());
+  const auto start = Clock::now();
+  for (const ServiceEvent& ev : log) {
+    log_.push_back(ev);
+    if (ev.kind == ServiceEvent::Kind::kReport) {
+      ApplyReport(ev);
+    } else {
+      ScanTask(ev);
+    }
+  }
+  metrics_.total_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  FinalizeMetrics();
+}
+
+IngestStats AssignmentService::ingest_stats() const {
+  IngestStats s;
+  s.tasks_submitted = tasks_pushed_.load(std::memory_order_relaxed);
+  s.reports_submitted = reports_pushed_.load(std::memory_order_relaxed);
+  s.tasks_rejected = tasks_rejected_.load(std::memory_order_relaxed);
+  s.reports_rejected = reports_rejected_.load(std::memory_order_relaxed);
+  s.epochs = static_cast<int64_t>(epoch_.load(std::memory_order_acquire));
+  return s;
+}
+
+void AssignmentService::ConsumerLoop() {
+  const bool obs_on = obs::Enabled();
+  const bool rec_on = obs::RecorderEnabled();
+  const ServiceObs& so = ServiceObs::Get();
+  const ServiceTraceIds& sti = ServiceTraceIds::Get();
+  runtime::IdleBackoff backoff;
+  std::vector<ServiceEvent> batch_tasks;
+  batch_tasks.reserve(static_cast<size_t>(config_.max_batch));
+  const auto loop_start = Clock::now();
+
+  for (;;) {
+    // ---- Apply phase: drain a bounded batch ------------------------
+    // Reports mutate the stage state in pop order (incremental Relocate +
+    // reactivation); tasks are set aside and scanned after the epoch
+    // bump, so every task in a batch sees the same snapshot.
+    batch_tasks.clear();
+    const uint64_t apply_start_ns = rec_on ? NowNs() : 0;
+    size_t popped = 0;
+    ServiceEvent ev;
+    while (popped < static_cast<size_t>(config_.max_batch) &&
+           queue_.TryPop(ev)) {
+      ++popped;
+      if (ev.kind == ServiceEvent::Kind::kReport) {
+        log_.push_back(ev);
+        ApplyReport(ev);
+      } else {
+        batch_tasks.push_back(ev);
+      }
+    }
+    if (popped == 0) {
+      if (abandon_.load(std::memory_order_acquire) ||
+          draining_.load(std::memory_order_acquire)) {
+        break;
+      }
+      backoff.Pause();
+      continue;
+    }
+    backoff.Reset();
+    events_applied_.fetch_add(static_cast<int64_t>(popped),
+                              std::memory_order_relaxed);
+
+    // ---- Publish: one epoch per batch ------------------------------
+    epoch_.fetch_add(1, std::memory_order_release);
+    ++epochs_published_;
+    if (obs_on) {
+      so.queue_depth->Set(static_cast<double>(queue_.ApproxDepth()));
+      const int64_t pushed =
+          tasks_pushed_.load(std::memory_order_relaxed) +
+          reports_pushed_.load(std::memory_order_relaxed);
+      so.epoch_lag->Set(static_cast<double>(
+          pushed - events_applied_.load(std::memory_order_relaxed)));
+    }
+    if (rec_on) obs::EmitSpanAt(sti.apply, apply_start_ns, NowNs());
+
+    // ---- Scan phase: tasks pinned at the new epoch -----------------
+    for (const ServiceEvent& task_ev : batch_tasks) {
+      const uint64_t scan_start_ns = rec_on ? NowNs() : 0;
+      log_.push_back(task_ev);
+      ScanTask(task_ev);
+      if (rec_on) obs::EmitSpanAt(sti.scan, scan_start_ns, NowNs());
+      if (obs_on && !completions_.empty()) {
+        const CompletionRecord& done = completions_.back();
+        so.admission_to_assignment->Observe(
+            static_cast<double>(done.done_ns - done.submit_ns) * 1e-9);
+      }
+    }
+
+    if (abandon_.load(std::memory_order_acquire)) break;
+  }
+
+  metrics_.total_seconds =
+      std::chrono::duration<double>(Clock::now() - loop_start).count();
+  FinalizeMetrics();
+}
+
+void AssignmentService::ApplyReport(const ServiceEvent& ev) {
+  assign::Worker& w = workers_[ev.worker];
+  w.location = ev.exact;
+  w.noisy_location = ev.noisy;
+  // Order matters: the relocate updates the pruner's stored region first,
+  // so a matched worker's Restore (inside MarkAvailable) re-inserts at the
+  // *new* noisy location.
+  u2u_.UpdateWorkerLocation(ev.worker, ev.noisy);
+  if (config_.reactivate_on_report) u2u_.MarkAvailable(ev.worker);
+  ++reports_applied_;
+}
+
+void AssignmentService::ScanTask(const ServiceEvent& ev) {
+  // The engine's per-task protocol body (scguard_engine.cc), minus the
+  // observer-only accuracy scan: U2U collect -> U2E rank -> E2E contact.
+  assign::RunMetrics& m = metrics_;
+  m.num_tasks += 1;
+
+  const auto u2u_start = Clock::now();
+  const std::vector<uint32_t>& candidates = u2u_.Collect(ev.noisy);
+  const assign::U2uCandidateStage::Stats& scan = u2u_.stats();
+  obs_evaluated_ += scan.scanned_last;
+  obs_pruned_ += scan.pruned_last;
+  obs_alpha_rejections_ +=
+      scan.scanned_last - static_cast<int64_t>(candidates.size());
+  m.u2u_scanned += scan.scanned_last;
+  if (m.num_tasks == 1) m.u2u_scanned_first_task = scan.scanned_last;
+  m.u2u_scanned_last_task = scan.scanned_last;
+  m.u2u_seconds +=
+      std::chrono::duration<double>(Clock::now() - u2u_start).count();
+  m.candidates_sum += static_cast<int64_t>(candidates.size());
+  m.server_to_requester_msgs += 1;
+
+  CompletionRecord done;
+  done.task_id = ev.task_id;
+  done.submit_ns = ev.submit_ns;
+  done.epoch = epoch_.load(std::memory_order_relaxed);
+
+  if (!candidates.empty()) {
+    const reachability::WorkerFilterSoA& soa = u2u_.soa();
+    const auto u2e_start = Clock::now();
+    u2e_.Rank(soa, candidates, ev.exact, random_rank_.data(), ranked_,
+              ev.task_id);
+    m.u2e_seconds +=
+        std::chrono::duration<double>(Clock::now() - u2e_start).count();
+
+    const bool has_bands = soa.accept_below_sq.size() == workers_.size();
+    const assign::E2eContactStage::Outcome outcome = e2e_.Run(
+        ranked_,
+        [&](size_t i) {
+          const assign::Worker& w = workers_[i];
+          if (!w.CanReach(ev.exact)) return false;
+          u2u_.MarkMatched(static_cast<uint32_t>(i));
+          const double travel = geo::Distance(w.location, ev.exact);
+          assignments_.push_back({ev.task_id, w.id, travel});
+          m.accepted_assignments += 1;
+          m.travel_sum_m += travel;
+          if (done.worker_id < 0) {
+            done.worker_id = w.id;
+            done.travel_m = travel;
+          }
+          return true;
+        },
+        [&](size_t i) { return workers_[i].CanReach(ev.exact); }, m,
+        ev.task_id,
+        [&](size_t i) {
+          if (!has_bands) return obs::AuditFilter::kDirectEval;
+          const double dx = soa.x[i] - ev.noisy.x;
+          const double dy = soa.y[i] - ev.noisy.y;
+          return dx * dx + dy * dy <= soa.accept_below_sq[i]
+                     ? obs::AuditFilter::kAlphaBandAccept
+                     : obs::AuditFilter::kDirectEval;
+        });
+    if (outcome.cancelled) ++obs_beta_cancels_;
+  }
+
+  done.done_ns = NowNs();
+  completions_.push_back(done);
+}
+
+void AssignmentService::FinalizeMetrics() {
+  if (finalized_) return;
+  finalized_ = true;
+  assign::RunMetrics& m = metrics_;
+  if (const index::GridIndex::QueryStats* gs = u2u_.grid_query_stats()) {
+    m.cells_bulk_accepted = gs->cells_bulk_accepted;
+    m.cells_skipped = gs->cells_skipped;
+    m.boundary_workers = gs->boundary_workers;
+  }
+  m.u2u_gather_bytes = u2u_.stats().gather_bytes;
+  m.cells_emitted_direct = u2u_.stats().cells_emitted_direct;
+
+  // One flush per counter, mirroring the engine's end-of-run pattern; the
+  // shared engine counters double-count nothing because the service uses
+  // its own scguard.service.* names.
+  const ServiceObs& so = ServiceObs::Get();
+  so.tasks->Increment(m.num_tasks);
+  so.reports->Increment(reports_applied_);
+  so.tasks_rejected->Increment(
+      tasks_rejected_.load(std::memory_order_relaxed));
+  so.reports_rejected->Increment(
+      reports_rejected_.load(std::memory_order_relaxed));
+  so.epochs->Increment(epochs_published_);
+
+  auto& registry = obs::MetricsRegistry::Global();
+  auto* evaluated = registry.GetCounter("scguard.service.workers_evaluated");
+  auto* pruned = registry.GetCounter("scguard.service.workers_pruned");
+  auto* alpha_rej = registry.GetCounter("scguard.service.alpha_rejections");
+  auto* beta = registry.GetCounter("scguard.service.beta_cancels");
+  evaluated->Increment(obs_evaluated_);
+  pruned->Increment(obs_pruned_);
+  alpha_rej->Increment(obs_alpha_rejections_);
+  beta->Increment(obs_beta_cancels_);
+}
+
+}  // namespace scguard::service

@@ -302,6 +302,48 @@ TEST(GridIndexTest, RemoveCompactsAndReAddChurn) {
   }
 }
 
+TEST(GridIndexTest, RelocateMatchesRemoveInsertChurn) {
+  // Relocate churn against a brute-force mirror: same-cell jitters (the
+  // service's common case, handled in place) and cross-cell jumps
+  // (erase + insert) must both keep queries exact and the index ascending.
+  stats::Rng rng(17);
+  const double extent = 500.0;
+  const geo::BoundingBox region =
+      geo::BoundingBox::FromCorners({0, 0}, {extent, extent});
+  GridIndex grid(region, 6);
+  std::vector<PointEntry> live;
+  for (int64_t i = 0; i < 150; ++i) {
+    live.push_back(RandomPointEntry(rng, extent, 60.0, i));
+    grid.Insert(live.back().center, live.back().radius, live.back().id);
+  }
+  EXPECT_EQ(grid.Relocate(999, {10, 10}), 0u);  // Unknown id: no-op.
+  for (int step = 0; step < 400; ++step) {
+    const auto k = static_cast<size_t>(rng.UniformInt(live.size()));
+    geo::Point next;
+    if (step % 2 == 0) {
+      // Small jitter: usually stays in the same cell (~83 m cells here).
+      next = {live[k].center.x + rng.UniformDouble(-10.0, 10.0),
+              live[k].center.y + rng.UniformDouble(-10.0, 10.0)};
+    } else {
+      next = {rng.UniformDouble(0, extent), rng.UniformDouble(0, extent)};
+    }
+    EXPECT_EQ(grid.Relocate(live[k].id, next), 1u);
+    live[k].center = next;
+    EXPECT_TRUE(grid.Contains(live[k].id));
+    if (step % 7 == 0) {
+      const geo::BoundingBox query = RandomBox(rng, extent, 120.0);
+      const auto got = grid.QueryIds(query);
+      EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+      EXPECT_EQ(got, BruteForcePoints(live, query)) << "step " << step;
+    }
+  }
+  // Relocate after Remove is a no-op until a fresh Insert revives the id.
+  const int64_t victim = live.front().id;
+  EXPECT_EQ(grid.Remove(victim), 1u);
+  EXPECT_FALSE(grid.Contains(victim));
+  EXPECT_EQ(grid.Relocate(victim, {1, 1}), 0u);
+}
+
 TEST(GridIndexTest, SparseIdsFallBackToRunMergeCorrectly) {
   // Ids spread over a huge range disable the dense bitmap ordering; the
   // run-merge fallback must produce the same ascending answers.

@@ -455,6 +455,82 @@ TEST(MirrorStageChurnTest, MirrorOnOffAgreeThroughChurn) {
   EXPECT_GT(on.stats().cells_emitted_direct + on.stats().gather_bytes, 0);
 }
 
+TEST(MirrorStageChurnTest, IncrementalRelocateMatchesFreshStage) {
+  // Service-style churn — same-cell jitters, cross-cell jumps, matched
+  // workers reactivated via MarkAvailable — applied incrementally must
+  // leave the stage answering exactly like one built fresh over the final
+  // worker state. This pins the whole Relocate chain: GridIndex in-place
+  // move, mirror OnSliceUpdate row refresh, pruner record update, and
+  // Restore's re-insert at the *new* location.
+  const reachability::AnalyticalModel model(kDefault);
+  const geo::BoundingBox region =
+      geo::BoundingBox::FromCorners({0, 0}, {20000, 20000});
+  U2uCandidateStage::Config config;
+  config.model = &model;
+  config.alpha = 0.1;
+  config.pruning = U2uCandidateStage::Pruning{
+      0.9, index::PrunerBackend::kGrid, kDefault, kDefault, region};
+
+  stats::Rng rng(29);
+  const size_t n = 400;
+  std::vector<geo::Point> locs(n);
+  std::vector<double> radii(n);
+  std::vector<char> matched(n, 0);
+  U2uCandidateStage live(config);
+  for (size_t i = 0; i < n; ++i) {
+    locs[i] = {rng.UniformDouble(0.0, 20000.0),
+               rng.UniformDouble(0.0, 20000.0)};
+    radii[i] = rng.UniformDouble(800.0, 2500.0);
+    live.AddWorker(locs[i], radii[i]);
+  }
+  live.Prepare();
+
+  for (int step = 0; step < 300; ++step) {
+    const auto w = static_cast<uint32_t>(rng.UniformInt(n));
+    switch (rng.UniformInt(4)) {
+      case 0: {  // Same-cell jitter (cells are ~600 m at this density).
+        locs[w] = {locs[w].x + rng.UniformDouble(-30.0, 30.0),
+                   locs[w].y + rng.UniformDouble(-30.0, 30.0)};
+        live.UpdateWorkerLocation(w, locs[w]);
+        break;
+      }
+      case 1: {  // Cross-cell jump.
+        locs[w] = {rng.UniformDouble(0.0, 20000.0),
+                   rng.UniformDouble(0.0, 20000.0)};
+        live.UpdateWorkerLocation(w, locs[w]);
+        break;
+      }
+      case 2:
+        live.MarkMatched(w);
+        matched[w] = 1;
+        break;
+      default:  // Re-report of a (possibly matched) worker, moved.
+        locs[w] = {locs[w].x + rng.UniformDouble(-30.0, 30.0),
+                   locs[w].y + rng.UniformDouble(-30.0, 30.0)};
+        live.UpdateWorkerLocation(w, locs[w]);
+        live.MarkAvailable(w);
+        matched[w] = 0;
+        break;
+    }
+  }
+
+  U2uCandidateStage fresh(config);
+  for (size_t i = 0; i < n; ++i) fresh.AddWorker(locs[i], radii[i]);
+  fresh.Prepare();
+  for (size_t i = 0; i < n; ++i) {
+    if (matched[i]) fresh.MarkMatched(static_cast<uint32_t>(i));
+  }
+
+  for (int q = 0; q < 40; ++q) {
+    const geo::Point task{rng.UniformDouble(0.0, 20000.0),
+                          rng.UniformDouble(0.0, 20000.0)};
+    EXPECT_EQ(live.Collect(task), fresh.Collect(task)) << "query " << q;
+    EXPECT_EQ(live.stats().scanned_last + live.stats().pruned_last,
+              fresh.stats().scanned_last + fresh.stats().pruned_last)
+        << "query " << q;
+  }
+}
+
 // ---- Range kernels vs references -------------------------------------
 
 /// A mirror whose bounds cover every trichotomy shape, like kernel_test's
