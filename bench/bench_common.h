@@ -227,11 +227,13 @@ class JsonSeriesWriter {
 
   /// `extra` key/value pairs are emitted verbatim as additional JSON
   /// fields of this point (e.g. the scale bench's thread count), after the
-  /// fixed metric schema. Keys must be unique and distinct from the fixed
-  /// field names.
+  /// fixed metric schema. `extra_str` values are emitted as JSON-escaped
+  /// strings (mechanism provenance in the frontier bench). Keys must be
+  /// unique and distinct from the fixed field names.
   void Add(const std::string& series, double x, const sim::AggregatedMetrics& m,
-           std::vector<std::pair<std::string, double>> extra = {}) {
-    points_.push_back({series, x, m, std::move(extra)});
+           std::vector<std::pair<std::string, double>> extra = {},
+           std::vector<std::pair<std::string, std::string>> extra_str = {}) {
+    points_.push_back({series, x, m, std::move(extra), std::move(extra_str)});
   }
 
   void Flush() {
@@ -272,6 +274,9 @@ class JsonSeriesWriter {
       for (const auto& [key, value] : p.extra) {
         out << ",\"" << key << "\":" << value;
       }
+      for (const auto& [key, value] : p.extra_str) {
+        out << ",\"" << key << "\":\"" << JsonEscape(value) << "\"";
+      }
       out << '}';
     }
     // Observability snapshot: counters, stage-latency percentiles, and
@@ -286,6 +291,7 @@ class JsonSeriesWriter {
     double x;
     sim::AggregatedMetrics m;
     std::vector<std::pair<std::string, double>> extra;
+    std::vector<std::pair<std::string, std::string>> extra_str;
   };
 
   std::string name_;

@@ -1,0 +1,181 @@
+// Utility–privacy frontier across obfuscation mechanisms: sweeps the
+// mechanism axis (planar Laplace, grid-discretized exponential matrix,
+// prior-weighted empirical) against the epsilon axis at the paper's
+// r = 200 operating point, with the flight recorder's privacy-audit trail
+// forced on so every reported disclosure count is reconciled against the
+// audited event stream (not just the engine's own counters).
+//
+// Series:
+//   "planar-laplace model" — the analytical model, byte-for-byte the same
+//       calls as bench_fig9's "Probabilistic-Model r=200" series; CI pins
+//       the two to identical utility numbers.
+//   "<mechanism> data"     — Probabilistic-Data with an empirical table
+//       built per (mechanism, eps); the build cost is the
+//       `table_build_seconds` extra (the price grid mechanisms pay for
+//       having no closed-form DiskProbability).
+//
+// Grid mechanisms pin spec.region to the runner's city region so workload
+// perturbation and the empirical table use one identical mechanism (a
+// per-seed workload region would otherwise re-grid the city every seed).
+
+#include <chrono>
+
+#include "bench/bench_common.h"
+#include "obs/metrics.h"
+#include "privacy/mechanism.h"
+
+namespace scguard::bench {
+namespace {
+
+privacy::PrivacyParams FrontierParams(double eps, double radius_m,
+                                      privacy::MechanismKind kind,
+                                      const geo::BoundingBox& region) {
+  privacy::PrivacyParams p{eps, radius_m};
+  p.mechanism.kind = kind;
+  if (kind != privacy::MechanismKind::kPlanarLaplace) {
+    p.mechanism.region = region;
+  }
+  return p;
+}
+
+bool IsAuditEvent(const obs::TraceEvent& e) {
+  return e.type >= static_cast<uint8_t>(obs::EventType::kAuditCandidates) &&
+         e.type <= static_cast<uint8_t>(obs::EventType::kAuditBudget);
+}
+
+void Main() {
+  // The audit trail is the point of this bench: force metrics + recorder on
+  // regardless of SCGUARD_OBS, and size the rings so one sweep point's
+  // events (10 seeds x 500 tasks of disclosures plus span traffic) never
+  // drop — a drop would make reconciliation vacuous, so it is fatal below.
+  auto& recorder = obs::FlightRecorder::Global();
+  recorder.set_ring_capacity(size_t{1} << 20);
+  const auto runner = OrDie(sim::ExperimentRunner::Create(PaperConfig()));
+  obs::ObsConfig obs_config;
+  obs_config.enabled = true;
+  obs_config.recorder = true;
+  obs::SetConfig(obs_config);
+
+  const double radius_m = 200.0;
+  obs::Counter* engine_disclosures =
+      obs::MetricsRegistry::Global().GetCounter("scguard.engine.disclosures");
+
+  struct Series {
+    std::string name;
+    privacy::MechanismKind kind;
+    bool analytical;  ///< Probabilistic-Model (vs -Data with a built table).
+  };
+  const std::vector<Series> series = {
+      {"planar-laplace model", privacy::MechanismKind::kPlanarLaplace, true},
+      {"planar-laplace data", privacy::MechanismKind::kPlanarLaplace, false},
+      {"geo-matrix data", privacy::MechanismKind::kGeoMatrix, false},
+      {"prior-empirical data", privacy::MechanismKind::kPriorEmpirical, false},
+  };
+
+  sim::TablePrinter utility(
+      StrCat("Frontier — Utility (#assigned of 500) vs eps, r=", radius_m),
+      {"mechanism/model", "eps=0.1", "eps=0.4", "eps=0.7", "eps=1.0"});
+  sim::TablePrinter travel(
+      StrCat("Frontier — Travel cost (m) vs eps, r=", radius_m),
+      {"mechanism/model", "eps=0.1", "eps=0.4", "eps=0.7", "eps=1.0"});
+  sim::TablePrinter disclosed(
+      StrCat("Frontier — Audited E2E disclosures (total) vs eps, r=",
+             radius_m),
+      {"mechanism/model", "eps=0.1", "eps=0.4", "eps=0.7", "eps=1.0"});
+  sim::TablePrinter build(
+      StrCat("Frontier — Empirical-table build cost (s) vs eps, r=",
+             radius_m),
+      {"mechanism/model", "eps=0.1", "eps=0.4", "eps=0.7", "eps=1.0"});
+
+  JsonSeriesWriter json("frontier");
+  std::vector<obs::TraceEvent> audit_events;  // Across all sweep points.
+
+  for (const auto& s : series) {
+    std::vector<double> u_row, t_row, d_row, b_row;
+    for (const double eps : sim::kEpsilons) {
+      const privacy::PrivacyParams p =
+          FrontierParams(eps, radius_m, s.kind, runner.region());
+      // Provenance mechanism: the same instance every perturbation site
+      // reconstructs from `p` (pure function of the spec).
+      const auto mech = privacy::MakeMechanismOrDie(p, runner.region());
+
+      double build_seconds = 0.0;
+      assign::MatcherHandle handle = [&] {
+        if (s.analytical) return assign::MakeProbabilisticModel(MakeParams(p));
+        const auto t0 = std::chrono::steady_clock::now();
+        auto model = BuildEmpirical(runner, p);
+        build_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        return assign::MakeProbabilisticData(MakeParams(p), std::move(model));
+      }();
+
+      // Per-point audit segment: clear the rings of build-time events, run,
+      // drain, and reconcile against the engine's disclosure counter.
+      (void)recorder.Drain();
+      const int64_t dropped_before = recorder.dropped();
+      const int64_t disclosures_before = engine_disclosures->Value();
+      const sim::AggregatedMetrics agg = OrDie(runner.Run(handle, p, p));
+      const int64_t disclosures_delta =
+          engine_disclosures->Value() - disclosures_before;
+      const std::vector<obs::TraceEvent> events = recorder.Drain();
+      if (recorder.dropped() != dropped_before) {
+        std::cerr << "frontier: flight recorder dropped "
+                  << (recorder.dropped() - dropped_before)
+                  << " events at series='" << s.name << "' eps=" << eps
+                  << "; raise the ring capacity\n";
+        std::exit(1);
+      }
+      const obs::AuditTotals totals = obs::SummarizeAudit(events);
+      if (totals.e2e_disclosures != disclosures_delta) {
+        std::cerr << "frontier: audit trail disagrees with engine counters "
+                     "at series='"
+                  << s.name << "' eps=" << eps
+                  << ": audited e2e_disclosures=" << totals.e2e_disclosures
+                  << " vs scguard.engine.disclosures delta="
+                  << disclosures_delta << "\n";
+        std::exit(1);
+      }
+      for (const obs::TraceEvent& e : events) {
+        if (IsAuditEvent(e)) audit_events.push_back(e);
+      }
+
+      json.Add(s.name, eps, agg,
+               {{"table_build_seconds", build_seconds},
+                {"audit_disclosures",
+                 static_cast<double>(totals.e2e_disclosures)}},
+               {{"mechanism", std::string(mech->name())},
+                {"mechanism_params", mech->ParamsJson()},
+                {"reachability", s.analytical ? "model" : "data"}});
+      u_row.push_back(agg.assigned_tasks);
+      t_row.push_back(agg.travel_m);
+      d_row.push_back(static_cast<double>(totals.e2e_disclosures));
+      b_row.push_back(build_seconds);
+    }
+    utility.AddRow(s.name, u_row, 1);
+    travel.AddRow(s.name, t_row, 0);
+    disclosed.AddRow(s.name, d_row, 0);
+    build.AddRow(s.name, b_row, 2);
+  }
+  utility.Print(std::cout);
+  travel.Print(std::cout);
+  disclosed.Print(std::cout);
+  build.Print(std::cout);
+
+  // The full audited disclosure trail of the sweep (every point's segment
+  // concatenated; the summary line covers all of them, dropped == 0 by the
+  // fatal check above).
+  {
+    std::ofstream out("AUDIT_frontier.jsonl");
+    if (out) out << obs::ExportAuditJsonl(audit_events, recorder.names(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace scguard::bench
+
+int main() {
+  scguard::bench::Main();
+  return 0;
+}

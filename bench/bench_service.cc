@@ -35,7 +35,7 @@
 #include "bench/bench_common.h"
 #include "data/beijing.h"
 #include "data/workload.h"
-#include "privacy/planar_laplace.h"
+#include "privacy/mechanism.h"
 #include "reachability/analytical_model.h"
 #include "service/service.h"
 
@@ -153,7 +153,11 @@ int Main() {
     for (int r = 0; r < num_reporters; ++r) {
       reporters.emplace_back([&, r] {
         stats::Rng rng(9001 + static_cast<uint64_t>(r));
-        const privacy::PlanarLaplace noise(privacy_level.unit_epsilon());
+        // The configured obfuscation mechanism; workers may drift outside
+        // the workload region, which grid mechanisms clamp to the border
+        // cell.
+        const auto noise =
+            privacy::MakeMechanismOrDie(privacy_level, workload.region);
         std::vector<geo::Point> exact;
         std::vector<uint32_t> ids;
         for (int64_t i = r; i < num_workers; i += num_reporters) {
@@ -174,8 +178,7 @@ int Main() {
           cursor = cursor + 1 == ids.size() ? 0 : cursor + 1;
           p.x += rng.Gaussian(0.0, 100.0);
           p.y += rng.Gaussian(0.0, 100.0);
-          const geo::Point d = noise.Sample(rng);
-          svc.ReportLocation(w, p, geo::Point{p.x + d.x, p.y + d.y});
+          svc.ReportLocation(w, p, noise->Perturb(p, rng));
           next += interval;
           const auto now = Clock::now();
           if (next > now) {

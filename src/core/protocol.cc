@@ -5,7 +5,6 @@
 #include "assign/stages/contact_stage.h"
 #include "assign/stages/rank_stage.h"
 #include "common/check.h"
-#include "privacy/geo_ind.h"
 
 namespace scguard::core {
 
@@ -17,14 +16,13 @@ WorkerDevice::WorkerDevice(int64_t id, geo::Point true_location,
     : id_(id),
       true_location_(true_location),
       reach_radius_m_(reach_radius_m),
-      params_(params) {
+      params_(params),
+      mechanism_(privacy::MakeMechanismOrDie(params)) {
   SCGUARD_CHECK(reach_radius_m > 0.0);
-  SCGUARD_CHECK(params.Validate().ok());
 }
 
 WorkerRegistration WorkerDevice::Register(stats::Rng& rng) {
-  const privacy::GeoIndMechanism mechanism(params_);
-  return {id_, mechanism.Perturb(true_location_, rng), reach_radius_m_};
+  return {id_, mechanism_->Perturb(true_location_, rng), reach_radius_m_};
 }
 
 bool WorkerDevice::HandleTaskOffer(geo::Point exact_task_location) const {
@@ -37,13 +35,11 @@ RequesterDevice::RequesterDevice(int64_t task_id, geo::Point true_task_location,
                                  const privacy::PrivacyParams& params)
     : task_id_(task_id),
       true_task_location_(true_task_location),
-      params_(params) {
-  SCGUARD_CHECK(params.Validate().ok());
-}
+      params_(params),
+      mechanism_(privacy::MakeMechanismOrDie(params)) {}
 
 TaskRequest RequesterDevice::Submit(stats::Rng& rng) {
-  const privacy::GeoIndMechanism mechanism(params_);
-  return {task_id_, mechanism.Perturb(true_task_location_, rng)};
+  return {task_id_, mechanism_->Perturb(true_task_location_, rng)};
 }
 
 std::vector<CandidateWorker> RequesterDevice::RankCandidates(

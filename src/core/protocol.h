@@ -2,12 +2,14 @@
 #define SCGUARD_CORE_PROTOCOL_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "assign/stages/candidate_stage.h"
 #include "assign/stages/rank_stage.h"
 #include "geo/point.h"
+#include "privacy/mechanism.h"
 #include "privacy/privacy_params.h"
 #include "reachability/kernel.h"
 #include "reachability/model.h"
@@ -63,6 +65,10 @@ class WorkerDevice {
   geo::Point true_location_;
   double reach_radius_m_;
   privacy::PrivacyParams params_;
+  /// The device's obfuscation mechanism, built once from the params' spec
+  /// (grid kinds need spec.region pinned — a device has no ambient region).
+  /// shared_ptr keeps the device copyable for vector storage.
+  std::shared_ptr<const privacy::Mechanism> mechanism_;
 };
 
 /// A requester's device: owns one task, perturbs its location for the
@@ -90,6 +96,8 @@ class RequesterDevice {
   int64_t task_id_;
   geo::Point true_task_location_;
   privacy::PrivacyParams params_;
+  /// See WorkerDevice::mechanism_.
+  std::shared_ptr<const privacy::Mechanism> mechanism_;
   /// Lazily built U2E stage plus ranking scratch, reused across
   /// RankCandidates calls so the per-task hot path stops allocating once
   /// capacities settle; rebuilt if a caller switches models. Mutable

@@ -4,7 +4,7 @@
 #include <unordered_map>
 
 #include "common/str_format.h"
-#include "privacy/geo_ind.h"
+#include "privacy/mechanism.h"
 
 namespace scguard::data {
 namespace {
@@ -92,13 +92,18 @@ Result<assign::Workload> BuildWorkloadFromTrips(const std::vector<Trip>& trips,
 void PerturbWorkload(const privacy::PrivacyParams& worker_params,
                      const privacy::PrivacyParams& task_params,
                      stats::Rng& rng, assign::Workload& workload) {
-  const privacy::GeoIndMechanism worker_mech(worker_params);
-  const privacy::GeoIndMechanism task_mech(task_params);
+  // Workers then tasks, in storage order, from one rng stream — the draw
+  // order the seeds reproduce. Grid mechanisms discretize the workload's
+  // region unless the spec pins its own.
+  const auto worker_mech =
+      privacy::MakeMechanismOrDie(worker_params, workload.region);
+  const auto task_mech =
+      privacy::MakeMechanismOrDie(task_params, workload.region);
   for (auto& w : workload.workers) {
-    w.noisy_location = worker_mech.Perturb(w.location, rng);
+    w.noisy_location = worker_mech->Perturb(w.location, rng);
   }
   for (auto& t : workload.tasks) {
-    t.noisy_location = task_mech.Perturb(t.location, rng);
+    t.noisy_location = task_mech->Perturb(t.location, rng);
   }
 }
 

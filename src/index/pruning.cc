@@ -5,9 +5,22 @@
 #include <utility>
 
 #include "common/check.h"
-#include "privacy/planar_laplace.h"
+#include "privacy/mechanism.h"
 
 namespace scguard::index {
+namespace {
+
+// Uncertainty radius of the *configured* mechanism: planar Laplace uses the
+// closed form of Andrés et al.; grid mechanisms report a conservative
+// discrete quantile. Either way the rectangles cover the true location with
+// probability >= gamma, which is what keeps pruning sound.
+double MechanismConfidenceRadius(const privacy::PrivacyParams& params,
+                                 double gamma,
+                                 const geo::BoundingBox& region) {
+  return privacy::MakeMechanismOrDie(params, region)->ConfidenceRadius(gamma);
+}
+
+}  // namespace
 
 UncertainRegionPruner::UncertainRegionPruner(
     std::vector<WorkerRegion> workers,
@@ -15,10 +28,8 @@ UncertainRegionPruner::UncertainRegionPruner(
     const privacy::PrivacyParams& task_params, double gamma,
     PrunerBackend backend, const geo::BoundingBox& region)
     : workers_(std::move(workers)),
-      r_r_worker_(
-          privacy::PlanarLaplace(worker_params.unit_epsilon()).ConfidenceRadius(gamma)),
-      r_r_task_(
-          privacy::PlanarLaplace(task_params.unit_epsilon()).ConfidenceRadius(gamma)),
+      r_r_worker_(MechanismConfidenceRadius(worker_params, gamma, region)),
+      r_r_task_(MechanismConfidenceRadius(task_params, gamma, region)),
       backend_(backend) {
   SCGUARD_CHECK(gamma > 0.0 && gamma < 1.0);
   if (backend_ == PrunerBackend::kLinearScan) return;

@@ -1,15 +1,19 @@
 #include "privacy/location_set.h"
 
+#include <utility>
+
 #include "common/str_format.h"
-#include "privacy/planar_laplace.h"
+#include "privacy/mechanism.h"
 
 namespace scguard::privacy {
 
-LocationSetMechanism::LocationSetMechanism(const PrivacyParams& joint,
-                                           int set_size)
+LocationSetMechanism::LocationSetMechanism(
+    const PrivacyParams& joint, int set_size,
+    std::shared_ptr<const Mechanism> mechanism)
     : joint_(joint),
-      per_location_{joint.epsilon / set_size, joint.radius_m},
-      set_size_(set_size) {}
+      per_location_{joint.epsilon / set_size, joint.radius_m, joint.mechanism},
+      set_size_(set_size),
+      mechanism_(std::move(mechanism)) {}
 
 Result<LocationSetMechanism> LocationSetMechanism::Create(
     const PrivacyParams& params, int set_size) {
@@ -17,7 +21,15 @@ Result<LocationSetMechanism> LocationSetMechanism::Create(
   if (set_size < 1) {
     return Status::InvalidArgument("set_size must be >= 1");
   }
-  return LocationSetMechanism(params, set_size);
+  // Each release spends eps/n of the joint budget through the configured
+  // mechanism (planar Laplace unless the spec says otherwise).
+  const PrivacyParams per_location{params.epsilon / set_size, params.radius_m,
+                                   params.mechanism};
+  auto mechanism = MakeMechanism(per_location);
+  SCGUARD_RETURN_NOT_OK(mechanism.status());
+  return LocationSetMechanism(
+      params, set_size,
+      std::shared_ptr<const Mechanism>(std::move(mechanism).ValueOrDie()));
 }
 
 Result<std::vector<geo::Point>> LocationSetMechanism::PerturbSet(
@@ -27,17 +39,15 @@ Result<std::vector<geo::Point>> LocationSetMechanism::PerturbSet(
         StrCat("set of ", locations.size(), " exceeds the protected size ",
                set_size_));
   }
-  const PlanarLaplace laplace(per_location_.unit_epsilon());
-  std::vector<geo::Point> out;
-  out.reserve(locations.size());
-  for (geo::Point l : locations) out.push_back(l + laplace.Sample(rng));
+  std::vector<geo::Point> out(locations.size());
+  mechanism_->PerturbBatch(locations.data(), locations.size(), rng,
+                           out.data());
   return out;
 }
 
 geo::Point LocationSetMechanism::PerturbOne(geo::Point location,
                                             stats::Rng& rng) const {
-  const PlanarLaplace laplace(per_location_.unit_epsilon());
-  return location + laplace.Sample(rng);
+  return mechanism_->Perturb(location, rng);
 }
 
 }  // namespace scguard::privacy

@@ -1,10 +1,12 @@
 #ifndef SCGUARD_PRIVACY_LOCATION_SET_H_
 #define SCGUARD_PRIVACY_LOCATION_SET_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
 #include "geo/point.h"
+#include "privacy/mechanism.h"
 #include "privacy/privacy_params.h"
 #include "stats/rng.h"
 
@@ -40,12 +42,18 @@ class LocationSetMechanism {
   /// Perturbs a single member of the set (spending its eps/n share).
   geo::Point PerturbOne(geo::Point location, stats::Rng& rng) const;
 
+  /// The per-location obfuscation mechanism (selected by the joint spec).
+  const Mechanism& mechanism() const { return *mechanism_; }
+
  private:
-  LocationSetMechanism(const PrivacyParams& joint, int set_size);
+  LocationSetMechanism(const PrivacyParams& joint, int set_size,
+                       std::shared_ptr<const Mechanism> mechanism);
 
   PrivacyParams joint_;
   PrivacyParams per_location_;
   int set_size_;
+  // shared_ptr keeps the class copyable (Result<T> requires it).
+  std::shared_ptr<const Mechanism> mechanism_;
 };
 
 }  // namespace scguard::privacy

@@ -1,9 +1,64 @@
 #ifndef SCGUARD_PRIVACY_PRIVACY_PARAMS_H_
 #define SCGUARD_PRIVACY_PRIVACY_PARAMS_H_
 
+#include <cstdint>
+
 #include "common/result.h"
+#include "geo/bbox.h"
 
 namespace scguard::privacy {
+
+/// Which obfuscation mechanism realizes the (eps, r) guarantee. All kinds
+/// share the PrivacyParams budget semantics; they differ in how the noise
+/// is distributed (and therefore in utility at equal epsilon).
+enum class MechanismKind : uint8_t {
+  /// Continuous planar Laplace of Andrés et al. (CCS'13) — the paper's
+  /// mechanism and the default everywhere. The only kind with closed-form
+  /// DiskProbability, so the only one the analytical model accepts.
+  kPlanarLaplace = 0,
+  /// Grid-discretized obfuscation matrix (Geo-MOEA style, arXiv 2201.11300):
+  /// a per-cell perturbation distribution over target cells sampled via
+  /// alias tables, with uniform jitter inside the landed cell.
+  kGeoMatrix = 1,
+  /// Grid matrix whose rows are re-weighted by a location prior learned from
+  /// (synthetic T-Drive) history (arXiv 2008.03475): probable cells soak up
+  /// more of the noise mass, trading worst-case spread for expected utility.
+  kPriorEmpirical = 2,
+};
+
+const char* MechanismKindName(MechanismKind kind);
+
+/// Mechanism selection plus the knobs the non-Laplace kinds need. Carried
+/// inside PrivacyParams so every perturbation site (workload generation,
+/// empirical-table builds, dynamic sim, protocol parties, service
+/// reporters) constructs the same mechanism from the same spec — the spec
+/// is the full provenance of the noise.
+struct MechanismSpec {
+  MechanismKind kind = MechanismKind::kPlanarLaplace;
+
+  /// Grid resolution per axis for the matrix kinds (cells = grid_cells^2).
+  /// Coarse on purpose: rows are dense, so memory and build cost are
+  /// O(grid_cells^4).
+  int grid_cells = 24;
+
+  /// Domain the matrix kinds discretize. Empty (the default) means "use the
+  /// caller's region" (MakeMechanism's fallback_region); the planar-Laplace
+  /// kind ignores it.
+  geo::BoundingBox region{};
+
+  /// Seed of the synthetic-history stream the prior-empirical kind learns
+  /// its prior from, and the number of history points drawn. The prior is
+  /// a pure function of (region, grid_cells, prior_seed, prior_samples) so
+  /// distinct sites reconstruct identical mechanisms.
+  uint64_t prior_seed = 4242;
+  int prior_samples = 50000;
+
+  friend bool operator==(const MechanismSpec& a, const MechanismSpec& b) {
+    return a.kind == b.kind && a.grid_cells == b.grid_cells &&
+           a.region == b.region && a.prior_seed == b.prior_seed &&
+           a.prior_samples == b.prior_samples;
+  }
+};
 
 /// The (eps, r) pair of constrained geo-indistinguishability (paper Sec. II).
 ///
@@ -17,18 +72,31 @@ struct PrivacyParams {
   double epsilon = 0.7;    ///< Total budget over the radius of concern.
   double radius_m = 800.0; ///< Radius of concern, meters.
 
+  /// Which mechanism spends the budget (default: planar Laplace, matching
+  /// the paper). See privacy/mechanism.h.
+  MechanismSpec mechanism{};
+
   /// The per-meter epsilon the planar Laplace sampler consumes.
   double unit_epsilon() const { return epsilon / radius_m; }
 
-  /// OK iff epsilon > 0 and radius_m > 0.
+  /// OK iff epsilon > 0 and radius_m > 0 (and the grid kinds are sized).
   Status Validate() const {
     if (!(epsilon > 0.0)) return Status::InvalidArgument("epsilon must be > 0");
     if (!(radius_m > 0.0)) return Status::InvalidArgument("radius_m must be > 0");
+    if (mechanism.kind != MechanismKind::kPlanarLaplace &&
+        mechanism.grid_cells < 2) {
+      return Status::InvalidArgument("mechanism.grid_cells must be >= 2");
+    }
+    if (mechanism.kind == MechanismKind::kPriorEmpirical &&
+        mechanism.prior_samples < 1) {
+      return Status::InvalidArgument("mechanism.prior_samples must be >= 1");
+    }
     return Status::OK();
   }
 
   friend bool operator==(const PrivacyParams& a, const PrivacyParams& b) {
-    return a.epsilon == b.epsilon && a.radius_m == b.radius_m;
+    return a.epsilon == b.epsilon && a.radius_m == b.radius_m &&
+           a.mechanism == b.mechanism;
   }
 };
 

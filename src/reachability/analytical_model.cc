@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iostream>
 
 #include "common/check.h"
-#include "privacy/planar_laplace.h"
+#include "common/str_format.h"
 #include "stats/normal.h"
 #include "stats/rice.h"
 
@@ -20,18 +21,58 @@ double CoordinateVariance(const privacy::PrivacyParams& p, AnalyticalMode mode) 
   return factor * r_over_eps * r_over_eps;
 }
 
+// Variance-matched single planar Laplace for the two-sided U2U noise:
+// 6/e1^2 + 6/e2^2 = 6/eff^2.
+double CombinedUnitEpsilon(const privacy::PrivacyParams& worker,
+                           const privacy::PrivacyParams& task) {
+  const double ew = worker.unit_epsilon();
+  const double et = task.unit_epsilon();
+  return std::sqrt(1.0 / (1.0 / (ew * ew) + 1.0 / (et * et)));
+}
+
+Status CheckClosedForm(const privacy::PrivacyParams& p, const char* party) {
+  if (!privacy::HasClosedFormDiskProbability(p.mechanism.kind)) {
+    return Status::InvalidArgument(StrCat(
+        party, " mechanism '", privacy::MechanismKindName(p.mechanism.kind),
+        "' has no closed-form DiskProbability; the analytical model "
+        "(Probabilistic-Model) only fits planar Laplace — build an "
+        "EmpiricalModel (Probabilistic-Data) for this mechanism instead"));
+  }
+  return Status::OK();
+}
+
 }  // namespace
+
+Result<AnalyticalModel> AnalyticalModel::Create(
+    const privacy::PrivacyParams& worker_params,
+    const privacy::PrivacyParams& task_params, AnalyticalMode mode) {
+  SCGUARD_RETURN_NOT_OK(worker_params.Validate());
+  SCGUARD_RETURN_NOT_OK(task_params.Validate());
+  SCGUARD_RETURN_NOT_OK(CheckClosedForm(worker_params, "worker"));
+  SCGUARD_RETURN_NOT_OK(CheckClosedForm(task_params, "task"));
+  return AnalyticalModel(worker_params, task_params, mode);
+}
 
 AnalyticalModel::AnalyticalModel(const privacy::PrivacyParams& worker_params,
                                  const privacy::PrivacyParams& task_params,
                                  AnalyticalMode mode)
     : var_worker_(CoordinateVariance(worker_params, mode)),
       var_task_(CoordinateVariance(task_params, mode)),
-      unit_eps_worker_(worker_params.unit_epsilon()),
-      unit_eps_task_(task_params.unit_epsilon()),
-      mode_(mode) {
+      mode_(mode),
+      worker_mechanism_(worker_params),
+      u2u_combined_laplace_(CombinedUnitEpsilon(worker_params, task_params)) {
   SCGUARD_CHECK(worker_params.Validate().ok());
   SCGUARD_CHECK(task_params.Validate().ok());
+  // Fail fast on mechanisms without a closed form, with the diagnosis on
+  // stderr; Create reports the same condition as a Status for callers that
+  // can propagate it.
+  for (const Status& st : {CheckClosedForm(worker_params, "worker"),
+                           CheckClosedForm(task_params, "task")}) {
+    if (!st.ok()) {
+      std::cerr << st.ToString() << std::endl;
+      SCGUARD_CHECK(st.ok());
+    }
+  }
 }
 
 double AnalyticalModel::ProbReachable(Stage stage, double observed_distance_m,
@@ -43,17 +84,15 @@ double AnalyticalModel::ProbReachable(Stage stage, double observed_distance_m,
   if (mode_ == AnalyticalMode::kExactLaplace) {
     if (stage == Stage::kU2E) {
       // Exact: the true worker is planar-Laplace distributed around the
-      // observation; integrate that density over the reach disk.
-      return privacy::PlanarLaplace(unit_eps_worker_)
-          .DiskProbability(nu, radius);
+      // observation; the mechanism's closed form integrates that density
+      // over the reach disk. Present by construction (Create rejects
+      // mechanisms without one).
+      return *worker_mechanism_.DiskProbability(nu, radius);
     }
     // U2U: the combined worker+task displacement is the sum of two planar
-    // Laplaces. Approximate it by one planar Laplace with the same total
-    // variance: 6/e1^2 + 6/e2^2 = 6/eff^2.
-    const double eff = std::sqrt(
-        1.0 / (1.0 / (unit_eps_worker_ * unit_eps_worker_) +
-               1.0 / (unit_eps_task_ * unit_eps_task_)));
-    return privacy::PlanarLaplace(eff).DiskProbability(nu, radius);
+    // Laplaces, approximated by the variance-matched single Laplace built
+    // in the constructor.
+    return u2u_combined_laplace_.DiskProbability(nu, radius);
   }
 
   // Variance of the difference vector z = l_w - l_t given the observations:

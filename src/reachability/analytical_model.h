@@ -1,6 +1,9 @@
 #ifndef SCGUARD_REACHABILITY_ANALYTICAL_MODEL_H_
 #define SCGUARD_REACHABILITY_ANALYTICAL_MODEL_H_
 
+#include "common/result.h"
+#include "privacy/mechanism.h"
+#include "privacy/planar_laplace.h"
 #include "privacy/privacy_params.h"
 #include "reachability/model.h"
 
@@ -50,8 +53,18 @@ constexpr std::string_view AnalyticalModeName(AnalyticalMode mode) {
 /// *Probabilistic-Model* in the evaluation).
 class AnalyticalModel final : public ReachabilityModel {
  public:
+  /// Checked factory: every closed form here is derived from the planar
+  /// Laplace noise shape, so a configured mechanism without an analytical
+  /// DiskProbability (the grid kinds) is rejected with a Status pointing at
+  /// the empirical path (EmpiricalModel / Probabilistic-Data), which learns
+  /// any mechanism's distribution by sampling it.
+  static Result<AnalyticalModel> Create(
+      const privacy::PrivacyParams& worker_params,
+      const privacy::PrivacyParams& task_params,
+      AnalyticalMode mode = AnalyticalMode::kPaperNormalApprox);
+
   /// Workers and requesters may use different privacy levels; the paper's
-  /// experiments use equal ones.
+  /// experiments use equal ones. Dies where Create would return an error.
   AnalyticalModel(const privacy::PrivacyParams& worker_params,
                   const privacy::PrivacyParams& task_params,
                   AnalyticalMode mode = AnalyticalMode::kPaperNormalApprox);
@@ -83,9 +96,12 @@ class AnalyticalModel final : public ReachabilityModel {
  private:
   double var_worker_;
   double var_task_;
-  double unit_eps_worker_;  // Per-meter epsilon (for kExactLaplace).
-  double unit_eps_task_;
   AnalyticalMode mode_;
+  // kExactLaplace machinery, hoisted out of ProbReachable: the worker-side
+  // mechanism adapter (its DiskProbability is the exact U2E answer) and the
+  // variance-matched single Laplace standing in for the two-sided U2U noise.
+  privacy::PlanarLaplaceMechanism worker_mechanism_;
+  privacy::PlanarLaplace u2u_combined_laplace_;
 };
 
 }  // namespace scguard::reachability

@@ -6,7 +6,7 @@
 #include <utility>
 #include <vector>
 
-#include "privacy/geo_ind.h"
+#include "privacy/mechanism.h"
 #include "runtime/parallel_for.h"
 
 namespace scguard::reachability {
@@ -18,9 +18,11 @@ namespace {
 constexpr uint64_t kShardStreamBase = 0x5ca1ab1e00000000ULL;
 
 // One serial Monte-Carlo pass of `num_samples` pairs into (u2u, u2e).
+// Mechanism-agnostic: whatever distribution Perturb realizes is what the
+// tables (and hence U2U/U2E decisions) learn.
 void SampleInto(const EmpiricalModelConfig& config,
-                const privacy::GeoIndMechanism& worker_mech,
-                const privacy::GeoIndMechanism& task_mech, uint64_t num_samples,
+                const privacy::Mechanism& worker_mech,
+                const privacy::Mechanism& task_mech, uint64_t num_samples,
                 stats::Rng& rng, EmpiricalTable& u2u, EmpiricalTable& u2e) {
   const auto& region = config.region;
   for (uint64_t i = 0; i < num_samples; ++i) {
@@ -61,8 +63,14 @@ Result<EmpiricalModel> EmpiricalModel::Build(
   SCGUARD_RETURN_NOT_OK(worker_params.Validate());
   SCGUARD_RETURN_NOT_OK(task_params.Validate());
 
-  const privacy::GeoIndMechanism worker_mech(worker_params);
-  const privacy::GeoIndMechanism task_mech(task_params);
+  // Built once and shared read-only across shards; Perturb is const and
+  // thread-safe, so shard determinism is carried entirely by the forked
+  // rng streams. Grid mechanisms discretize the sampling region unless
+  // their spec pins one.
+  SCGUARD_ASSIGN_OR_RETURN(const auto worker_mech,
+                           privacy::MakeMechanism(worker_params, config.region));
+  SCGUARD_ASSIGN_OR_RETURN(const auto task_mech,
+                           privacy::MakeMechanism(task_params, config.region));
 
   EmpiricalTable u2u(config.bucket_width_m, config.num_buckets,
                      config.true_max_m, config.true_bins);
@@ -71,7 +79,7 @@ Result<EmpiricalModel> EmpiricalModel::Build(
 
   if (config.num_shards == 1) {
     // Legacy exact path: one pass consuming the caller's rng in place.
-    SampleInto(config, worker_mech, task_mech, config.num_samples, rng, u2u,
+    SampleInto(config, *worker_mech, *task_mech, config.num_samples, rng, u2u,
                u2e);
   } else {
     // Sharded path: shard s draws from the independent stream
@@ -98,7 +106,7 @@ Result<EmpiricalModel> EmpiricalModel::Build(
                 EmpiricalTable(config.bucket_width_m, config.num_buckets,
                                config.true_max_m, config.true_bins)});
             const uint64_t samples = base + (shard < remainder ? 1 : 0);
-            SampleInto(config, worker_mech, task_mech, samples, shard_rng,
+            SampleInto(config, *worker_mech, *task_mech, samples, shard_rng,
                        partial->u2u, partial->u2e);
             partials[shard] = std::move(partial);
           }

@@ -66,10 +66,23 @@ std::string ModelCache::KeyFor(const EmpiricalModelConfig& config,
                                const privacy::PrivacyParams& worker_params,
                                const privacy::PrivacyParams& task_params,
                                uint64_t build_seed) {
+  // Distinct mechanisms learn distinct tables, so the spec is part of the
+  // identity of a build (a planar-Laplace model must never be served for a
+  // grid-mechanism request at the same epsilon).
+  const auto spec_of = [](const privacy::PrivacyParams& p) {
+    std::ostringstream ss;
+    ss << std::hexfloat << privacy::MechanismKindName(p.mechanism.kind) << ','
+       << p.mechanism.grid_cells << ',' << p.mechanism.prior_seed << ','
+       << p.mechanism.prior_samples << ',' << p.mechanism.region.min_x << ','
+       << p.mechanism.region.min_y << ',' << p.mechanism.region.max_x << ','
+       << p.mechanism.region.max_y;
+    return ss.str();
+  };
   std::ostringstream os;
   os << std::hexfloat;
-  os << "w:" << worker_params.epsilon << ',' << worker_params.radius_m
-     << ";t:" << task_params.epsilon << ',' << task_params.radius_m
+  os << "w:" << worker_params.epsilon << ',' << worker_params.radius_m << ','
+     << spec_of(worker_params) << ";t:" << task_params.epsilon << ','
+     << task_params.radius_m << ',' << spec_of(task_params)
      << ";region:" << config.region.min_x << ',' << config.region.min_y << ','
      << config.region.max_x << ',' << config.region.max_y
      << ";samples:" << config.num_samples << ";bw:" << config.bucket_width_m

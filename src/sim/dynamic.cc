@@ -1,6 +1,7 @@
 #include "sim/dynamic.h"
 
 #include <algorithm>
+#include <memory>
 #include <cmath>
 #include <utility>
 
@@ -11,8 +12,9 @@
 #include "data/beijing.h"
 #include "data/trip_model.h"
 #include "obs/trace.h"
-#include "privacy/planar_laplace.h"
+#include "privacy/mechanism.h"
 #include "reachability/analytical_model.h"
+#include "reachability/empirical_model.h"
 
 namespace scguard::sim {
 namespace {
@@ -34,17 +36,40 @@ std::vector<DynamicRoundMetrics> RunDynamicWorkers(const DynamicConfig& config,
   const data::HotspotMixture demand =
       data::HotspotMixture::MakeBeijingLike(region, 24, rng);
 
-  // Per-report privacy level by strategy.
+  // Per-report privacy level by strategy. The epsilon split carries the
+  // joint mechanism spec: splitting changes the budget, not the mechanism.
   const privacy::PrivacyParams per_report =
       strategy == ReportingStrategy::kLocationSetSplit
           ? privacy::PrivacyParams{config.joint.epsilon / config.rounds,
-                                   config.joint.radius_m}
+                                   config.joint.radius_m,
+                                   config.joint.mechanism}
           : config.joint;
-  const privacy::PlanarLaplace laplace(per_report.unit_epsilon());
+  // The injected re-report mechanism (planar Laplace by default, same draw
+  // order as the historical inline sampler).
+  const auto report_mechanism =
+      privacy::MakeMechanismOrDie(per_report, region);
 
-  // Reachability models consistent with the *claimed* per-report level:
-  // the server cannot know more than what devices declare.
-  const reachability::AnalyticalModel model(per_report);
+  // Reachability model consistent with the *claimed* per-report level:
+  // the server cannot know more than what devices declare. Mechanisms
+  // without a closed-form DiskProbability (grid kinds) get a small
+  // empirical table instead of the analytical model; its Monte-Carlo
+  // stream is forked off the config seed, never the simulation rng, so
+  // the planar-Laplace path is bit-identical to the pre-table code.
+  std::unique_ptr<const reachability::ReachabilityModel> model_owner;
+  if (privacy::HasClosedFormDiskProbability(per_report.mechanism.kind)) {
+    model_owner = std::make_unique<reachability::AnalyticalModel>(per_report);
+  } else {
+    reachability::EmpiricalModelConfig model_config;
+    model_config.region = region;
+    model_config.num_samples = 50000;
+    model_config.num_shards = 8;
+    stats::Rng build_rng(config.seed ^ 0x9e3779b97f4a7c15ULL);
+    model_owner = std::make_unique<reachability::EmpiricalModel>(
+        reachability::EmpiricalModel::Build(model_config, per_report,
+                                            build_rng)
+            .ValueOrDie());
+  }
+  const reachability::ReachabilityModel& model = *model_owner;
 
   // Worker state.
   struct DynamicWorker {
@@ -83,10 +108,11 @@ std::vector<DynamicRoundMetrics> RunDynamicWorkers(const DynamicConfig& config,
       {.rank = assign::RankStrategy::kProbability, .beta = config.beta,
        .beta_mode = assign::BetaMode::kEveryContact, .redundancy_k = 1});
 
-  // Task perturbation noise is drawn at the joint level every time
-  // (tasks are one-shot); the sampler itself is deterministic state, built
-  // once instead of tasks_per_round * rounds times.
-  const privacy::PlanarLaplace task_laplace(config.joint.unit_epsilon());
+  // Task perturbation runs at the joint level every time (tasks are
+  // one-shot); the mechanism itself is deterministic state, built once
+  // instead of tasks_per_round * rounds times.
+  const auto task_mechanism =
+      privacy::MakeMechanismOrDie(config.joint, region);
 
   std::vector<DynamicRoundMetrics> results;
   std::vector<std::pair<double, size_t>> ranked;  // Reused across tasks.
@@ -107,7 +133,7 @@ std::vector<DynamicRoundMetrics> RunDynamicWorkers(const DynamicConfig& config,
       auto& w = workers[i];
       const bool refresh = round == 0 || strategy != ReportingStrategy::kReportOnce;
       if (refresh) {
-        w.reported = w.location + laplace.Sample(rng);
+        w.reported = report_mechanism->Perturb(w.location, rng);
         w.spent_epsilon += per_report.epsilon;
         u2u.UpdateWorkerLocation(static_cast<uint32_t>(i), w.reported);
       }
@@ -126,7 +152,7 @@ std::vector<DynamicRoundMetrics> RunDynamicWorkers(const DynamicConfig& config,
       const int64_t task_id =
           static_cast<int64_t>(round) * config.tasks_per_round + t;
       const geo::Point task = demand.Sample(rng);
-      const geo::Point task_noisy = task + task_laplace.Sample(rng);
+      const geo::Point task_noisy = task_mechanism->Perturb(task, rng);
       // U2U over reported locations, U2E against the exact task location.
       const std::vector<uint32_t>& candidates = u2u.Collect(task_noisy);
       u2e.Rank(u2u.soa(), candidates, task, /*random_rank=*/nullptr, ranked,

@@ -16,7 +16,7 @@
 #include "assign/scguard_engine.h"
 #include "data/workload.h"
 #include "geo/bbox.h"
-#include "privacy/planar_laplace.h"
+#include "privacy/mechanism.h"
 #include "reachability/analytical_model.h"
 #include "reachability/binary_model.h"
 #include "service/mpsc_queue.h"
@@ -161,15 +161,15 @@ TEST(ServiceTest, DrainCompletenessUnderConcurrentProducers) {
 
   std::thread reporter([&] {
     stats::Rng rng(5);
-    const privacy::PlanarLaplace noise(kDefault.unit_epsilon());
+    const auto noise = privacy::MakeMechanismOrDie(kDefault);
     for (int i = 0; i < 500; ++i) {
       const auto w = static_cast<uint32_t>(
           rng.UniformInt(workload.workers.size()));
       geo::Point p = workload.workers[w].location;
       p.x += rng.Gaussian(0.0, 50.0);
       p.y += rng.Gaussian(0.0, 50.0);
-      const geo::Point d = noise.Sample(rng);
-      while (!svc.ReportLocation(w, p, {p.x + d.x, p.y + d.y})) {
+      const geo::Point noisy = noise->Perturb(p, rng);
+      while (!svc.ReportLocation(w, p, noisy)) {
         std::this_thread::yield();
       }
     }
@@ -213,15 +213,15 @@ TEST(ServiceTest, BitIdenticalToSerialReplayOfAdmissionLog) {
   std::atomic<bool> run{true};
   std::thread reporter([&] {
     stats::Rng rng(6);
-    const privacy::PlanarLaplace noise(kDefault.unit_epsilon());
+    const auto noise = privacy::MakeMechanismOrDie(kDefault);
     while (run.load(std::memory_order_relaxed)) {
       const auto w = static_cast<uint32_t>(
           rng.UniformInt(workload.workers.size()));
       geo::Point p = workload.workers[w].location;
       p.x += rng.Gaussian(0.0, 50.0);
       p.y += rng.Gaussian(0.0, 50.0);
-      const geo::Point d = noise.Sample(rng);
-      while (!live.ReportLocation(w, p, {p.x + d.x, p.y + d.y}) &&
+      const geo::Point noisy = noise->Perturb(p, rng);
+      while (!live.ReportLocation(w, p, noisy) &&
              run.load(std::memory_order_relaxed)) {
         std::this_thread::yield();
       }

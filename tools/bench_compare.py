@@ -61,6 +61,14 @@ SERVICE_PERF_FIELDS_WARN = (
 )
 SERVICE_PERF_FIELDS_HIGHER = ("sustained_qps",)
 
+# The frontier bench ("bench": "frontier") sweeps mechanism x epsilon. Its
+# audited disclosure total is deterministic like the other utility counts
+# (the bench itself hard-fails if the audit trail and engine counters
+# disagree), and the empirical-table build cost is an extra lower-is-better
+# perf field.
+FRONTIER_UTILITY_FIELDS = ("audit_disclosures",)
+FRONTIER_PERF_FIELDS = ("table_build_seconds",)
+
 
 def rel_delta(base, cur):
     if base == cur:
@@ -115,10 +123,15 @@ def main():
 
     is_service = base.get("bench") == "service" and \
         cur.get("bench") == "service"
+    is_frontier = base.get("bench") == "frontier" and \
+        cur.get("bench") == "frontier"
     perf_lower = () if is_service else PERF_FIELDS
     perf_warn = SERVICE_PERF_FIELDS_WARN if is_service else ()
     perf_higher = SERVICE_PERF_FIELDS_HIGHER if is_service else ()
     utility_fields = () if is_service else UTILITY_FIELDS
+    if is_frontier:
+        perf_lower = perf_lower + FRONTIER_PERF_FIELDS
+        utility_fields = utility_fields + FRONTIER_UTILITY_FIELDS
 
     regressions = warnings = 0
     for key in common:
